@@ -1,0 +1,35 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rbft/internal/baseline"
+)
+
+// probeBaselines prints fault-free and under-attack numbers for the three
+// baseline protocols at both request sizes.
+func probeBaselines() {
+	dur := 30 * time.Second
+	for _, size := range []int{8, 4096} {
+		for _, attack := range []bool{false, true} {
+			w := baseline.Static(200000, size, dur)
+			sp := baseline.Spinning(baseline.SpinningConfig{Attack: attack}, w)
+			av := baseline.Aardvark(baseline.AardvarkConfig{Attack: attack}, w)
+			pr := baseline.Prime(baseline.PrimeConfig{Attack: attack}, w)
+			fmt.Printf("static size=%5d attack=%-5v spinning=%8.0f aardvark=%8.0f prime=%8.0f | lat sp=%v av=%v pr=%v\n",
+				size, attack, sp.Throughput, av.Throughput, pr.Throughput, sp.AvgLatency, av.AvgLatency, pr.AvgLatency)
+		}
+	}
+	// Dynamic workload comparison (per paper fig 1-3 dynamic curves).
+	for _, size := range []int{8, 4096} {
+		for _, attack := range []bool{false, true} {
+			w := baseline.Dynamic(1000, size, 3*time.Second)
+			sp := baseline.Spinning(baseline.SpinningConfig{Attack: attack}, w)
+			av := baseline.Aardvark(baseline.AardvarkConfig{Attack: attack}, w)
+			pr := baseline.Prime(baseline.PrimeConfig{Attack: attack}, w)
+			fmt.Printf("dynamic size=%5d attack=%-5v spinning=%8.0f aardvark=%8.0f prime=%8.0f\n",
+				size, attack, sp.Throughput, av.Throughput, pr.Throughput)
+		}
+	}
+}

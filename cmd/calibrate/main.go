@@ -1,0 +1,47 @@
+// Command calibrate probes the simulator's saturation points; it is a
+// development aid for tuning the cost model against the paper's numbers.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"rbft/internal/monitor"
+	"rbft/internal/sim"
+)
+
+func run(size, clients int, rate float64, udp bool) {
+	cfg := sim.Config{
+		F: 1, Cost: sim.DefaultCostModel(), Seed: 1, UDP: udp,
+		BatchSize: 64, BatchTimeout: 2 * time.Millisecond,
+		Monitoring: monitor.Config{Period: 500 * time.Millisecond, Delta: 0.85, MinRequests: 50},
+		Workload:   sim.StaticLoad(clients, rate, size),
+		Warmup:     300 * time.Millisecond,
+	}
+	res := sim.New(cfg).Run(1500 * time.Millisecond)
+	fmt.Printf("size=%5d clients=%3d offered=%8.0f udp=%v -> tput=%8.0f avgLat=%10v p99=%10v IC=%d\n",
+		size, clients, float64(clients)*rate, udp, res.Throughput, res.AvgLatency, res.P99Latency, len(res.InstanceChanges))
+}
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-profile" {
+		if err := profileOne(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, load := range []float64{10000, 20000, 30000, 35000, 40000, 50000} {
+		run(8, 10, load/10, false)
+	}
+	fmt.Println()
+	for _, load := range []float64{2000, 4000, 5000, 6000, 8000} {
+		run(4096, 10, load/10, false)
+	}
+	fmt.Println()
+	run(8, 10, 1000, true)
+	run(8, 10, 1000, false)
+	fmt.Println()
+	probeBaselines()
+}

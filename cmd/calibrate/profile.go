@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"rbft/internal/core"
+	"rbft/internal/monitor"
+	"rbft/internal/pbft"
+	"rbft/internal/sim"
+	"rbft/internal/types"
+)
+
+// profileOne runs one representative attacked simulation under the CPU
+// profiler (development aid: `go run ./cmd/calibrate -profile`).
+func profileOne() error {
+	f, err := os.Create("/tmp/sim.pprof")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cfg := sim.Config{
+		F: 1, Cost: sim.DefaultCostModel(), Seed: 1,
+		BatchSize: 64, BatchTimeout: 2 * time.Millisecond,
+		Monitoring: monitor.Config{Period: 250 * time.Millisecond, Delta: 0.97, MinRequests: 32},
+		Workload:   sim.StaticLoad(10, 2660, 8),
+		Warmup:     300 * time.Millisecond,
+		NodeBehavior: map[types.NodeID]core.Behavior{
+			0: {
+				DropPropagate: true,
+				Instance: map[types.InstanceID]pbft.Behavior{
+					0: {ProposeRate: 0.97 * 1.01 * 26600},
+					1: {Silent: true},
+				},
+			},
+		},
+		Floods: []sim.Flood{
+			{From: 0, Targets: []types.NodeID{1, 2, 3}, Size: 8192, Rate: 512},
+			{FromClients: true, Targets: []types.NodeID{1, 2, 3}, Size: 4096, Rate: 2000},
+		},
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+	start := time.Now()
+	res := sim.New(cfg).Run(500 * time.Millisecond)
+	pprof.StopCPUProfile()
+	fmt.Printf("wall=%v completed=%d tput=%.0f\n", time.Since(start), res.Completed, res.Throughput)
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"rbft/internal/harness"
+)
+
+// csvDir is set by the -csv flag; experiments write plot-ready data files
+// into it when non-empty.
+var csvDir string
+
+// writeCSV writes rows (first row = header) to <csvDir>/<name>.csv.
+func writeCSV(name string, rows [][]string) {
+	if csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	path := filepath.Join(csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	fmt.Printf("  wrote %s\n", path)
+}
+
+func relativeCurveCSV(name string, c harness.RelativeCurve) {
+	rows := [][]string{{"size_bytes", "static_pct", "dynamic_pct"}}
+	for i, s := range c.Sizes {
+		rows = append(rows, []string{
+			strconv.Itoa(s),
+			fmt.Sprintf("%.2f", c.StaticPct[i]),
+			fmt.Sprintf("%.2f", c.DynamicPct[i]),
+		})
+	}
+	writeCSV(name, rows)
+}
+
+func attackCurveCSV(name string, c harness.AttackCurve) {
+	rows := [][]string{{"size_bytes", "static_pct", "dynamic_pct"}}
+	for i, s := range c.Sizes {
+		rows = append(rows, []string{
+			strconv.Itoa(s),
+			fmt.Sprintf("%.2f", c.StaticPct[i]),
+			fmt.Sprintf("%.2f", c.DynamicPct[i]),
+		})
+	}
+	writeCSV(name, rows)
+}
+
+func latencyCurvesCSV(name string, curves []harness.LatencyCurve) {
+	rows := [][]string{{"system", "throughput_kreq_s", "latency_ms"}}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			rows = append(rows, []string{
+				c.System,
+				fmt.Sprintf("%.3f", p.ThroughputKreqS),
+				fmt.Sprintf("%.4f", p.LatencyMs),
+			})
+		}
+	}
+	writeCSV(name, rows)
+}
+
+func nodeReadingsCSV(name string, rs []harness.NodeReading) {
+	rows := [][]string{{"node", "master_kreq_s", "backup_kreq_s"}}
+	for _, r := range rs {
+		rows = append(rows, []string{
+			strconv.Itoa(int(r.Node)),
+			fmt.Sprintf("%.3f", r.MasterKreqS),
+			fmt.Sprintf("%.3f", r.AvgBackupKreqS),
+		})
+	}
+	writeCSV(name, rows)
+}
+
+func unfairSeriesCSV(name string, r harness.UnfairResult) {
+	rows := [][]string{{"index", "client", "latency_ms", "exceeds_lambda"}}
+	for i, rec := range r.Series {
+		rows = append(rows, []string{
+			strconv.Itoa(i),
+			strconv.Itoa(int(rec.Client)),
+			fmt.Sprintf("%.4f", float64(rec.Latency)/1e6),
+			strconv.FormatBool(rec.Latency > r.Lambda),
+		})
+	}
+	writeCSV(name, rows)
+}

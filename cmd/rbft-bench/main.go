@@ -1,0 +1,173 @@
+// Command rbft-bench regenerates the RBFT paper's tables and figures.
+//
+// Usage:
+//
+//	rbft-bench [-exp all|table1|fig1|fig2|fig3|fig7a|fig7b|fig8|fig9|fig10|fig11|fig12|ablation] [-quick] [-seed N]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rbft/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig3, fig7a, fig7b, fig8, fig9, fig10, fig11, fig12, ablation)")
+	quick := flag.Bool("quick", false, "shorter runs (smoke mode)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.StringVar(&csvDir, "csv", "", "directory to write plot-ready CSV data files (optional)")
+	flag.Parse()
+
+	if err := run(*exp, harness.Options{Quick: *quick, Seed: *seed}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, o harness.Options) error {
+	experiments := []struct {
+		name string
+		fn   func(harness.Options)
+	}{
+		{"table1", runTable1},
+		{"fig1", runFig1},
+		{"fig2", runFig2},
+		{"fig3", runFig3},
+		{"fig7a", func(o harness.Options) { runFig7(8, o) }},
+		{"fig7b", func(o harness.Options) { runFig7(4096, o) }},
+		{"fig8", runFig8},
+		{"fig9", runFig9},
+		{"fig10", runFig10},
+		{"fig11", runFig11},
+		{"fig12", runFig12},
+		{"ablation", runAblation},
+	}
+	if exp == "all" {
+		for _, e := range experiments {
+			start := time.Now()
+			e.fn(o)
+			fmt.Printf("  [%s took %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	}
+	for _, e := range experiments {
+		if e.name == exp {
+			e.fn(o)
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}
+
+func runTable1(o harness.Options) {
+	fmt.Print(harness.FormatTable1(harness.Table1(o)))
+	fmt.Println("  (paper: Prime 78%, Aardvark 87%, Spinning 99%)")
+}
+
+func runFig1(o harness.Options) {
+	c := harness.Figure1(o)
+	fmt.Print(c)
+	relativeCurveCSV("fig1_prime", c)
+	fmt.Println("  (paper fig 1: drops to ~22%, rising with request size)")
+}
+
+func runFig2(o harness.Options) {
+	c := harness.Figure2(o)
+	fmt.Print(c)
+	relativeCurveCSV("fig2_aardvark", c)
+	fmt.Println("  (paper fig 2: static >=76%, dynamic down to 13%)")
+}
+
+func runFig3(o harness.Options) {
+	c := harness.Figure3(o)
+	fmt.Print(c)
+	relativeCurveCSV("fig3_spinning", c)
+	fmt.Println("  (paper fig 3: static ~1%, dynamic ~4.5%)")
+}
+
+func runFig7(size int, o harness.Options) {
+	fmt.Printf("Figure 7 (%dB requests): latency vs throughput, fault-free, f=1\n", size)
+	curves := harness.Figure7(size, o)
+	for _, c := range curves {
+		fmt.Print(c)
+	}
+	latencyCurvesCSV(fmt.Sprintf("fig7_%dB", size), curves)
+	if size == 8 {
+		fmt.Println("  (paper fig 7a: peaks ~ RBFT 35k, Aardvark 31.6k, Spinning +20%, Prime ~12k w/ ~10x latency)")
+	} else {
+		fmt.Println("  (paper fig 7b: peaks ~ RBFT 5k, Aardvark 1.7k, Spinning +30%)")
+	}
+}
+
+func runFig8(o harness.Options) {
+	for _, f := range []int{1, 2} {
+		c := harness.Figure8(f, o)
+		fmt.Print(c)
+		attackCurveCSV(fmt.Sprintf("fig8_f%d", f), c)
+		fmt.Printf("  instance changes during attack: %d (attack avoids detection)\n", c.InstanceChanges)
+	}
+	fmt.Println("  (paper fig 8: loss <=2.2% at f=1, <=0.4% at f=2)")
+}
+
+func runFig9(o harness.Options) {
+	fmt.Println("Figure 9: per-node monitor readings, worst-attack-1 (f=1, static, 4kB)")
+	rs := harness.Figure9(o)
+	fmt.Print(harness.FormatNodeReadings(rs))
+	nodeReadingsCSV("fig9", rs)
+	fmt.Println("  (paper fig 9: all correct nodes read ~5 kreq/s, master ~= backup within 2%)")
+}
+
+func runFig10(o harness.Options) {
+	for _, f := range []int{1, 2} {
+		c := harness.Figure10(f, o)
+		fmt.Print(c)
+		attackCurveCSV(fmt.Sprintf("fig10_f%d", f), c)
+		fmt.Printf("  instance changes during attack: %d (smart attacker stays above Delta)\n", c.InstanceChanges)
+	}
+	fmt.Println("  (paper fig 10: loss <3% at f=1, <1% at f=2)")
+}
+
+func runFig11(o harness.Options) {
+	fmt.Println("Figure 11: per-node monitor readings, worst-attack-2 (f=1, static, 4kB)")
+	rs := harness.Figure11(o)
+	fmt.Print(harness.FormatNodeReadings(rs))
+	nodeReadingsCSV("fig11", rs)
+	fmt.Println("  (paper fig 11: master ~= backup on all correct nodes)")
+}
+
+func runFig12(o harness.Options) {
+	r := harness.Figure12(o)
+	unfairSeriesCSV("fig12", r)
+	fmt.Printf("Figure 12: unfair primary, Lambda=%v\n", r.Lambda)
+	fmt.Printf("  %d requests ordered; max latency of attacked client %v\n", len(r.Series), r.MaxAttackedLatency)
+	if r.InstanceChangeAt >= 0 {
+		fmt.Printf("  instance change after request %d (latency exceeded Lambda)\n", r.InstanceChangeAt)
+	} else {
+		fmt.Println("  no instance change (attack stayed under Lambda)")
+	}
+	// Print a compact series: every k-th point per client.
+	step := len(r.Series) / 40
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(r.Series); i += step {
+		rec := r.Series[i]
+		fmt.Printf("  req %4d client %d latency %8.3f ms\n",
+			i, rec.Client, float64(rec.Latency)/1e6)
+	}
+	fmt.Println("  (paper fig 12: 0.8ms fair, 1.3ms unfair, instance change at the 1.6ms request)")
+}
+
+func runAblation(o harness.Options) {
+	r := harness.AblationOrderedPayload(o)
+	fmt.Printf("Ablation: ordering request identifiers vs full requests (4kB, f=1)\n")
+	fmt.Printf("  identifiers:   %8.0f req/s\n", r.IdentifiersThroughput)
+	fmt.Printf("  full requests: %8.0f req/s\n", r.FullThroughput)
+	fmt.Println("  (paper section VI-B: 5 kreq/s vs 1.8 kreq/s)")
+}

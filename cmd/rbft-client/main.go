@@ -1,0 +1,95 @@
+// Command rbft-client drives an rbft-node cluster: it submits one operation
+// (or a benchmark burst) and prints the f+1-confirmed result.
+//
+//	rbft-client -id 1 -f 1 -listen 127.0.0.1:7100 \
+//	    -nodes 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+//	    -op "PUT greeting hello"
+//
+// NOTE: nodes learn client addresses from their -clients flag, e.g.
+// rbft-node ... -clients 1=127.0.0.1:7100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"rbft/internal/client"
+	"rbft/internal/crypto"
+	"rbft/internal/runtime"
+	"rbft/internal/transport"
+	"rbft/internal/transport/tcpnet"
+	"rbft/internal/transport/udpnet"
+	"rbft/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		id         = flag.Int("id", 1, "client id")
+		f          = flag.Int("f", 1, "tolerated faults")
+		listen     = flag.String("listen", "127.0.0.1:7100", "listen address for replies")
+		nodes      = flag.String("nodes", "", "comma-separated node addresses, index = node id")
+		secret     = flag.String("secret", "rbft-demo-secret", "cluster key-derivation secret")
+		udp        = flag.Bool("udp", false, "use UDP instead of TCP")
+		op         = flag.String("op", "GET hello", "operation to submit (KV store: PUT k v, GET k, DEL k)")
+		count      = flag.Int("n", 1, "number of times to submit the operation")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		maxClients = flag.Int("max-clients", 64, "client id space")
+	)
+	flag.Parse()
+
+	cluster := types.NewConfig(*f)
+	nodeList := strings.Split(*nodes, ",")
+	if len(nodeList) != cluster.N {
+		return fmt.Errorf("need %d node addresses, got %d", cluster.N, len(nodeList))
+	}
+	peerMap := make(map[string]string, cluster.N)
+	for i, addr := range nodeList {
+		peerMap[runtime.NodeName(types.NodeID(i))] = strings.TrimSpace(addr)
+	}
+
+	var tr transport.Transport
+	var err error
+	name := runtime.ClientName(types.ClientID(*id))
+	if *udp {
+		tr, err = udpnet.Listen(name, *listen, peerMap)
+	} else {
+		tr, err = tcpnet.Listen(name, *listen, peerMap)
+	}
+	if err != nil {
+		return err
+	}
+
+	ks := crypto.NewKeyStore([]byte(*secret), cluster.N, *maxClients)
+	cl := client.New(client.Config{
+		Cluster:           cluster,
+		ID:                types.ClientID(*id),
+		RetransmitTimeout: time.Second,
+	}, ks.ClientRing(types.ClientID(*id)))
+	cr := runtime.StartClient(cl, tr, cluster)
+	defer cr.Stop()
+
+	var totalLatency time.Duration
+	for i := 0; i < *count; i++ {
+		done, err := cr.Invoke([]byte(*op), *timeout)
+		if err != nil {
+			return err
+		}
+		totalLatency += done.Latency
+		if *count == 1 {
+			fmt.Printf("%s\n", done.Result)
+		}
+	}
+	if *count > 1 {
+		fmt.Printf("%d requests, avg latency %v\n", *count, (totalLatency / time.Duration(*count)).Round(time.Microsecond))
+	}
+	return nil
+}

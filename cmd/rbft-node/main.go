@@ -1,0 +1,129 @@
+// Command rbft-node runs one RBFT node over TCP (or UDP with -udp).
+//
+// A 4-node cluster on one machine:
+//
+//	rbft-node -id 0 -f 1 -listen 127.0.0.1:7000 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	rbft-node -id 1 -f 1 -listen 127.0.0.1:7001 -peers ... &
+//	rbft-node -id 2 -f 1 -listen 127.0.0.1:7002 -peers ... &
+//	rbft-node -id 3 -f 1 -listen 127.0.0.1:7003 -peers ... &
+//
+// Then drive it with rbft-client. The replicated application is the
+// key-value store (PUT/GET/DEL). All nodes must share -secret; in a real
+// deployment the key material would come from a PKI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rbft/internal/app"
+	"rbft/internal/core"
+	"rbft/internal/crypto"
+	"rbft/internal/monitor"
+	"rbft/internal/runtime"
+	"rbft/internal/transport"
+	"rbft/internal/transport/tcpnet"
+	"rbft/internal/transport/udpnet"
+	"rbft/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		id         = flag.Int("id", 0, "this node's id (0..N-1)")
+		f          = flag.Int("f", 1, "tolerated faults (cluster has 3f+1 nodes)")
+		listen     = flag.String("listen", "127.0.0.1:7000", "listen address")
+		peers      = flag.String("peers", "", "comma-separated node addresses, index = node id (including this node)")
+		clients    = flag.String("clients", "", "comma-separated client addresses as id=addr pairs (optional; clients can also be added while running via repeated flags)")
+		secret     = flag.String("secret", "rbft-demo-secret", "cluster key-derivation secret (all nodes and clients must agree)")
+		udp        = flag.Bool("udp", false, "use UDP instead of TCP")
+		maxClients = flag.Int("max-clients", 64, "client id space")
+		delta      = flag.Float64("delta", 0.9, "monitoring Delta threshold")
+		period     = flag.Duration("period", 250*time.Millisecond, "monitoring period")
+	)
+	flag.Parse()
+
+	cluster := types.NewConfig(*f)
+	if *id < 0 || *id >= cluster.N {
+		return fmt.Errorf("id %d out of range for N=%d", *id, cluster.N)
+	}
+	peerList := strings.Split(*peers, ",")
+	if len(peerList) != cluster.N {
+		return fmt.Errorf("need %d peer addresses, got %d", cluster.N, len(peerList))
+	}
+
+	peerMap := make(map[string]string, cluster.N)
+	for i, addr := range peerList {
+		if i != *id {
+			peerMap[runtime.NodeName(types.NodeID(i))] = strings.TrimSpace(addr)
+		}
+	}
+	for _, pair := range strings.Split(*clients, ",") {
+		if pair == "" {
+			continue
+		}
+		cid, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("malformed client pair %q (want id=addr)", pair)
+		}
+		var n int
+		if _, err := fmt.Sscanf(cid, "%d", &n); err != nil {
+			return fmt.Errorf("malformed client id %q", cid)
+		}
+		peerMap["client/"+cid] = strings.TrimSpace(addr)
+		_ = n
+	}
+
+	var tr transport.Transport
+	var err error
+	name := runtime.NodeName(types.NodeID(*id))
+	if *udp {
+		tr, err = udpnet.Listen(name, *listen, peerMap)
+	} else {
+		tr, err = tcpnet.Listen(name, *listen, peerMap)
+	}
+	if err != nil {
+		return err
+	}
+
+	ks := crypto.NewKeyStore([]byte(*secret), cluster.N, *maxClients)
+	cfg := core.Config{
+		Cluster: cluster,
+		Node:    types.NodeID(*id),
+		App:     app.NewKV(),
+		Monitoring: monitor.Config{
+			Period: *period,
+			Delta:  *delta,
+		},
+		BatchTimeout: 2 * time.Millisecond,
+	}
+	node := core.New(cfg, ks.NodeRing(types.NodeID(*id)))
+	nr := runtime.StartNode(node, tr, cluster)
+	log.Printf("rbft-node %d/%d listening on %s (f=%d, %d instances, transport=%s)",
+		*id, cluster.N, *listen, *f, cluster.Instances(), transportName(*udp))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	nr.Stop()
+	return nil
+}
+
+func transportName(udp bool) string {
+	if udp {
+		return "udp"
+	}
+	return "tcp"
+}

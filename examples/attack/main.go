@@ -1,0 +1,95 @@
+// attack: reproduce worst-attack-2 in the deterministic simulator and watch
+// RBFT's robustness mechanisms at work.
+//
+//	go run ./examples/attack
+//
+// The faulty node hosting the master primary throttles its instance to just
+// above the Δ detection threshold, floods the correct nodes, silences its
+// backup replicas and drops out of the PROPAGATE phase; colluding clients
+// flood the client NICs. The run reports the throughput loss (bounded to a
+// few percent, per the paper) and shows what happens when the attacker gets
+// greedy and throttles below Δ: an instance change evicts it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rbft/internal/core"
+	"rbft/internal/monitor"
+	"rbft/internal/pbft"
+	"rbft/internal/sim"
+	"rbft/internal/types"
+)
+
+const delta = 0.97
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func baseConfig(offered float64) sim.Config {
+	return sim.Config{
+		F:            1,
+		Cost:         sim.DefaultCostModel(),
+		Seed:         7,
+		BatchSize:    64,
+		BatchTimeout: 2 * time.Millisecond,
+		Monitoring: monitor.Config{
+			Period:      250 * time.Millisecond,
+			Delta:       delta,
+			MinRequests: 32,
+		},
+		Workload: sim.StaticLoad(10, offered/10, 8),
+		Warmup:   400 * time.Millisecond,
+	}
+}
+
+func withAttack(cfg sim.Config, throttleRate float64) sim.Config {
+	cfg.NodeBehavior = map[types.NodeID]core.Behavior{
+		0: { // node 0 hosts the master primary in view 0
+			DropPropagate: true,
+			Instance: map[types.InstanceID]pbft.Behavior{
+				types.MasterInstance: {ProposeRate: throttleRate},
+				1:                    {Silent: true},
+			},
+		},
+	}
+	cfg.Floods = []sim.Flood{
+		// Below the NIC-closure threshold (64 invalid msgs / 100ms): the
+		// attacker must keep its own primary's links open.
+		{From: 0, Targets: []types.NodeID{1, 2, 3}, Size: 8192, Rate: 500},
+		{FromClients: true, Targets: []types.NodeID{1, 2, 3}, Size: 4096, Rate: 2000},
+	}
+	return cfg
+}
+
+func run() error {
+	offered := 20000.0
+	dur := 3 * time.Second
+
+	fmt.Println("== fault-free reference ==")
+	ff := sim.New(baseConfig(offered)).Run(dur)
+	fmt.Printf("throughput %.0f req/s, avg latency %v\n\n", ff.Throughput, ff.AvgLatency.Round(time.Microsecond))
+
+	fmt.Println("== worst-attack-2: smart attacker (throttles to just above Delta) ==")
+	smart := sim.New(withAttack(baseConfig(offered), delta*1.01*offered)).Run(dur)
+	fmt.Printf("throughput %.0f req/s (%.1f%% of fault-free), instance changes: %d\n",
+		smart.Throughput, 100*smart.Throughput/ff.Throughput, len(smart.InstanceChanges))
+	fmt.Printf("the damage is bounded: the paper reports at most 3%% loss\n\n")
+
+	fmt.Println("== greedy attacker (throttles far below Delta) ==")
+	greedy := sim.New(withAttack(baseConfig(offered), 0.5*offered)).Run(dur)
+	fmt.Printf("throughput %.0f req/s (%.1f%% of fault-free), instance changes: %d\n",
+		greedy.Throughput, 100*greedy.Throughput/ff.Throughput, len(greedy.InstanceChanges))
+	if len(greedy.InstanceChanges) > 0 {
+		ic := greedy.InstanceChanges[0]
+		fmt.Printf("detected by node %d at %v (reason: %s): every instance view-changed, the\n",
+			ic.Node, ic.At.Sub(time.Unix(0, 0)).Round(time.Millisecond), ic.Reason)
+		fmt.Println("malicious primary lost the master instance, and throughput recovered.")
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module rbft
+
+go 1.22

@@ -1,0 +1,128 @@
+package app
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"rbft/internal/types"
+)
+
+func TestNullApp(t *testing.T) {
+	var n Null
+	if got := n.Execute(1, 2, []byte("anything")); string(got) != "ok" {
+		t.Fatalf("Null.Execute = %q", got)
+	}
+}
+
+func TestCounterAddsAndReplies(t *testing.T) {
+	c := NewCounter()
+	op := make([]byte, 8)
+	binary.BigEndian.PutUint64(op, 5)
+	out := c.Execute(1, 1, op)
+	if got := binary.BigEndian.Uint64(out); got != 5 {
+		t.Fatalf("result = %d, want 5", got)
+	}
+	c.Execute(1, 2, nil) // default +1
+	if got := c.Total(1); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+	if got := c.Total(9); got != 0 {
+		t.Fatalf("Total(unknown) = %d", got)
+	}
+}
+
+// TestCounterFingerprintOrderSensitive: the fingerprint must distinguish
+// execution orders — that is what the integration tests rely on to detect
+// divergent replicas.
+func TestCounterFingerprintOrderSensitive(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	a.Execute(1, 1, nil)
+	a.Execute(2, 1, nil)
+	b.Execute(2, 1, nil)
+	b.Execute(1, 1, nil)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different orders produced the same fingerprint")
+	}
+	// Same order, same fingerprint.
+	c, d := NewCounter(), NewCounter()
+	for i := 0; i < 10; i++ {
+		c.Execute(1, types.RequestID(i), nil)
+		d.Execute(1, types.RequestID(i), nil)
+	}
+	if c.Fingerprint() != d.Fingerprint() {
+		t.Fatal("identical orders produced different fingerprints")
+	}
+}
+
+func TestKVOperations(t *testing.T) {
+	kv := NewKV()
+	tests := []struct {
+		op   string
+		want string
+	}{
+		{"PUT k v", "OK"},
+		{"GET k", "v"},
+		{"PUT k2 with spaces", "with spaces"},
+		{"GET k2", "with spaces"},
+		{"DEL k", "OK"},
+		{"GET k", "NOT_FOUND"},
+		{"put lower case", "case"}, // case-insensitive verbs
+		{"GET lower", "case"},
+		{"PUT", "ERR usage: PUT key value"},
+		{"GET", "ERR usage: GET key"},
+		{"DEL", "ERR usage: DEL key"},
+		{"NOPE x", `ERR unknown op "NOPE"`},
+	}
+	for _, tt := range tests {
+		got := kv.Execute(1, 1, []byte(tt.op))
+		want := tt.want
+		if tt.op == "PUT k2 with spaces" {
+			want = "OK"
+		}
+		if tt.op == "put lower case" {
+			want = "OK"
+		}
+		if !bytes.Equal(got, []byte(want)) {
+			t.Errorf("Execute(%q) = %q, want %q", tt.op, got, want)
+		}
+	}
+	if kv.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (k2, lower)", kv.Len())
+	}
+}
+
+// TestKVDeterministic: identical op sequences produce identical stores
+// (required of a replicated application).
+func TestKVDeterministic(t *testing.T) {
+	prop := func(keys []string, vals []string) bool {
+		a, b := NewKV(), NewKV()
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			op := []byte("PUT " + sanitize(keys[i]) + " " + sanitize(vals[i]))
+			ra := a.Execute(1, types.RequestID(i), op)
+			rb := b.Execute(1, types.RequestID(i), op)
+			if !bytes.Equal(ra, rb) {
+				return false
+			}
+		}
+		return a.Len() == b.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(s string) string {
+	out := []byte("k")
+	for _, r := range s {
+		if r > ' ' && r < 127 {
+			out = append(out, byte(r))
+		}
+	}
+	return string(out)
+}

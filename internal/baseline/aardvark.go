@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"time"
+
+	"rbft/internal/sim"
+)
+
+// AardvarkConfig parameterises the Aardvark baseline (Clement et al., NSDI
+// 2009): PBFT with regular primary changes. A primary must deliver at least
+// 90% of the maximum throughput observed over the last N views; after a 5s
+// grace period the replicas ratchet the requirement up by 1% periodically
+// until the primary fails it, triggering a view change.
+//
+// The protocol's weakness (paper §III-B): the requirement is derived from
+// *observed history*, so a smart malicious primary orders at just above it.
+// Under a static saturating load the history tracks capacity and the damage
+// is bounded (the paper measured ≥76% relative throughput while the faulty
+// primary is in place, approaching 100% at large request sizes where the
+// network bounds both the observation and the attack). Under a dynamic load
+// the history is stale: when the 50-client spike arrives during a faulty
+// view, the primary keeps ordering at the requirement computed from the
+// pre-spike trickle — the paper measured throughput down to 13% of
+// fault-free (an 87% degradation, Table I).
+//
+// Following the paper's measurement, AttackFrom opens the attack window:
+// history accumulates fault-free before it, the malicious primary holds the
+// view from then on, and Result.WindowThroughput measures the damage.
+type AardvarkConfig struct {
+	F    int
+	Cost sim.CostModel
+
+	BatchSize    int
+	BatchTimeout time.Duration
+
+	// GracePeriod is the requirement-stable interval that also paces the
+	// history measurement windows (5s in the paper).
+	GracePeriod time.Duration
+	// RequiredFraction is the fraction of the historical maximum a primary
+	// must sustain (0.9 in the paper).
+	RequiredFraction float64
+	// HistoryViews is how many measurement windows feed the maximum.
+	HistoryViews int
+	// ViewChangePause is the ordering gap at each regular view change;
+	// fault-free Aardvark pays this periodically (disabling view changes
+	// made Aardvark match RBFT in the paper's measurements, §VI-B).
+	ViewChangePause time.Duration
+	// ViewLength is the fault-free interval between regular view changes
+	// (grace period plus the ratcheting ramp).
+	ViewLength time.Duration
+
+	// PerReqCPU is the fitted size-independent per-request bottleneck cost
+	// (client signature verification plus MAC work).
+	PerReqCPU time.Duration
+	// PayloadHashFactor and PayloadSerFactor scale the size-dependent
+	// per-request cost: Aardvark orders full requests, so the payload is
+	// MACed at several hops and crosses the primary NIC once per replica.
+	PayloadHashFactor float64
+	PayloadSerFactor  float64
+
+	// MeasurementSlackBase is the extra margin below the requirement the
+	// attacker exploits at small request sizes: replica throughput
+	// observation is noisy and the attacker hides inside the tolerance. It
+	// shrinks (to zero) as the request size grows and the network pins the
+	// observation to capacity — this reproduces figure 2's static curve
+	// rising from ~76% to ~100%.
+	MeasurementSlackBase float64
+
+	// Attack makes the primary malicious from AttackFrom on.
+	Attack bool
+	// AttackFrom is the attack-window start (default: a third into the
+	// run for static loads; the harness sets the spike start for dynamic
+	// loads). AttackUntil closes it (zero: end of run).
+	AttackFrom  time.Duration
+	AttackUntil time.Duration
+}
+
+func (c *AardvarkConfig) withDefaults() AardvarkConfig {
+	out := *c
+	if out.F == 0 {
+		out.F = 1
+	}
+	if out.Cost == (sim.CostModel{}) {
+		out.Cost = sim.DefaultCostModel()
+	}
+	if out.BatchSize == 0 {
+		out.BatchSize = 64
+	}
+	if out.BatchTimeout == 0 {
+		out.BatchTimeout = 2 * time.Millisecond
+	}
+	if out.GracePeriod == 0 {
+		out.GracePeriod = 5 * time.Second
+	}
+	if out.RequiredFraction == 0 {
+		out.RequiredFraction = 0.9
+	}
+	if out.HistoryViews == 0 {
+		out.HistoryViews = 3*out.F + 1
+	}
+	if out.ViewChangePause == 0 {
+		out.ViewChangePause = 300 * time.Millisecond
+	}
+	if out.ViewLength == 0 {
+		out.ViewLength = out.GracePeriod + time.Second
+	}
+	if out.PerReqCPU == 0 {
+		out.PerReqCPU = 26 * time.Microsecond
+	}
+	if out.PayloadHashFactor == 0 {
+		out.PayloadHashFactor = 18
+	}
+	if out.PayloadSerFactor == 0 {
+		out.PayloadSerFactor = 6
+	}
+	if out.MeasurementSlackBase == 0 {
+		out.MeasurementSlackBase = 0.15
+	}
+	return out
+}
+
+// aardvarkState tracks the throughput-history monitoring.
+type aardvarkState struct {
+	windowStart time.Duration
+	windowBase  int // Ordered at window start
+	history     []float64
+	required    float64
+	nextViewAt  time.Duration
+}
+
+// Aardvark runs the workload under the Aardvark protocol.
+func Aardvark(cfg AardvarkConfig, w Workload) Result {
+	c := cfg.withDefaults()
+	if c.AttackFrom == 0 {
+		// The measurement window (attacked or not) opens a third in, after
+		// the monitoring history has warmed up.
+		c.AttackFrom = w.Total() / 3
+	}
+	n := 3*c.F + 1
+
+	perBatch := func(b, size int) time.Duration {
+		perReq := c.PerReqCPU +
+			time.Duration(c.PayloadHashFactor*float64(c.Cost.Hash(size))) +
+			time.Duration(c.PayloadSerFactor*float64(c.Cost.Serialization(size)))
+		return time.Duration(b)*perReq + 3*(c.Cost.LinkLatency+c.Cost.TCPExtraLatency)
+	}
+
+	// slack is the observation tolerance the attacker exploits; it fades
+	// with request size.
+	sizeKB := float64(w.RequestSize) / 1024
+	slack := 1 - c.MeasurementSlackBase*(1-sizeKB/4)
+	if slack > 1 {
+		slack = 1
+	}
+
+	as := &aardvarkState{nextViewAt: c.ViewLength}
+
+	en := &engine{
+		cost:         c.Cost,
+		n:            n,
+		f:            c.F,
+		batchSize:    c.BatchSize,
+		batchTimeout: c.BatchTimeout,
+		perBatch:     perBatch,
+		pipeline:     4 * (c.Cost.LinkLatency + c.Cost.TCPExtraLatency),
+		attackFrom:   c.AttackFrom,
+		attackUntil:  c.AttackUntil,
+		attackDelay: func(st *engineState) time.Duration {
+			if !c.Attack || as.required <= 0 {
+				return 0
+			}
+			// Pace batches so the view's throughput sits at the lowest rate
+			// the monitoring tolerates.
+			targetRate := as.required * slack
+			if targetRate <= 0 {
+				return 0
+			}
+			b := int(st.Backlog)
+			if b > c.BatchSize {
+				b = c.BatchSize
+			}
+			if b == 0 {
+				b = 1
+			}
+			target := time.Duration(float64(b) / targetRate * float64(time.Second))
+			service := perBatch(b, st.Size)
+			if target > service {
+				return target - service
+			}
+			return 0
+		},
+		afterBatch: func(st *engineState, _ time.Duration) bool {
+			// Close a measurement window every GracePeriod while fault-free
+			// (the history the attacker must respect freezes at the attack
+			// window: the paper measures the first attacked views, before
+			// the depressed observations feed back).
+			frozen := c.Attack && st.InAttack
+			if !frozen && st.Now-as.windowStart >= c.GracePeriod {
+				elapsed := (st.Now - as.windowStart).Seconds()
+				tput := float64(st.Ordered-as.windowBase) / elapsed
+				as.history = append(as.history, tput)
+				if len(as.history) > c.HistoryViews {
+					as.history = as.history[len(as.history)-c.HistoryViews:]
+				}
+				max := 0.0
+				for _, h := range as.history {
+					if h > max {
+						max = h
+					}
+				}
+				as.required = c.RequiredFraction * max
+				as.windowStart = st.Now
+				as.windowBase = st.Ordered
+			}
+			// Regular view changes (fault-free cost; the malicious primary
+			// stays in place by construction of the measurement window).
+			if !frozen && st.Now >= as.nextViewAt {
+				as.nextViewAt = st.Now + c.ViewLength
+				st.View++
+				st.Backlog += st.Offered * c.ViewChangePause.Seconds()
+				st.Now += c.ViewChangePause
+				return true
+			}
+			return false
+		},
+	}
+	return en.run(w)
+}

@@ -1,0 +1,242 @@
+// Package baseline implements the three "robust" BFT protocols the RBFT
+// paper compares against — Prime, Aardvark and Spinning — at batch
+// granularity, each with its own primary-rotation and primary-monitoring
+// rules and the attack that defeats it (paper §III).
+//
+// Each protocol runs as a deterministic time-stepped simulation built on the
+// shared engine in this file: requests arrive according to a workload,
+// primaries order batches with service times derived from the cost model,
+// and the protocol's monitoring rules (Aardvark's 90%-of-max requirement,
+// Spinning's static Stimeout, Prime's RTT-derived bound) decide how far a
+// smart malicious primary can slow ordering without being caught.
+//
+// Attack accounting follows the paper's measurements: figures 1 and 2 report
+// the system's throughput while the malicious primary is in place relative
+// to the fault-free throughput over the same window, so the engine supports
+// an attack window (`attackFrom`): the run warms up fault-free (building the
+// monitoring history the attacker must respect), the attack engages at
+// attackFrom, and Result.WindowThroughput measures from there. Spinning's
+// attack is inherent to its per-batch rotation and runs for the whole
+// window as well.
+package baseline
+
+import (
+	"time"
+
+	"rbft/internal/sim"
+)
+
+// Phase is one workload segment with a fixed offered load.
+type Phase struct {
+	Duration time.Duration
+	// Offered is the total offered load in req/s.
+	Offered float64
+}
+
+// Workload is the offered-load profile of a run.
+type Workload struct {
+	RequestSize int
+	Phases      []Phase
+}
+
+// Static is the paper's static workload: constant saturating load.
+func Static(offered float64, size int, dur time.Duration) Workload {
+	return Workload{
+		RequestSize: size,
+		Phases:      []Phase{{Duration: dur, Offered: offered}},
+	}
+}
+
+// Dynamic is the paper's dynamic workload: ramp 1→10 clients, spike to 50,
+// ramp back down, expressed as offered load with perClient req/s per client.
+func Dynamic(perClient float64, size int, stepDur time.Duration) Workload {
+	counts := []int{1, 4, 7, 10, 50, 10, 7, 4, 1}
+	phases := make([]Phase, 0, len(counts))
+	for _, c := range counts {
+		phases = append(phases, Phase{Duration: stepDur, Offered: float64(c) * perClient})
+	}
+	return Workload{RequestSize: size, Phases: phases}
+}
+
+// SpikeStart returns when the dynamic workload's 50-client spike begins
+// (attacks are measured from there, the worst case the paper reports).
+func (w Workload) SpikeStart() time.Duration {
+	var at time.Duration
+	best := at
+	maxOffered := 0.0
+	for _, p := range w.Phases {
+		if p.Offered > maxOffered {
+			maxOffered = p.Offered
+			best = at
+		}
+		at += p.Duration
+	}
+	return best
+}
+
+// Total returns the workload's total duration.
+func (w Workload) Total() time.Duration {
+	var d time.Duration
+	for _, p := range w.Phases {
+		d += p.Duration
+	}
+	return d
+}
+
+// offeredAt returns the offered load at elapsed time t.
+func (w Workload) offeredAt(t time.Duration) float64 {
+	for _, p := range w.Phases {
+		if t < p.Duration {
+			return p.Offered
+		}
+		t -= p.Duration
+	}
+	if len(w.Phases) == 0 {
+		return 0
+	}
+	return w.Phases[len(w.Phases)-1].Offered
+}
+
+// Result summarises a baseline run.
+type Result struct {
+	// Ordered is the number of requests ordered and executed over the whole
+	// run.
+	Ordered int
+	// Throughput is Ordered divided by the run duration, req/s.
+	Throughput float64
+	// WindowThroughput is the throughput from the attack window start to the
+	// end of the run (equals Throughput when the window starts at zero).
+	WindowThroughput float64
+	// AvgLatency approximates client-observed latency (aggregation wait +
+	// queueing + pipeline) over the whole run.
+	AvgLatency time.Duration
+	// PrimaryChanges counts view/primary rotations during the run.
+	PrimaryChanges int
+}
+
+// engine is the shared batch-level simulation loop. Protocol behaviour is
+// injected through the hooks.
+type engine struct {
+	cost sim.CostModel
+	n, f int
+
+	batchSize    int
+	batchTimeout time.Duration
+
+	// perBatch returns the service time to order and execute a batch of b
+	// requests of the given size (primary-side bottleneck).
+	perBatch func(b, size int) time.Duration
+	// maxBatch optionally overrides batchSize per call (Prime's attack
+	// window); zero means batchSize.
+	maxBatch func(st *engineState) int
+	// pipeline is the fixed client→reply latency floor outside queueing.
+	pipeline time.Duration
+	// attackFrom/attackUntil bound the attack window (attackUntil zero
+	// means the end of the run).
+	attackFrom  time.Duration
+	attackUntil time.Duration
+	// attackDelay returns the extra delay the primary inserts before this
+	// batch; called only inside the attack window.
+	attackDelay func(st *engineState) time.Duration
+	// afterBatch lets the protocol update monitoring state and rotate the
+	// primary; return true if the primary changed.
+	afterBatch func(st *engineState, batchDur time.Duration) bool
+}
+
+// engineState is the mutable run state visible to protocol hooks.
+type engineState struct {
+	Now      time.Duration
+	Backlog  float64
+	View     int
+	Batch    int
+	Ordered  int
+	Offered  float64
+	Size     int
+	InAttack bool
+}
+
+// run executes the workload and returns the result.
+func (en *engine) run(w Workload) Result {
+	st := &engineState{Size: w.RequestSize}
+	total := w.Total()
+	var latSum time.Duration
+	var latCount int
+	changes := 0
+	windowOrdered := 0
+
+	until := en.attackUntil
+	if until == 0 {
+		until = total
+	}
+	for st.Now < total {
+		st.Offered = w.offeredAt(st.Now)
+		st.InAttack = st.Now >= en.attackFrom && st.Now < until
+		if st.Backlog < 1 {
+			if st.Offered <= 0 {
+				st.Now += time.Millisecond
+				continue
+			}
+			wait := time.Duration(float64(time.Second) / st.Offered)
+			st.Now += wait
+			st.Backlog++
+			continue
+		}
+		limit := en.batchSize
+		if en.maxBatch != nil {
+			if m := en.maxBatch(st); m > 0 {
+				limit = m
+			}
+		}
+		b := int(st.Backlog)
+		if b > limit {
+			b = limit
+		}
+		aggWait := time.Duration(0)
+		if b < limit && st.Offered > 0 {
+			aggWait = time.Duration(float64(en.batchTimeout) / 2)
+		}
+		service := en.perBatch(b, w.RequestSize)
+		delay := time.Duration(0)
+		if st.InAttack && en.attackDelay != nil {
+			delay = en.attackDelay(st)
+		}
+		batchDur := aggWait + service + delay
+
+		backlogBefore := st.Backlog
+		st.Now += batchDur
+		st.Backlog += st.Offered*batchDur.Seconds() - float64(b)
+		if st.Backlog < 0 {
+			st.Backlog = 0
+		}
+		st.Ordered += b
+		st.Batch++
+		if st.InAttack {
+			windowOrdered += b
+		}
+
+		// Latency ≈ pipeline floor + batch duration + queueing wait behind
+		// the backlog at the current service rate (Little's law).
+		rate := float64(b) / batchDur.Seconds()
+		queueWait := time.Duration(backlogBefore / rate * float64(time.Second))
+		latSum += time.Duration(b) * (en.pipeline + batchDur + queueWait)
+		latCount += b
+
+		if en.afterBatch != nil && en.afterBatch(st, batchDur) {
+			changes++
+		}
+	}
+
+	res := Result{Ordered: st.Ordered, PrimaryChanges: changes}
+	if total > 0 {
+		res.Throughput = float64(st.Ordered) / total.Seconds()
+	}
+	if window := until - en.attackFrom; window > 0 {
+		res.WindowThroughput = float64(windowOrdered) / window.Seconds()
+	} else {
+		res.WindowThroughput = res.Throughput
+	}
+	if latCount > 0 {
+		res.AvgLatency = latSum / time.Duration(latCount)
+	}
+	return res
+}

@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+)
+
+func staticW(size int) Workload  { return Static(500000, size, 30*time.Second) }
+func dynamicW(size int) Workload { return Dynamic(1000, size, 5*time.Second) }
+
+func TestSpinningFaultFreePeaks(t *testing.T) {
+	r8 := Spinning(SpinningConfig{}, staticW(8))
+	if r8.Throughput < 34000 || r8.Throughput > 50000 {
+		t.Fatalf("Spinning fault-free @8B = %.0f req/s, want ~42k (paper: +20%% over RBFT's 35k)", r8.Throughput)
+	}
+	r4k := Spinning(SpinningConfig{}, staticW(4096))
+	if r4k.Throughput < 5000 || r4k.Throughput > 8500 {
+		t.Fatalf("Spinning fault-free @4kB = %.0f req/s, want ~6.5k", r4k.Throughput)
+	}
+}
+
+func TestSpinningAttackCollapse(t *testing.T) {
+	ff := Spinning(SpinningConfig{}, staticW(8))
+	at := Spinning(SpinningConfig{Attack: true}, staticW(8))
+	rel := at.Throughput / ff.Throughput
+	if rel > 0.05 {
+		t.Fatalf("Spinning static attack relative throughput = %.1f%%, want ~1-4%%", 100*rel)
+	}
+	// The malicious primary stays just under Stimeout: never blacklisted, so
+	// rotation continues (PrimaryChanges > 0 both ways).
+	if at.PrimaryChanges == 0 {
+		t.Fatal("Spinning rotation stopped under attack")
+	}
+}
+
+func TestSpinningRotatesEveryBatch(t *testing.T) {
+	r := Spinning(SpinningConfig{}, Static(10000, 8, time.Second))
+	if r.PrimaryChanges == 0 || r.PrimaryChanges < r.Ordered/64 {
+		t.Fatalf("expected per-batch rotation, got %d changes for %d requests", r.PrimaryChanges, r.Ordered)
+	}
+}
+
+func TestAardvarkFaultFreePeaks(t *testing.T) {
+	r8 := Aardvark(AardvarkConfig{}, staticW(8))
+	if r8.Throughput < 25000 || r8.Throughput > 38000 {
+		t.Fatalf("Aardvark fault-free @8B = %.0f req/s, want ~31.6k", r8.Throughput)
+	}
+	r4k := Aardvark(AardvarkConfig{}, staticW(4096))
+	if r4k.Throughput < 1200 || r4k.Throughput > 2400 {
+		t.Fatalf("Aardvark fault-free @4kB = %.0f req/s, want ~1.7k", r4k.Throughput)
+	}
+	if r8.PrimaryChanges == 0 {
+		t.Fatal("Aardvark must perform regular view changes")
+	}
+}
+
+func TestAardvarkStaticAttackBounded(t *testing.T) {
+	w := staticW(8)
+	from := w.Total() / 3
+	ff := Aardvark(AardvarkConfig{AttackFrom: from}, w)
+	at := Aardvark(AardvarkConfig{Attack: true, AttackFrom: from}, w)
+	rel := at.WindowThroughput / ff.WindowThroughput
+	if rel < 0.70 || rel > 0.95 {
+		t.Fatalf("Aardvark static attack relative = %.1f%%, want ~76-90%%", 100*rel)
+	}
+}
+
+func TestAardvarkDynamicAttackSevere(t *testing.T) {
+	w := dynamicW(8)
+	spike := w.SpikeStart()
+	until := spike + 5*time.Second
+	ff := Aardvark(AardvarkConfig{AttackFrom: spike, AttackUntil: until}, w)
+	at := Aardvark(AardvarkConfig{Attack: true, AttackFrom: spike, AttackUntil: until}, w)
+	rel := at.WindowThroughput / ff.WindowThroughput
+	if rel > 0.35 {
+		t.Fatalf("Aardvark dynamic attack relative = %.1f%%, want ~13-25%% (stale history exploit)", 100*rel)
+	}
+	if rel < 0.05 {
+		t.Fatalf("Aardvark dynamic attack relative = %.1f%%, implausibly low", 100*rel)
+	}
+}
+
+func TestPrimeFaultFree(t *testing.T) {
+	r8 := Prime(PrimeConfig{}, staticW(8))
+	if r8.Throughput < 9000 || r8.Throughput > 16000 {
+		t.Fatalf("Prime fault-free @8B = %.0f req/s, want ~12.4k (35k/2.83)", r8.Throughput)
+	}
+	// Prime's latency is an order of magnitude above the others.
+	low := Prime(PrimeConfig{}, Static(1000, 8, 10*time.Second))
+	if low.AvgLatency < 8*time.Millisecond {
+		t.Fatalf("Prime low-load latency = %v, want >= 8ms (periodic ordering)", low.AvgLatency)
+	}
+}
+
+func TestPrimeAttack(t *testing.T) {
+	w := staticW(8)
+	from := w.Total() / 3
+	ff := Prime(PrimeConfig{AttackFrom: from}, w)
+	at := Prime(PrimeConfig{Attack: true, AttackFrom: from}, w)
+	rel := at.WindowThroughput / ff.WindowThroughput
+	if rel < 0.10 || rel > 0.40 {
+		t.Fatalf("Prime static attack relative = %.1f%%, want ~22%%", 100*rel)
+	}
+	// At 4kB the ratio is higher (figure 1's rising curve).
+	w4 := staticW(4096)
+	from4 := w4.Total() / 3
+	ff4 := Prime(PrimeConfig{AttackFrom: from4}, w4)
+	at4 := Prime(PrimeConfig{Attack: true, AttackFrom: from4}, w4)
+	rel4 := at4.WindowThroughput / ff4.WindowThroughput
+	if rel4 <= rel {
+		t.Fatalf("Prime attack relative must rise with size: %.1f%% @8B vs %.1f%% @4kB", 100*rel, 100*rel4)
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	w := Dynamic(1000, 8, time.Second)
+	if got := w.Total(); got != 9*time.Second {
+		t.Fatalf("Total() = %v, want 9s", got)
+	}
+	if got := w.SpikeStart(); got != 4*time.Second {
+		t.Fatalf("SpikeStart() = %v, want 4s", got)
+	}
+	if got := w.offeredAt(4500 * time.Millisecond); got != 50000 {
+		t.Fatalf("offeredAt(spike) = %v, want 50000", got)
+	}
+	if got := w.offeredAt(20 * time.Second); got != 1000 {
+		t.Fatalf("offeredAt(past end) = %v, want last phase", got)
+	}
+	var empty Workload
+	if got := empty.offeredAt(0); got != 0 {
+		t.Fatalf("empty workload offeredAt = %v", got)
+	}
+}

@@ -1,0 +1,159 @@
+// Package client implements the RBFT client: it signs requests, wraps them
+// in MAC authenticators, sends them to every node (open loop — multiple
+// requests may be in flight), accepts a result once f+1 valid matching
+// REPLY messages arrive, and retransmits on timeout.
+package client
+
+import (
+	"time"
+
+	"rbft/internal/crypto"
+	"rbft/internal/message"
+	"rbft/internal/types"
+)
+
+// Config parameterises a client.
+type Config struct {
+	// Cluster is the 3f+1 cluster configuration.
+	Cluster types.Config
+	// ID is this client's identity.
+	ID types.ClientID
+	// RetransmitTimeout is how long to wait for f+1 matching replies before
+	// resending the request to all nodes. Zero disables retransmission.
+	RetransmitTimeout time.Duration
+}
+
+// Completed describes an accepted request result.
+type Completed struct {
+	ID      types.RequestID
+	Result  []byte
+	Latency time.Duration
+}
+
+// pending tracks one in-flight request.
+type pending struct {
+	req      *message.Request
+	sentAt   time.Time
+	deadline time.Time
+	// replies counts nodes per result fingerprint.
+	replies map[string]map[types.NodeID]bool
+	result  map[string][]byte
+}
+
+// Client is an open-loop RBFT client. Not safe for concurrent use; drivers
+// serialise access.
+type Client struct {
+	cfg  Config
+	keys *crypto.KeyRing
+
+	nextID  types.RequestID
+	pending map[types.RequestID]*pending
+}
+
+// New creates a client with its key ring.
+func New(cfg Config, keys *crypto.KeyRing) *Client {
+	return &Client{
+		cfg:     cfg,
+		keys:    keys,
+		nextID:  1,
+		pending: make(map[types.RequestID]*pending),
+	}
+}
+
+// ID returns the client's identity.
+func (c *Client) ID() types.ClientID { return c.cfg.ID }
+
+// Pending returns the number of in-flight requests.
+func (c *Client) Pending() int { return len(c.pending) }
+
+// NewRequest builds, signs and registers a request for operation op. The
+// caller transmits the returned message to every node.
+func (c *Client) NewRequest(op []byte, now time.Time) *message.Request {
+	req := &message.Request{Client: c.cfg.ID, ID: c.nextID, Op: op}
+	c.nextID++
+	req.Sig = c.keys.Sign(req.SignedBody())
+	req.Auth = c.authForNodes(req)
+	p := &pending{
+		req:     req,
+		sentAt:  now,
+		replies: make(map[string]map[types.NodeID]bool),
+		result:  make(map[string][]byte),
+	}
+	if c.cfg.RetransmitTimeout > 0 {
+		p.deadline = now.Add(c.cfg.RetransmitTimeout)
+	}
+	c.pending[req.ID] = p
+	return req
+}
+
+// authForNodes builds the client's MAC authenticator over the request body.
+// Clients index authenticator entries by node id, like nodes do.
+func (c *Client) authForNodes(req *message.Request) crypto.Authenticator {
+	body := req.Body()
+	auth := make(crypto.Authenticator, c.cfg.Cluster.N)
+	for i := 0; i < c.cfg.Cluster.N; i++ {
+		auth[i] = c.keys.MACForNode(types.NodeID(i), body)
+	}
+	return auth
+}
+
+// OnReply processes a REPLY from a node. It returns the completed request
+// once f+1 valid matching replies from distinct nodes have arrived.
+func (c *Client) OnReply(rep *message.Reply, from types.NodeID, now time.Time) (Completed, bool) {
+	if rep.Client != c.cfg.ID || rep.Node != from {
+		return Completed{}, false
+	}
+	p, ok := c.pending[rep.ID]
+	if !ok {
+		return Completed{}, false // duplicate or unknown
+	}
+	if err := c.keys.VerifyNodeMAC(from, rep.Body(), rep.MAC); err != nil {
+		return Completed{}, false
+	}
+	key := string(rep.Result)
+	nodes := p.replies[key]
+	if nodes == nil {
+		nodes = make(map[types.NodeID]bool, c.cfg.Cluster.WeakQuorum())
+		p.replies[key] = nodes
+		p.result[key] = rep.Result
+	}
+	nodes[from] = true
+	if len(nodes) < c.cfg.Cluster.WeakQuorum() {
+		return Completed{}, false
+	}
+	delete(c.pending, rep.ID)
+	return Completed{
+		ID:      rep.ID,
+		Result:  p.result[key],
+		Latency: now.Sub(p.sentAt),
+	}, true
+}
+
+// NextWake returns the earliest retransmission deadline, or zero.
+func (c *Client) NextWake() time.Time {
+	var wake time.Time
+	for _, p := range c.pending {
+		if p.deadline.IsZero() {
+			continue
+		}
+		if wake.IsZero() || p.deadline.Before(wake) {
+			wake = p.deadline
+		}
+	}
+	return wake
+}
+
+// Tick returns the requests due for retransmission to all nodes.
+func (c *Client) Tick(now time.Time) []*message.Request {
+	if c.cfg.RetransmitTimeout == 0 {
+		return nil
+	}
+	var resend []*message.Request
+	for _, p := range c.pending {
+		if !p.deadline.IsZero() && !now.Before(p.deadline) {
+			p.deadline = now.Add(c.cfg.RetransmitTimeout)
+			resend = append(resend, p.req)
+		}
+	}
+	return resend
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rbft/internal/app"
+	"rbft/internal/client"
+	"rbft/internal/crypto"
+	"rbft/internal/message"
+	"rbft/internal/pbft"
+	"rbft/internal/types"
+)
+
+// nodeCluster wires N core.Nodes and a set of clients through an in-memory
+// queue under a virtual clock. Used by the node-level tests; the full-fidelity
+// driver with network and CPU cost models lives in internal/sim.
+type nodeCluster struct {
+	t       *testing.T
+	cfg     types.Config
+	ks      *crypto.KeyStore
+	nodes   []*Node
+	apps    []*app.Counter
+	clients map[types.ClientID]*client.Client
+
+	queue     []clusterEvent
+	now       time.Time
+	completed map[types.ClientID][]client.Completed
+	executed  map[types.NodeID][]types.RequestRef
+	icEvents  []ICEvent
+	// linkDown[from][to] drops node-to-node traffic.
+	linkDown map[types.NodeID]map[types.NodeID]bool
+}
+
+type clusterEvent struct {
+	// Exactly one of toNode/toClient delivery shapes is used.
+	fromNode   types.NodeID
+	fromClient types.ClientID
+	isClient   bool // origin is a client
+	toNode     types.NodeID
+	toClient   types.ClientID
+	nodeDst    bool
+	msg        message.Message
+}
+
+func newNodeCluster(t *testing.T, f int, tweak func(*Config)) *nodeCluster {
+	t.Helper()
+	cfg := types.NewConfig(f)
+	nc := &nodeCluster{
+		t:         t,
+		cfg:       cfg,
+		ks:        crypto.NewKeyStore([]byte("core-test"), cfg.N, 16),
+		now:       time.Unix(0, 0),
+		clients:   make(map[types.ClientID]*client.Client),
+		completed: make(map[types.ClientID][]client.Completed),
+		executed:  make(map[types.NodeID][]types.RequestRef),
+		linkDown:  make(map[types.NodeID]map[types.NodeID]bool),
+	}
+	for i := 0; i < cfg.N; i++ {
+		counter := app.NewCounter()
+		c := Config{
+			Cluster:      cfg,
+			Node:         types.NodeID(i),
+			App:          counter,
+			BatchSize:    8,
+			BatchTimeout: time.Millisecond,
+		}
+		c.Monitoring.Period = 50 * time.Millisecond
+		c.Monitoring.Delta = 0.5
+		c.Monitoring.MinRequests = 5
+		if tweak != nil {
+			tweak(&c)
+		}
+		nc.apps = append(nc.apps, counter)
+		nc.nodes = append(nc.nodes, New(c, nc.ks.NodeRing(types.NodeID(i))))
+	}
+	return nc
+}
+
+func (nc *nodeCluster) client(id types.ClientID) *client.Client {
+	cl := nc.clients[id]
+	if cl == nil {
+		cl = client.New(client.Config{Cluster: nc.cfg, ID: id}, nc.ks.ClientRing(id))
+		nc.clients[id] = cl
+	}
+	return cl
+}
+
+// sendRequest has client id send op to all nodes (or only the given subset).
+func (nc *nodeCluster) sendRequest(id types.ClientID, op []byte, onlyTo ...types.NodeID) *message.Request {
+	cl := nc.client(id)
+	req := cl.NewRequest(op, nc.now)
+	targets := onlyTo
+	if len(targets) == 0 {
+		targets = nc.cfg.AllNodes()
+	}
+	for _, n := range targets {
+		nc.queue = append(nc.queue, clusterEvent{
+			isClient: true, fromClient: id, toNode: n, nodeDst: true, msg: req,
+		})
+	}
+	return req
+}
+
+func (nc *nodeCluster) collect(from types.NodeID, out Output) {
+	nc.icEvents = append(nc.icEvents, out.InstanceChanges...)
+	for _, ex := range out.Executions {
+		nc.executed[from] = append(nc.executed[from], ex.Ref)
+	}
+	for _, cm := range out.ClientMsgs {
+		nc.queue = append(nc.queue, clusterEvent{fromNode: from, toClient: cm.To, msg: cm.Msg})
+	}
+	for _, nm := range out.NodeMsgs {
+		targets := nm.To
+		if targets == nil {
+			for i := 0; i < nc.cfg.N; i++ {
+				if types.NodeID(i) != from {
+					targets = append(targets, types.NodeID(i))
+				}
+			}
+		}
+		for _, to := range targets {
+			if nc.linkDown[from][to] {
+				continue
+			}
+			nc.queue = append(nc.queue, clusterEvent{fromNode: from, toNode: to, nodeDst: true, msg: nm.Msg})
+		}
+	}
+}
+
+// runFor advances the virtual clock by d, delivering messages and firing
+// timers.
+func (nc *nodeCluster) runFor(d time.Duration) {
+	nc.t.Helper()
+	end := nc.now.Add(d)
+	for steps := 0; ; steps++ {
+		if steps > 5_000_000 {
+			nc.t.Fatal("nodeCluster.runFor: runaway event loop")
+		}
+		if len(nc.queue) > 0 {
+			ev := nc.queue[0]
+			nc.queue = nc.queue[1:]
+			nc.deliver(ev)
+			continue
+		}
+		var wake time.Time
+		consider := func(w time.Time) {
+			if w.IsZero() {
+				return
+			}
+			if wake.IsZero() || w.Before(wake) {
+				wake = w
+			}
+		}
+		for _, n := range nc.nodes {
+			consider(n.NextWake())
+		}
+		for _, cl := range nc.clients {
+			consider(cl.NextWake())
+		}
+		if wake.IsZero() || wake.After(end) {
+			nc.now = end
+			return
+		}
+		if wake.After(nc.now) {
+			nc.now = wake
+		}
+		for i, n := range nc.nodes {
+			w := n.NextWake()
+			if !w.IsZero() && !nc.now.Before(w) {
+				nc.collect(types.NodeID(i), n.Tick(nc.now))
+			}
+		}
+		for id, cl := range nc.clients {
+			w := cl.NextWake()
+			if !w.IsZero() && !nc.now.Before(w) {
+				for _, req := range cl.Tick(nc.now) {
+					for _, n := range nc.cfg.AllNodes() {
+						nc.queue = append(nc.queue, clusterEvent{
+							isClient: true, fromClient: id, toNode: n, nodeDst: true, msg: req,
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+func (nc *nodeCluster) deliver(ev clusterEvent) {
+	if ev.nodeDst {
+		node := nc.nodes[ev.toNode]
+		if ev.isClient {
+			req, ok := ev.msg.(*message.Request)
+			if !ok {
+				nc.t.Fatalf("client sent %T", ev.msg)
+			}
+			nc.collect(ev.toNode, node.OnClientRequest(req, nc.now))
+			return
+		}
+		nc.collect(ev.toNode, node.OnNodeMessage(ev.msg, ev.fromNode, nc.now))
+		return
+	}
+	// To a client.
+	cl := nc.clients[ev.toClient]
+	if cl == nil {
+		return
+	}
+	rep, ok := ev.msg.(*message.Reply)
+	if !ok {
+		return
+	}
+	if done, ok := cl.OnReply(rep, ev.fromNode, nc.now); ok {
+		nc.completed[ev.toClient] = append(nc.completed[ev.toClient], done)
+	}
+}
+
+func sameRefs(a, b []types.RequestRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEndToEndExecution(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	for i := 0; i < 20; i++ {
+		nc.sendRequest(1, []byte{0, 0, 0, 0, 0, 0, 0, 2}) // +2 each
+	}
+	nc.runFor(200 * time.Millisecond)
+
+	if got := len(nc.completed[1]); got != 20 {
+		t.Fatalf("client completed %d requests, want 20", got)
+	}
+	for i := 1; i < nc.cfg.N; i++ {
+		if nc.apps[i].Fingerprint() != nc.apps[0].Fingerprint() {
+			t.Fatalf("node %d execution fingerprint differs", i)
+		}
+		if !sameRefs(nc.executed[0], nc.executed[types.NodeID(i)]) {
+			t.Fatalf("node %d executed different sequence", i)
+		}
+	}
+	if total := nc.apps[0].Total(1); total != 40 {
+		t.Fatalf("counter total = %d, want 40", total)
+	}
+}
+
+func TestRequestToSingleNodeStillExecutes(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	// The client sends only to node 2: PROPAGATE must spread it.
+	nc.sendRequest(1, nil, 2)
+	nc.runFor(100 * time.Millisecond)
+	for i := 0; i < nc.cfg.N; i++ {
+		if got := len(nc.executed[types.NodeID(i)]); got != 1 {
+			t.Fatalf("node %d executed %d requests, want 1 (propagation)", i, got)
+		}
+	}
+	if got := len(nc.completed[1]); got != 1 {
+		t.Fatalf("client completed %d, want 1", got)
+	}
+}
+
+func TestInvalidSignatureBlacklistsClient(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	cl := nc.client(1)
+	req := cl.NewRequest([]byte("x"), nc.now)
+	req.Sig[0] ^= 0xff // corrupt the signature, then re-MAC so MAC passes
+	ring := nc.ks.ClientRing(1)
+	body := req.Body()
+	for i := range req.Auth {
+		req.Auth[i] = ring.MACForNode(types.NodeID(i), body)
+	}
+	for _, n := range nc.cfg.AllNodes() {
+		nc.queue = append(nc.queue, clusterEvent{isClient: true, fromClient: 1, toNode: n, nodeDst: true, msg: req})
+	}
+	nc.runFor(50 * time.Millisecond)
+	if got := len(nc.executed[0]); got != 0 {
+		t.Fatalf("executed %d forged requests", got)
+	}
+	// Subsequent valid requests from the blacklisted client are ignored.
+	nc.sendRequest(1, []byte("y"))
+	nc.runFor(50 * time.Millisecond)
+	if got := len(nc.executed[0]); got != 0 {
+		t.Fatalf("blacklisted client got %d requests executed", got)
+	}
+	// Another client is unaffected.
+	nc.sendRequest(2, []byte("z"))
+	nc.runFor(50 * time.Millisecond)
+	if got := len(nc.executed[0]); got != 1 {
+		t.Fatalf("innocent client executed %d, want 1", got)
+	}
+}
+
+func TestBadMACDropped(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	cl := nc.client(1)
+	req := cl.NewRequest([]byte("x"), nc.now)
+	for i := range req.Auth {
+		req.Auth[i][0] ^= 0xff
+	}
+	for _, n := range nc.cfg.AllNodes() {
+		nc.queue = append(nc.queue, clusterEvent{isClient: true, fromClient: 1, toNode: n, nodeDst: true, msg: req})
+	}
+	nc.runFor(50 * time.Millisecond)
+	if got := len(nc.executed[0]); got != 0 {
+		t.Fatalf("executed %d requests with bad MACs", got)
+	}
+	// Bad MAC must not blacklist (it could be a network fault, and MACs do
+	// not prove client origin to third parties).
+	nc.sendRequest(1, []byte("y"))
+	nc.runFor(50 * time.Millisecond)
+	if got := len(nc.executed[0]); got != 1 {
+		t.Fatalf("client wrongly blacklisted after MAC failure: executed %d", got)
+	}
+}
+
+func TestRetransmissionGetsCachedReply(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	req := nc.sendRequest(1, []byte{0, 0, 0, 0, 0, 0, 0, 5})
+	nc.runFor(100 * time.Millisecond)
+	if got := len(nc.completed[1]); got != 1 {
+		t.Fatalf("completed %d, want 1", got)
+	}
+	// Deliver the same request again: nodes must reply from cache without
+	// re-executing.
+	before := nc.apps[0].Total(1)
+	out := nc.nodes[0].OnClientRequest(req, nc.now)
+	if len(out.ClientMsgs) != 1 {
+		t.Fatalf("retransmission produced %d client messages, want 1 cached reply", len(out.ClientMsgs))
+	}
+	if nc.apps[0].Total(1) != before {
+		t.Fatal("retransmission re-executed the request")
+	}
+}
+
+func TestSilentMasterPrimaryTriggersInstanceChange(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	masterPrimary := nc.nodes[0].MasterPrimary()
+	nc.nodes[masterPrimary].SetBehavior(Behavior{
+		Instance: map[types.InstanceID]pbft.Behavior{
+			types.MasterInstance: {Silent: true},
+		},
+	})
+	oldView := nc.nodes[0].View()
+
+	// Sustained load so the monitor sees backup progress.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 10; i++ {
+			nc.sendRequest(1, nil)
+		}
+		nc.runFor(60 * time.Millisecond)
+	}
+
+	if len(nc.icEvents) == 0 {
+		t.Fatal("no instance change despite a silent master primary")
+	}
+	for i, n := range nc.nodes {
+		if types.NodeID(i) == masterPrimary {
+			continue
+		}
+		if n.View() == oldView {
+			t.Fatalf("node %d still in view %d", i, oldView)
+		}
+		if n.MasterPrimary() == masterPrimary {
+			t.Fatalf("master primary did not move off node %d", masterPrimary)
+		}
+	}
+	// Liveness restored: all sent requests eventually execute on correct
+	// nodes.
+	nc.runFor(300 * time.Millisecond)
+	correct := types.NodeID(0)
+	if correct == masterPrimary {
+		correct = 1
+	}
+	if got := len(nc.executed[correct]); got != 100 {
+		t.Fatalf("executed %d of 100 requests after instance change", got)
+	}
+	if got := len(nc.completed[1]); got != 100 {
+		t.Fatalf("client completed %d of 100", got)
+	}
+}
+
+func TestInstanceChangeNeedsQuorum(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	// A single node voting must not change the view.
+	out := nc.nodes[0].voteInstanceChange(0, nc.now)
+	nc.collect(0, out)
+	nc.runFor(20 * time.Millisecond)
+	for i, n := range nc.nodes {
+		if n.View() != 0 {
+			t.Fatalf("node %d moved to view %d on a single vote", i, n.View())
+		}
+	}
+}
+
+func TestFloodingPeerGetsNICClosed(t *testing.T) {
+	nc := newNodeCluster(t, 1, func(c *Config) {
+		c.FloodThreshold = 10
+		c.FloodWindow = time.Second
+		c.NICClosePeriod = time.Second
+	})
+	attacker := types.NodeID(3)
+	var closed bool
+	for i := 0; i < 10; i++ {
+		out := nc.nodes[0].OnNodeMessage(&message.Invalid{Node: attacker, Padding: make([]byte, 64)}, attacker, nc.now)
+		if len(out.NICCloses) > 0 {
+			closed = true
+			if out.NICCloses[0].Peer != attacker {
+				t.Fatalf("closed NIC of %d, want %d", out.NICCloses[0].Peer, attacker)
+			}
+		}
+	}
+	if !closed {
+		t.Fatal("flood did not close the attacker's NIC")
+	}
+	// While closed, even valid-looking traffic from the attacker is dropped
+	// without processing.
+	out := nc.nodes[0].OnNodeMessage(&message.Invalid{Node: attacker}, attacker, nc.now)
+	if len(out.NICCloses) != 0 || len(out.NodeMsgs) != 0 {
+		t.Fatal("traffic processed during NIC closure")
+	}
+}
+
+func TestOpenLoopParallelRequests(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	// Two clients, interleaved bursts, no waiting between requests.
+	for i := 0; i < 30; i++ {
+		nc.sendRequest(1, nil)
+		nc.sendRequest(2, nil)
+	}
+	nc.runFor(300 * time.Millisecond)
+	if got := len(nc.completed[1]); got != 30 {
+		t.Fatalf("client 1 completed %d, want 30", got)
+	}
+	if got := len(nc.completed[2]); got != 30 {
+		t.Fatalf("client 2 completed %d, want 30", got)
+	}
+	for i := 1; i < nc.cfg.N; i++ {
+		if !sameRefs(nc.executed[0], nc.executed[types.NodeID(i)]) {
+			t.Fatalf("node %d executed different sequence", i)
+		}
+	}
+}
+
+func TestF2EndToEnd(t *testing.T) {
+	nc := newNodeCluster(t, 2, nil)
+	for i := 0; i < 10; i++ {
+		nc.sendRequest(1, nil)
+	}
+	nc.runFor(200 * time.Millisecond)
+	if got := len(nc.completed[1]); got != 10 {
+		t.Fatalf("completed %d, want 10", got)
+	}
+	for i := 1; i < nc.cfg.N; i++ {
+		if !sameRefs(nc.executed[0], nc.executed[types.NodeID(i)]) {
+			t.Fatalf("node %d executed different sequence", i)
+		}
+	}
+}

@@ -1,0 +1,659 @@
+// Package core implements the RBFT node: the Verification, Propagation,
+// Dispatch & Monitoring and Execution modules from the paper, the f+1 local
+// protocol-instance replicas, and the protocol instance change mechanism.
+//
+// Like the pbft package, a Node is a pure state machine driven by a runtime:
+// inputs are client requests, node-to-node messages and timer ticks; outputs
+// are messages to send, executed requests, replies, instance-change events
+// and NIC closures. The discrete-event simulator and the real-time TCP/UDP
+// runtime both drive the same Node code.
+package core
+
+import (
+	"time"
+
+	"rbft/internal/app"
+	"rbft/internal/crypto"
+	"rbft/internal/message"
+	"rbft/internal/monitor"
+	"rbft/internal/pbft"
+	"rbft/internal/types"
+)
+
+// Config parameterises an RBFT node.
+type Config struct {
+	// Cluster is the 3f+1 cluster configuration.
+	Cluster types.Config
+	// Node is this node's identity.
+	Node types.NodeID
+	// App is the replicated application; nil means app.Null.
+	App app.Application
+
+	// BatchSize, BatchTimeout, CheckpointInterval and WatermarkWindow are
+	// passed to every protocol-instance replica.
+	BatchSize          int
+	BatchTimeout       time.Duration
+	CheckpointInterval types.SeqNum
+	WatermarkWindow    types.SeqNum
+
+	// Monitoring carries the Δ/Λ/Ω monitoring parameters. Instances is
+	// filled in from the cluster configuration.
+	Monitoring monitor.Config
+
+	// ReplyCacheSize bounds the per-client reply cache.
+	ReplyCacheSize int
+
+	// FloodThreshold is the number of invalid messages from one peer within
+	// FloodWindow that triggers closing that peer's NIC for NICClosePeriod.
+	FloodThreshold int
+	// FloodWindow is the flood-detection window.
+	FloodWindow time.Duration
+	// NICClosePeriod is how long a flooding peer's NIC stays closed.
+	NICClosePeriod time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.App == nil {
+		out.App = app.Null{}
+	}
+	if out.ReplyCacheSize == 0 {
+		out.ReplyCacheSize = 256
+	}
+	if out.FloodThreshold == 0 {
+		out.FloodThreshold = 64
+	}
+	if out.FloodWindow == 0 {
+		out.FloodWindow = 100 * time.Millisecond
+	}
+	if out.NICClosePeriod == 0 {
+		out.NICClosePeriod = time.Second
+	}
+	out.Monitoring.Instances = out.Cluster.Instances()
+	return out
+}
+
+// Behavior injects node-level Byzantine behaviour for attack experiments.
+// The zero value is a correct node.
+type Behavior struct {
+	// Silent drops every input without producing output (a crashed node).
+	Silent bool
+	// DropPropagate makes the node not participate in the PROPAGATE phase
+	// (worst-attack-2 step ii).
+	DropPropagate bool
+	// Instance installs per-instance replica behaviour, e.g. a delaying
+	// primary or silent replicas of specific instances.
+	Instance map[types.InstanceID]pbft.Behavior
+}
+
+// NodeSend is a message to other nodes. A nil To means every other node.
+type NodeSend struct {
+	To  []types.NodeID
+	Msg message.Message
+}
+
+// ClientSend is a message to a client.
+type ClientSend struct {
+	To  types.ClientID
+	Msg message.Message
+}
+
+// Execution reports a request executed by the master instance on this node.
+type Execution struct {
+	Ref    types.RequestRef
+	Result []byte
+}
+
+// ICEvent reports a completed protocol instance change.
+type ICEvent struct {
+	CPI     uint64
+	NewView types.View
+	Reason  monitor.Reason
+}
+
+// NICClose instructs the driver to drop traffic from a flooding peer until
+// the deadline.
+type NICClose struct {
+	Peer  types.NodeID
+	Until time.Time
+}
+
+// Output aggregates the effects of one node input.
+type Output struct {
+	NodeMsgs        []NodeSend
+	ClientMsgs      []ClientSend
+	Executions      []Execution
+	InstanceChanges []ICEvent
+	NICCloses       []NICClose
+	// OrderedByInstance counts refs delivered per instance in this step
+	// (index = instance id); used by harnesses to sample monitoring data.
+	OrderedByInstance []int
+}
+
+func (o *Output) merge(other Output) {
+	o.NodeMsgs = append(o.NodeMsgs, other.NodeMsgs...)
+	o.ClientMsgs = append(o.ClientMsgs, other.ClientMsgs...)
+	o.Executions = append(o.Executions, other.Executions...)
+	o.InstanceChanges = append(o.InstanceChanges, other.InstanceChanges...)
+	o.NICCloses = append(o.NICCloses, other.NICCloses...)
+	if other.OrderedByInstance != nil {
+		if o.OrderedByInstance == nil {
+			o.OrderedByInstance = make([]int, len(other.OrderedByInstance))
+		}
+		for i, n := range other.OrderedByInstance {
+			o.OrderedByInstance[i] += n
+		}
+	}
+}
+
+// cachedReply is one reply-cache slot.
+type cachedReply struct {
+	id     types.RequestID
+	result []byte
+}
+
+// clientState tracks per-client verification and reply state.
+type clientState struct {
+	blacklisted bool
+	replies     []cachedReply // most recent last
+	// pendingBodies bounds the per-client stored request bodies, limiting
+	// the memory an equivocating client can pin.
+	pendingBodies int
+}
+
+// Node is one RBFT node. Not safe for concurrent use; drivers serialise
+// access.
+type Node struct {
+	cfg      Config
+	behavior Behavior
+	keys     *crypto.KeyRing
+
+	replicas []*pbft.Instance
+	mon      *monitor.Monitor
+
+	view types.View
+	cpi  uint64
+
+	// Propagation module state. Bodies are keyed by the full request ref
+	// (digest included): an equivocating client may sign several bodies
+	// under one request id, and execution must pick the same one on every
+	// node — the first master-ordered ref.
+	bodies     map[types.RequestRef]*message.Request
+	byKey      map[types.RequestKey][]types.RequestRef
+	propagates map[types.RequestRef]map[types.NodeID]bool
+	dispatched map[types.RequestRef]bool
+
+	// Execution module state.
+	executed map[types.RequestKey]bool
+	clients  map[types.ClientID]*clientState
+
+	// Instance-change state.
+	icVotes     map[uint64]map[types.NodeID]bool
+	lastSuspect monitor.Verdict
+
+	// Flood defence.
+	floodCounts map[types.NodeID]int
+	floodStart  time.Time
+	closedUntil map[types.NodeID]time.Time
+}
+
+// New creates an RBFT node. keys must be the node's own key ring.
+func New(cfg Config, keys *crypto.KeyRing) *Node {
+	c := cfg.withDefaults()
+	n := &Node{
+		cfg:         c,
+		keys:        keys,
+		mon:         monitor.New(c.Monitoring),
+		bodies:      make(map[types.RequestRef]*message.Request),
+		byKey:       make(map[types.RequestKey][]types.RequestRef),
+		propagates:  make(map[types.RequestRef]map[types.NodeID]bool),
+		dispatched:  make(map[types.RequestRef]bool),
+		executed:    make(map[types.RequestKey]bool),
+		clients:     make(map[types.ClientID]*clientState),
+		icVotes:     make(map[uint64]map[types.NodeID]bool),
+		floodCounts: make(map[types.NodeID]int),
+		closedUntil: make(map[types.NodeID]time.Time),
+	}
+	for i := 0; i < c.Cluster.Instances(); i++ {
+		pc := pbft.Config{
+			Cluster:            c.Cluster,
+			Instance:           types.InstanceID(i),
+			Node:               c.Node,
+			BatchSize:          c.BatchSize,
+			BatchTimeout:       c.BatchTimeout,
+			CheckpointInterval: c.CheckpointInterval,
+			WatermarkWindow:    c.WatermarkWindow,
+		}
+		n.replicas = append(n.replicas, pbft.New(pc, keys))
+	}
+	return n
+}
+
+// SetBehavior installs Byzantine behaviour (attack experiments only).
+func (n *Node) SetBehavior(b Behavior) {
+	n.behavior = b
+	for inst, rb := range b.Instance {
+		if int(inst) < len(n.replicas) {
+			n.replicas[inst].SetBehavior(rb)
+		}
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() types.NodeID { return n.cfg.Node }
+
+// View returns the shared view number.
+func (n *Node) View() types.View { return n.view }
+
+// CPI returns the instance-change counter.
+func (n *Node) CPI() uint64 { return n.cpi }
+
+// Monitor exposes the node's monitoring module; harnesses sample
+// per-instance throughput from it.
+func (n *Node) Monitor() *monitor.Monitor { return n.mon }
+
+// Replica returns the local replica of an instance (tests and harnesses).
+func (n *Node) Replica(i types.InstanceID) *pbft.Instance { return n.replicas[i] }
+
+// MasterPrimary returns the node currently hosting the master instance's
+// primary.
+func (n *Node) MasterPrimary() types.NodeID {
+	return n.cfg.Cluster.PrimaryOf(n.view, types.MasterInstance)
+}
+
+// NextWake returns the earliest pending timer across the replicas and the
+// monitor, or zero if none.
+func (n *Node) NextWake() time.Time {
+	var wake time.Time
+	consider := func(t time.Time) {
+		if t.IsZero() {
+			return
+		}
+		if wake.IsZero() || t.Before(wake) {
+			wake = t
+		}
+	}
+	for _, r := range n.replicas {
+		consider(r.NextWake())
+	}
+	consider(n.mon.NextWake())
+	return wake
+}
+
+// Tick fires due timers: replica batch timers and the monitoring period.
+func (n *Node) Tick(now time.Time) Output {
+	var out Output
+	if n.behavior.Silent {
+		return out
+	}
+	for i, r := range n.replicas {
+		w := r.NextWake()
+		if !w.IsZero() && !now.Before(w) {
+			out.merge(n.absorb(types.InstanceID(i), r.Tick(now), now))
+		}
+	}
+	w := n.mon.NextWake()
+	if !w.IsZero() && !now.Before(w) {
+		verdict := n.mon.Tick(now)
+		n.lastSuspect = verdict
+		if verdict.Suspicious {
+			out.merge(n.voteInstanceChange(verdict.Reason, now))
+		}
+	}
+	return out
+}
+
+// OnClientRequest is the Verification module's entry point for a REQUEST
+// received directly from a client.
+func (n *Node) OnClientRequest(req *message.Request, now time.Time) Output {
+	var out Output
+	if n.behavior.Silent {
+		return out
+	}
+	cs := n.client(req.Client)
+	if cs.blacklisted {
+		return out
+	}
+	// MAC first: cheap rejection of garbage.
+	if err := n.keys.VerifyClientAuthenticatorEntry(req.Client, n.cfg.Node, req.Body(), req.Auth); err != nil {
+		return out
+	}
+	// Retransmission of an executed request: resend the cached reply.
+	if result, ok := n.cachedReply(cs, req.ID); ok {
+		out.ClientMsgs = append(out.ClientMsgs, n.replyTo(req.Client, req.ID, result))
+		return out
+	}
+	// Signature verification is expensive but required for non-repudiation
+	// during propagation. An invalid signature blacklists the client.
+	if err := n.keys.VerifyClientSignature(req.Client, req.SignedBody(), req.Sig); err != nil {
+		cs.blacklisted = true
+		return out
+	}
+	out.merge(n.propagateOwn(req, now))
+	return out
+}
+
+// propagateOwn runs the Propagation module for a locally verified request.
+func (n *Node) propagateOwn(req *message.Request, now time.Time) Output {
+	var out Output
+	ref := req.Ref()
+	if !n.storeBody(ref, req) {
+		return out
+	}
+	senders := n.senderSet(ref)
+	if !senders[n.cfg.Node] {
+		senders[n.cfg.Node] = true
+		if !n.behavior.DropPropagate {
+			p := &message.Propagate{Req: *n.bodies[ref], Node: n.cfg.Node}
+			p.Auth = n.keys.AuthenticatorForNodes(n.cfg.Cluster.N, p.Body())
+			out.NodeMsgs = append(out.NodeMsgs, NodeSend{Msg: p})
+		}
+	}
+	out.merge(n.maybeDispatch(ref, now))
+	return out
+}
+
+// storeBody records a verified request body for its exact ref, bounding the
+// per-client pending-body count. It reports whether the body is available.
+func (n *Node) storeBody(ref types.RequestRef, req *message.Request) bool {
+	if _, seen := n.bodies[ref]; seen {
+		return true
+	}
+	cs := n.client(ref.Client)
+	if cs.pendingBodies >= maxPendingBodiesPerClient {
+		return false
+	}
+	cs.pendingBodies++
+	stored := *req
+	stored.Auth = nil
+	n.bodies[ref] = &stored
+	n.byKey[ref.Key()] = append(n.byKey[ref.Key()], ref)
+	return true
+}
+
+// maxPendingBodiesPerClient bounds the request bodies a single (possibly
+// equivocating) client can keep resident per node.
+const maxPendingBodiesPerClient = 4096
+
+// OnNodeMessage handles a message from another node: PROPAGATE, the
+// per-instance protocol messages, and INSTANCE-CHANGE.
+func (n *Node) OnNodeMessage(msg message.Message, from types.NodeID, now time.Time) Output {
+	var out Output
+	if n.behavior.Silent {
+		return out
+	}
+	if until, closed := n.closedUntil[from]; closed {
+		if now.Before(until) {
+			return out
+		}
+		delete(n.closedUntil, from)
+	}
+
+	switch m := msg.(type) {
+	case *message.Propagate:
+		if m.Node != from {
+			return n.countInvalid(from, now)
+		}
+		if err := n.keys.VerifyAuthenticatorEntry(from, n.cfg.Node, m.Body(), m.Auth); err != nil {
+			return n.countInvalid(from, now)
+		}
+		return n.onPropagate(m, from, now)
+
+	case *message.InstanceChange:
+		if m.Node != from {
+			return n.countInvalid(from, now)
+		}
+		if err := n.keys.VerifyAuthenticatorEntry(from, n.cfg.Node, m.Body(), m.Auth); err != nil {
+			return n.countInvalid(from, now)
+		}
+		return n.onInstanceChange(m, now)
+
+	case *message.Invalid:
+		return n.countInvalid(from, now)
+
+	default:
+		return n.onInstanceMessage(msg, from, now)
+	}
+}
+
+// onPropagate processes a MAC-verified PROPAGATE.
+func (n *Node) onPropagate(p *message.Propagate, from types.NodeID, now time.Time) Output {
+	var out Output
+	ref := p.Req.Ref()
+	cs := n.client(p.Req.Client)
+	if cs.blacklisted {
+		return out
+	}
+	if _, seen := n.bodies[ref]; !seen {
+		// First sight of this exact request body: verify the client
+		// signature before adopting it.
+		if err := n.keys.VerifyClientSignature(p.Req.Client, p.Req.SignedBody(), p.Req.Sig); err != nil {
+			return n.countInvalid(from, now)
+		}
+		if !n.storeBody(ref, &p.Req) {
+			return out
+		}
+	}
+	senders := n.senderSet(ref)
+	senders[from] = true
+	// Echo our own PROPAGATE the first time we learn of the request.
+	if !senders[n.cfg.Node] {
+		senders[n.cfg.Node] = true
+		if !n.behavior.DropPropagate {
+			echo := &message.Propagate{Req: p.Req, Node: n.cfg.Node}
+			echo.Auth = n.keys.AuthenticatorForNodes(n.cfg.Cluster.N, echo.Body())
+			out.NodeMsgs = append(out.NodeMsgs, NodeSend{Msg: echo})
+		}
+	}
+	out.merge(n.maybeDispatch(ref, now))
+	return out
+}
+
+func (n *Node) senderSet(ref types.RequestRef) map[types.NodeID]bool {
+	senders := n.propagates[ref]
+	if senders == nil {
+		senders = make(map[types.NodeID]bool, n.cfg.Cluster.WeakQuorum())
+		n.propagates[ref] = senders
+	}
+	return senders
+}
+
+// maybeDispatch hands the request to the f+1 local replicas once f+1
+// PROPAGATE copies (including our own) have been collected.
+func (n *Node) maybeDispatch(ref types.RequestRef, now time.Time) Output {
+	var out Output
+	if n.dispatched[ref] {
+		return out
+	}
+	if len(n.propagates[ref]) < n.cfg.Cluster.WeakQuorum() {
+		return out
+	}
+	n.dispatched[ref] = true
+	n.mon.RequestDispatched(ref, now)
+	for i, r := range n.replicas {
+		out.merge(n.absorb(types.InstanceID(i), r.AddRequest(ref, now), now))
+	}
+	return out
+}
+
+// onInstanceMessage routes a protocol message to the right local replica
+// after MAC verification.
+func (n *Node) onInstanceMessage(msg message.Message, from types.NodeID, now time.Time) Output {
+	inst, claimed, ok := instanceAndSender(msg)
+	if !ok || claimed != from || int(inst) >= len(n.replicas) || inst < 0 {
+		return n.countInvalid(from, now)
+	}
+	// VIEW-CHANGE carries a signature verified inside the instance; all
+	// other instance messages carry MAC authenticators verified here.
+	if _, isVC := msg.(*message.ViewChange); !isVC {
+		if err := n.keys.VerifyAuthenticatorEntry(from, n.cfg.Node, msg.Body(), authOf(msg)); err != nil {
+			return n.countInvalid(from, now)
+		}
+	}
+	res, err := n.replicas[inst].OnMessage(msg, now)
+	if err != nil {
+		return n.countInvalid(from, now)
+	}
+	return n.absorb(inst, res, now)
+}
+
+// instanceAndSender extracts the instance id and claimed sender of a
+// protocol message.
+func instanceAndSender(msg message.Message) (types.InstanceID, types.NodeID, bool) {
+	switch m := msg.(type) {
+	case *message.PrePrepare:
+		return m.Instance, m.Node, true
+	case *message.Prepare:
+		return m.Instance, m.Node, true
+	case *message.Commit:
+		return m.Instance, m.Node, true
+	case *message.Checkpoint:
+		return m.Instance, m.Node, true
+	case *message.ViewChange:
+		return m.Instance, m.Node, true
+	case *message.NewView:
+		return m.Instance, m.Node, true
+	case *message.Fetch:
+		return m.Instance, m.Node, true
+	case *message.FetchResp:
+		return m.Instance, m.Node, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// authOf returns the MAC authenticator of an instance message.
+func authOf(msg message.Message) crypto.Authenticator {
+	switch m := msg.(type) {
+	case *message.PrePrepare:
+		return m.Auth
+	case *message.Prepare:
+		return m.Auth
+	case *message.Commit:
+		return m.Auth
+	case *message.Checkpoint:
+		return m.Auth
+	case *message.NewView:
+		return m.Auth
+	case *message.Fetch:
+		return m.Auth
+	case *message.FetchResp:
+		return m.Auth
+	default:
+		return nil
+	}
+}
+
+// absorb converts a replica's output into node output: forwards its
+// messages, feeds deliveries to the monitor, and executes master-instance
+// batches.
+func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Output {
+	var out Output
+	for _, ob := range res.Msgs {
+		out.NodeMsgs = append(out.NodeMsgs, NodeSend{To: ob.To, Msg: ob.Msg})
+	}
+	if len(res.Delivered) > 0 && out.OrderedByInstance == nil {
+		out.OrderedByInstance = make([]int, len(n.replicas))
+	}
+	for _, batch := range res.Delivered {
+		out.OrderedByInstance[inst] += len(batch.Refs)
+		for _, ref := range batch.Refs {
+			verdict := n.mon.RequestOrdered(inst, ref, now)
+			if verdict.Suspicious {
+				n.lastSuspect = verdict
+				out.merge(n.voteInstanceChange(verdict.Reason, now))
+			}
+			if inst == types.MasterInstance {
+				out.merge(n.execute(ref))
+			}
+		}
+	}
+	return out
+}
+
+// execute runs the Execution module for one master-ordered request. The
+// executed set is keyed by (client, id): if an equivocating client signed
+// several bodies under one id, only the first master-ordered one executes —
+// and since the master order is identical everywhere, every correct node
+// picks the same body.
+func (n *Node) execute(ref types.RequestRef) Output {
+	var out Output
+	key := ref.Key()
+	if n.executed[key] {
+		return out
+	}
+	body := n.bodies[ref]
+	if body == nil || body.OpDigest() != ref.Digest {
+		// Cannot happen for requests dispatched by this node (dispatch
+		// requires the body); guards against divergent state.
+		return out
+	}
+	n.executed[key] = true
+	result := n.cfg.App.Execute(ref.Client, ref.ID, body.Op)
+	cs := n.client(ref.Client)
+	cs.replies = append(cs.replies, cachedReply{id: ref.ID, result: result})
+	if len(cs.replies) > n.cfg.ReplyCacheSize {
+		drop := cs.replies[0]
+		cs.replies = cs.replies[1:]
+		delete(n.executed, types.RequestKey{Client: ref.Client, ID: drop.id})
+	}
+	out.Executions = append(out.Executions, Execution{Ref: ref, Result: result})
+	out.ClientMsgs = append(out.ClientMsgs, n.replyTo(ref.Client, ref.ID, result))
+
+	// The request is decided on this node; release propagation state for
+	// this ref and any equivocated siblings under the same key.
+	for _, sibling := range n.byKey[key] {
+		delete(n.bodies, sibling)
+		delete(n.propagates, sibling)
+		delete(n.dispatched, sibling)
+		cs.pendingBodies--
+	}
+	delete(n.byKey, key)
+	return out
+}
+
+// replyTo builds an authenticated REPLY.
+func (n *Node) replyTo(client types.ClientID, id types.RequestID, result []byte) ClientSend {
+	rep := &message.Reply{Client: client, ID: id, Result: result, Node: n.cfg.Node}
+	rep.MAC = n.keys.MACForClient(client, rep.Body())
+	return ClientSend{To: client, Msg: rep}
+}
+
+// cachedReply looks up a cached reply for a retransmitted request.
+func (n *Node) cachedReply(cs *clientState, id types.RequestID) ([]byte, bool) {
+	for i := len(cs.replies) - 1; i >= 0; i-- {
+		if cs.replies[i].id == id {
+			return cs.replies[i].result, true
+		}
+	}
+	return nil, false
+}
+
+func (n *Node) client(c types.ClientID) *clientState {
+	cs := n.clients[c]
+	if cs == nil {
+		cs = &clientState{}
+		n.clients[c] = cs
+	}
+	return cs
+}
+
+// countInvalid records an invalid message from a peer and closes its NIC if
+// it exceeds the flood threshold within the window.
+func (n *Node) countInvalid(from types.NodeID, now time.Time) Output {
+	var out Output
+	if now.Sub(n.floodStart) > n.cfg.FloodWindow {
+		n.floodStart = now
+		for k := range n.floodCounts {
+			delete(n.floodCounts, k)
+		}
+	}
+	n.floodCounts[from]++
+	if n.floodCounts[from] >= n.cfg.FloodThreshold {
+		until := now.Add(n.cfg.NICClosePeriod)
+		n.closedUntil[from] = until
+		out.NICCloses = append(out.NICCloses, NICClose{Peer: from, Until: until})
+		n.floodCounts[from] = 0
+	}
+	return out
+}

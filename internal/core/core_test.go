@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rbft/internal/message"
+	"rbft/internal/monitor"
+	"rbft/internal/types"
+)
+
+// TestInstanceChangeDiscardStaleCPI: INSTANCE-CHANGE messages for a previous
+// cpi are discarded (paper §IV-D).
+func TestInstanceChangeDiscardsStaleCPI(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	n := nc.nodes[0]
+	// Drive an instance change so cpi becomes 1.
+	for voter := types.NodeID(1); voter <= 3; voter++ {
+		ic := &message.InstanceChange{CPI: 0, Node: voter}
+		ic.Auth = nc.ks.NodeRing(voter).AuthenticatorForNodes(nc.cfg.N, ic.Body())
+		nc.collect(0, n.OnNodeMessage(ic, voter, nc.now))
+	}
+	if n.CPI() != 1 || n.View() != 1 {
+		t.Fatalf("cpi=%d view=%d after quorum, want 1/1", n.CPI(), n.View())
+	}
+	// Replayed votes for cpi 0 must not advance anything.
+	for voter := types.NodeID(1); voter <= 3; voter++ {
+		ic := &message.InstanceChange{CPI: 0, Node: voter}
+		ic.Auth = nc.ks.NodeRing(voter).AuthenticatorForNodes(nc.cfg.N, ic.Body())
+		nc.collect(0, n.OnNodeMessage(ic, voter, nc.now))
+	}
+	if n.CPI() != 1 || n.View() != 1 {
+		t.Fatalf("stale votes advanced cpi/view to %d/%d", n.CPI(), n.View())
+	}
+}
+
+// TestInstanceChangeEcho: a node whose own monitor is suspicious echoes an
+// INSTANCE-CHANGE when it receives one for the current cpi.
+func TestInstanceChangeEcho(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	n := nc.nodes[0]
+	n.lastSuspect = monitor.Verdict{Suspicious: true, Reason: monitor.ReasonThroughput}
+	ic := &message.InstanceChange{CPI: 0, Node: 2}
+	ic.Auth = nc.ks.NodeRing(2).AuthenticatorForNodes(nc.cfg.N, ic.Body())
+	out := n.OnNodeMessage(ic, 2, nc.now)
+	sent := false
+	for _, m := range out.NodeMsgs {
+		if m.Msg.MsgType() == message.TypeInstanceChange {
+			sent = true
+		}
+	}
+	if !sent {
+		t.Fatal("suspicious node did not echo the instance-change vote")
+	}
+	// A node with a clean monitor does not echo.
+	clean := nc.nodes[1]
+	ic2 := &message.InstanceChange{CPI: 0, Node: 2}
+	ic2.Auth = nc.ks.NodeRing(2).AuthenticatorForNodes(nc.cfg.N, ic2.Body())
+	out2 := clean.OnNodeMessage(ic2, 2, nc.now)
+	for _, m := range out2.NodeMsgs {
+		if m.Msg.MsgType() == message.TypeInstanceChange {
+			t.Fatal("non-suspicious node echoed an instance-change vote")
+		}
+	}
+}
+
+// TestMasterPrimaryTracksView: the master primary rotates with the view.
+func TestMasterPrimaryTracksView(t *testing.T) {
+	nc := newNodeCluster(t, 1, nil)
+	n := nc.nodes[1]
+	if got := n.MasterPrimary(); got != 0 {
+		t.Fatalf("view 0 master primary = %d, want 0", got)
+	}
+	for voter := types.NodeID(0); voter <= 2; voter++ {
+		ic := &message.InstanceChange{CPI: 0, Node: voter}
+		ic.Auth = nc.ks.NodeRing(voter).AuthenticatorForNodes(nc.cfg.N, ic.Body())
+		nc.collect(1, n.OnNodeMessage(ic, voter, nc.now))
+	}
+	if got := n.MasterPrimary(); got != 1 {
+		t.Fatalf("view 1 master primary = %d, want 1", got)
+	}
+}
+
+// TestSpoofedInstanceMessageCounted: a message whose claimed sender differs
+// from the authenticated transport sender counts as invalid traffic.
+func TestSpoofedInstanceMessageCounted(t *testing.T) {
+	nc := newNodeCluster(t, 1, func(c *Config) {
+		c.FloodThreshold = 3
+		c.FloodWindow = time.Minute
+	})
+	n := nc.nodes[0]
+	var closed bool
+	for i := 0; i < 3; i++ {
+		// Claimed node 2, delivered from node 3.
+		p := &message.Prepare{Instance: 0, View: 0, Seq: 1, Node: 2}
+		p.Auth = nc.ks.NodeRing(3).AuthenticatorForNodes(nc.cfg.N, p.Body())
+		out := n.OnNodeMessage(p, 3, nc.now)
+		if len(out.NICCloses) > 0 {
+			closed = true
+		}
+	}
+	if !closed {
+		t.Fatal("spoofed senders did not trip the flood defence")
+	}
+}
+
+// TestReplyCacheEviction: the per-client reply cache is bounded and evicts
+// oldest entries.
+func TestReplyCacheEviction(t *testing.T) {
+	nc := newNodeCluster(t, 1, func(c *Config) { c.ReplyCacheSize = 2 })
+	for i := 1; i <= 3; i++ {
+		nc.sendRequest(1, []byte{0, 0, 0, 0, 0, 0, 0, 1})
+	}
+	nc.runFor(100 * time.Millisecond)
+	n := nc.nodes[0]
+	cs := n.clients[1]
+	if len(cs.replies) != 2 {
+		t.Fatalf("reply cache holds %d entries, want 2", len(cs.replies))
+	}
+	if cs.replies[0].id != 2 || cs.replies[1].id != 3 {
+		t.Fatalf("cache kept ids %d,%d, want 2,3", cs.replies[0].id, cs.replies[1].id)
+	}
+	// The evicted request is no longer deduplicated by the executed set.
+	if n.executed[types.RequestKey{Client: 1, ID: 1}] {
+		t.Fatal("evicted request still pinned in the executed set")
+	}
+}
+
+// TestOmegaUnfairnessTriggersVote: per-client latency gap beyond Omega
+// produces an instance-change vote.
+func TestOmegaUnfairnessTriggersVote(t *testing.T) {
+	nc := newNodeCluster(t, 1, func(c *Config) {
+		c.Monitoring.Omega = time.Millisecond
+		c.BatchSize = 1
+	})
+	// Directly exercise the monitor verdict path through absorb: simulate a
+	// client whose master ordering lags far behind its backup ordering.
+	n := nc.nodes[0]
+	ref := types.RequestRef{Client: 5, ID: 1, Digest: types.Digest{1}}
+	n.mon.RequestDispatched(ref, nc.now)
+	n.mon.RequestOrdered(1, ref, nc.now.Add(100*time.Microsecond))
+	verdict := n.mon.RequestOrdered(0, ref, nc.now.Add(5*time.Millisecond))
+	if !verdict.Suspicious || verdict.Reason != monitor.ReasonFairness {
+		t.Fatalf("verdict = %+v, want fairness suspicion", verdict)
+	}
+}

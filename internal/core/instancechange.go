@@ -1,0 +1,85 @@
+package core
+
+import (
+	"time"
+
+	"rbft/internal/message"
+	"rbft/internal/monitor"
+	"rbft/internal/types"
+)
+
+// voteInstanceChange broadcasts this node's INSTANCE-CHANGE for the current
+// cpi (at most once per cpi) and evaluates the quorum.
+func (n *Node) voteInstanceChange(reason monitor.Reason, now time.Time) Output {
+	var out Output
+	votes := n.votesFor(n.cpi)
+	if votes[n.cfg.Node] {
+		return out // already voted this round
+	}
+	votes[n.cfg.Node] = true
+	ic := &message.InstanceChange{CPI: n.cpi, Node: n.cfg.Node}
+	ic.Auth = n.keys.AuthenticatorForNodes(n.cfg.Cluster.N, ic.Body())
+	out.NodeMsgs = append(out.NodeMsgs, NodeSend{Msg: ic})
+	out.merge(n.checkInstanceChangeQuorum(reason, now))
+	return out
+}
+
+// onInstanceChange processes a MAC-verified INSTANCE-CHANGE from a peer,
+// per the paper: discard if the cpi is stale; otherwise record it and echo
+// our own vote if our monitor also observed the problem.
+func (n *Node) onInstanceChange(ic *message.InstanceChange, now time.Time) Output {
+	var out Output
+	if ic.CPI < n.cpi {
+		return out // intended for a previous instance change
+	}
+	votes := n.votesFor(ic.CPI)
+	votes[ic.Node] = true
+
+	// "The node checks if it should also send an INSTANCE_CHANGE message. It
+	// does so only if it also observes too much difference between the
+	// performance of the replicas."
+	if ic.CPI == n.cpi && n.lastSuspect.Suspicious && !votes[n.cfg.Node] {
+		out.merge(n.voteInstanceChange(n.lastSuspect.Reason, now))
+		return out
+	}
+	out.merge(n.checkInstanceChangeQuorum(n.lastSuspect.Reason, now))
+	return out
+}
+
+// checkInstanceChangeQuorum performs the instance change once 2f+1 matching
+// INSTANCE-CHANGE messages for the current cpi have been collected.
+func (n *Node) checkInstanceChangeQuorum(reason monitor.Reason, now time.Time) Output {
+	var out Output
+	votes := n.icVotes[n.cpi]
+	if len(votes) < n.cfg.Cluster.Quorum() {
+		return out
+	}
+	n.cpi++
+	n.view++
+	n.lastSuspect = monitor.Verdict{}
+	n.mon.Reset(now)
+	for v := range n.icVotes {
+		if v < n.cpi {
+			delete(n.icVotes, v)
+		}
+	}
+	out.InstanceChanges = append(out.InstanceChanges, ICEvent{
+		CPI:     n.cpi,
+		NewView: n.view,
+		Reason:  reason,
+	})
+	// Every local replica view-changes at once, rotating all primaries.
+	for i, r := range n.replicas {
+		out.merge(n.absorb(types.InstanceID(i), r.StartViewChange(n.view, now), now))
+	}
+	return out
+}
+
+func (n *Node) votesFor(cpi uint64) map[types.NodeID]bool {
+	votes := n.icVotes[cpi]
+	if votes == nil {
+		votes = make(map[types.NodeID]bool, n.cfg.Cluster.Quorum())
+		n.icVotes[cpi] = votes
+	}
+	return votes
+}

@@ -1,0 +1,312 @@
+// Package crypto provides the authentication primitives RBFT uses on the
+// wire: pairwise HMAC-SHA256 message authentication codes, MAC authenticators
+// (one MAC per receiving node), Ed25519 request signatures, and SHA-256
+// digests.
+//
+// The paper's layering is preserved: client requests carry a signature (for
+// non-repudiation, because requests are forwarded node-to-node during the
+// PROPAGATE phase) wrapped in a MAC authenticator (so that a flood of bogus
+// requests is rejected at MAC cost, an order of magnitude cheaper than
+// signature verification).
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"rbft/internal/types"
+)
+
+// MACSize is the byte length of a single truncated HMAC-SHA256 tag.
+const MACSize = 16
+
+// MAC is a single pairwise authentication tag.
+type MAC [MACSize]byte
+
+// Errors returned by verification.
+var (
+	ErrBadMAC       = errors.New("crypto: MAC verification failed")
+	ErrBadSignature = errors.New("crypto: signature verification failed")
+	ErrUnknownPeer  = errors.New("crypto: no key material for peer")
+)
+
+// Digest hashes a payload with SHA-256.
+func Digest(data []byte) types.Digest {
+	return sha256.Sum256(data)
+}
+
+// principal is an internal identity in the MAC key space. Nodes and clients
+// live in disjoint halves.
+type principal int64
+
+func nodePrincipal(n types.NodeID) principal     { return principal(n) }
+func clientPrincipal(c types.ClientID) principal { return principal(1<<32) + principal(c) }
+
+// KeyRing holds one principal's secret material: its Ed25519 signing key and
+// the symmetric keys it shares with every other principal. In a deployment
+// these would come from a PKI plus a key-exchange protocol; here they are
+// derived deterministically from a cluster secret, which models the same
+// trust assumptions (faulty principals know only their own keys).
+type KeyRing struct {
+	self    principal
+	signKey ed25519.PrivateKey
+	pubKeys map[principal]ed25519.PublicKey
+	secret  []byte
+	fast    bool
+}
+
+// KeyStore derives key rings for a cluster from a master secret. It is the
+// test/simulation stand-in for a key distribution infrastructure.
+type KeyStore struct {
+	secret []byte
+	pubs   map[principal]ed25519.PublicKey
+	fast   bool
+}
+
+// NewInsecureFastKeyStore creates a key store whose MAC and signature
+// operations are cheap non-cryptographic checksums. FOR SIMULATION ONLY:
+// the discrete-event simulator charges modelled crypto costs in virtual
+// time, so spending real CPU on Ed25519 would only slow the experiments
+// down; integrity is still checked (corrupted authenticators fail), but
+// nothing here resists a real adversary.
+func NewInsecureFastKeyStore(secret []byte, n, maxClients int) *KeyStore {
+	ks := NewKeyStore(secret, n, maxClients)
+	ks.fast = true
+	return ks
+}
+
+// NewKeyStore creates a key store for a cluster of n nodes and up to
+// maxClients clients, deriving all keys from secret.
+func NewKeyStore(secret []byte, n, maxClients int) *KeyStore {
+	ks := &KeyStore{
+		secret: append([]byte(nil), secret...),
+		pubs:   make(map[principal]ed25519.PublicKey, n+maxClients),
+	}
+	for i := 0; i < n; i++ {
+		p := nodePrincipal(types.NodeID(i))
+		ks.pubs[p] = deriveSignKey(secret, p).Public().(ed25519.PublicKey)
+	}
+	for i := 0; i < maxClients; i++ {
+		p := clientPrincipal(types.ClientID(i))
+		ks.pubs[p] = deriveSignKey(secret, p).Public().(ed25519.PublicKey)
+	}
+	return ks
+}
+
+// NodeRing returns the key ring for node n.
+func (ks *KeyStore) NodeRing(n types.NodeID) *KeyRing {
+	return ks.ring(nodePrincipal(n))
+}
+
+// ClientRing returns the key ring for client c.
+func (ks *KeyStore) ClientRing(c types.ClientID) *KeyRing {
+	return ks.ring(clientPrincipal(c))
+}
+
+func (ks *KeyStore) ring(self principal) *KeyRing {
+	return &KeyRing{
+		self:    self,
+		signKey: deriveSignKey(ks.secret, self),
+		pubKeys: ks.pubs,
+		secret:  ks.secret,
+		fast:    ks.fast,
+	}
+}
+
+func deriveSignKey(secret []byte, p principal) ed25519.PrivateKey {
+	h := hmac.New(sha256.New, secret)
+	var buf [9]byte
+	buf[0] = 's'
+	binary.BigEndian.PutUint64(buf[1:], uint64(p))
+	h.Write(buf[:])
+	return ed25519.NewKeyFromSeed(h.Sum(nil))
+}
+
+// pairKey derives the symmetric key shared between two principals. The key is
+// symmetric in its arguments so both ends derive the same key.
+func pairKey(secret []byte, a, b principal) []byte {
+	if a > b {
+		a, b = b, a
+	}
+	h := hmac.New(sha256.New, secret)
+	var buf [17]byte
+	buf[0] = 'm'
+	binary.BigEndian.PutUint64(buf[1:9], uint64(a))
+	binary.BigEndian.PutUint64(buf[9:17], uint64(b))
+	h.Write(buf[:])
+	return h.Sum(nil)
+}
+
+func computeMAC(key, data []byte) MAC {
+	h := hmac.New(sha256.New, key)
+	h.Write(data)
+	var tag MAC
+	copy(tag[:], h.Sum(nil))
+	return tag
+}
+
+// fastSum is the simulation-only body checksum: FNV-1a over the ring secret
+// and the data. Computed once per message; per-principal tags mix it with
+// the pair identity (see fastMix).
+func fastSum(key, data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	h.Write(data)
+	return h.Sum64()
+}
+
+// fastMix derives a 16-byte tag from a body checksum and a pair/principal
+// identity (splitmix64-style finalisers).
+func fastMix(sum, extra uint64) [16]byte {
+	x := sum ^ (extra * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	y := x ^ 0xD6E8FEB86659FD93
+	y ^= y >> 32
+	y *= 0xFF51AFD7ED558CCD
+	y ^= y >> 29
+	var tag [16]byte
+	binary.BigEndian.PutUint64(tag[:8], x)
+	binary.BigEndian.PutUint64(tag[8:], y)
+	return tag
+}
+
+// fastTag combines fastSum and fastMix for one-shot callers.
+func fastTag(key []byte, extra uint64, data []byte) [16]byte {
+	return fastMix(fastSum(key, data), extra)
+}
+
+// pairMAC computes a MAC for the (a, b) principal pair.
+func (r *KeyRing) pairMAC(a, b principal, data []byte) MAC {
+	if r.fast {
+		if a > b {
+			a, b = b, a
+		}
+		return MAC(fastMix(fastSum(r.secret, data), uint64(a)<<20^uint64(b)))
+	}
+	return computeMAC(pairKey(r.secret, a, b), data)
+}
+
+// MACForNode authenticates data for a single receiving node.
+func (r *KeyRing) MACForNode(to types.NodeID, data []byte) MAC {
+	return r.pairMAC(r.self, nodePrincipal(to), data)
+}
+
+// MACForClient authenticates data for a single receiving client.
+func (r *KeyRing) MACForClient(to types.ClientID, data []byte) MAC {
+	return r.pairMAC(r.self, clientPrincipal(to), data)
+}
+
+// VerifyNodeMAC checks a tag allegedly produced by node from over data.
+func (r *KeyRing) VerifyNodeMAC(from types.NodeID, data []byte, tag MAC) error {
+	want := r.pairMAC(r.self, nodePrincipal(from), data)
+	if !hmac.Equal(want[:], tag[:]) {
+		return ErrBadMAC
+	}
+	return nil
+}
+
+// VerifyClientMAC checks a tag allegedly produced by client from over data.
+func (r *KeyRing) VerifyClientMAC(from types.ClientID, data []byte, tag MAC) error {
+	want := r.pairMAC(r.self, clientPrincipal(from), data)
+	if !hmac.Equal(want[:], tag[:]) {
+		return ErrBadMAC
+	}
+	return nil
+}
+
+// Authenticator is a MAC authenticator: an array with one MAC per node,
+// indexed by NodeID. A sender computes it once; each receiver verifies only
+// its own entry.
+type Authenticator []MAC
+
+// AuthenticatorForNodes builds a MAC authenticator over data covering the n
+// nodes of the cluster. In fast (simulation) mode the body is checksummed
+// once and mixed per entry.
+func (r *KeyRing) AuthenticatorForNodes(n int, data []byte) Authenticator {
+	auth := make(Authenticator, n)
+	if r.fast {
+		sum := fastSum(r.secret, data)
+		for i := 0; i < n; i++ {
+			a, b := r.self, nodePrincipal(types.NodeID(i))
+			if a > b {
+				a, b = b, a
+			}
+			auth[i] = MAC(fastMix(sum, uint64(a)<<20^uint64(b)))
+		}
+		return auth
+	}
+	for i := 0; i < n; i++ {
+		auth[i] = r.MACForNode(types.NodeID(i), data)
+	}
+	return auth
+}
+
+// VerifyAuthenticatorEntry checks this ring's node entry of an authenticator
+// produced by node from. self must be this ring's node identity.
+func (r *KeyRing) VerifyAuthenticatorEntry(from types.NodeID, self types.NodeID, data []byte, auth Authenticator) error {
+	if int(self) >= len(auth) || self < 0 {
+		return fmt.Errorf("%w: authenticator has %d entries, want entry %d", ErrBadMAC, len(auth), self)
+	}
+	return r.VerifyNodeMAC(from, data, auth[self])
+}
+
+// VerifyClientAuthenticatorEntry checks this ring's entry of an authenticator
+// produced by client from.
+func (r *KeyRing) VerifyClientAuthenticatorEntry(from types.ClientID, self types.NodeID, data []byte, auth Authenticator) error {
+	if int(self) >= len(auth) || self < 0 {
+		return fmt.Errorf("%w: authenticator has %d entries, want entry %d", ErrBadMAC, len(auth), self)
+	}
+	return r.VerifyClientMAC(from, data, auth[self])
+}
+
+// Sign produces an Ed25519 signature over data (or the simulation-only
+// checksum in fast mode).
+func (r *KeyRing) Sign(data []byte) []byte {
+	if r.fast {
+		tag := fastTag(r.secret, uint64(r.self), data)
+		sig := make([]byte, ed25519.SignatureSize)
+		copy(sig, tag[:])
+		return sig
+	}
+	return ed25519.Sign(r.signKey, data)
+}
+
+// VerifyNodeSignature checks a signature allegedly produced by node from.
+func (r *KeyRing) VerifyNodeSignature(from types.NodeID, data, sig []byte) error {
+	return r.verifySig(nodePrincipal(from), data, sig)
+}
+
+// VerifyClientSignature checks a signature allegedly produced by client from.
+func (r *KeyRing) VerifyClientSignature(from types.ClientID, data, sig []byte) error {
+	return r.verifySig(clientPrincipal(from), data, sig)
+}
+
+func (r *KeyRing) verifySig(from principal, data, sig []byte) error {
+	pub, ok := r.pubKeys[from]
+	if !ok {
+		return fmt.Errorf("%w: principal %d", ErrUnknownPeer, from)
+	}
+	if r.fast {
+		want := fastTag(r.secret, uint64(from), data)
+		if len(sig) != ed25519.SignatureSize || !hmac.Equal(sig[:16], want[:]) {
+			return ErrBadSignature
+		}
+		return nil
+	}
+	if len(sig) != ed25519.SignatureSize || !ed25519.Verify(pub, data, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// SignatureSize is the byte length of request signatures.
+const SignatureSize = ed25519.SignatureSize

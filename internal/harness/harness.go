@@ -1,0 +1,134 @@
+// Package harness regenerates every table and figure of the RBFT paper's
+// evaluation (§III and §VI). Each experiment has one entry point returning a
+// typed result with a text rendering that mirrors the paper's rows/series.
+//
+// Experiment index (see DESIGN.md):
+//
+//	Table1    — max throughput degradation of Prime / Aardvark / Spinning
+//	Figure1   — Prime relative throughput under attack vs request size
+//	Figure2   — Aardvark, same
+//	Figure3   — Spinning, same
+//	Figure7   — latency vs throughput, fault-free, all five systems
+//	Figure8   — RBFT under worst-attack-1 (f=1 and f=2)
+//	Figure9   — per-node monitor readings under worst-attack-1
+//	Figure10  — RBFT under worst-attack-2 (f=1 and f=2)
+//	Figure11  — per-node monitor readings under worst-attack-2
+//	Figure12  — unfair-primary latency series with the Λ test
+//	AblationOrderedPayload — ordering IDs vs full requests (§VI-B)
+package harness
+
+import (
+	"time"
+
+	"rbft/internal/monitor"
+	"rbft/internal/sim"
+	"rbft/internal/types"
+)
+
+// Options tune experiment scale. The zero value gives paper-scale runs; Quick
+// shrinks durations for tests and smoke runs.
+type Options struct {
+	// Seed feeds every simulation.
+	Seed int64
+	// RunTime is the measured duration of each simulation run.
+	RunTime time.Duration
+	// Warmup precedes the measurement window.
+	Warmup time.Duration
+	// Sizes is the request-size sweep for the per-size figures.
+	Sizes []int
+	// Quick shrinks runs for CI/tests (shorter runs, fewer sizes).
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	out := o
+	if out.RunTime == 0 {
+		out.RunTime = 3 * time.Second
+		if out.Quick {
+			out.RunTime = time.Second
+		}
+	}
+	if out.Warmup == 0 {
+		out.Warmup = 400 * time.Millisecond
+		if out.Quick {
+			out.Warmup = 300 * time.Millisecond
+		}
+	}
+	if len(out.Sizes) == 0 {
+		out.Sizes = []int{8, 512, 1024, 2048, 4096}
+		if out.Quick {
+			out.Sizes = []int{8, 4096}
+		}
+	}
+	return out
+}
+
+// Delta is the Δ threshold used in all RBFT experiments: the paper tunes it
+// tightly from the observed fault-free master/backup ratio (~2% gap in
+// figure 9), which is what bounds the worst-attack-2 damage to ~3%.
+const Delta = 0.97
+
+// rbftConfig builds the standard RBFT simulation configuration used across
+// experiments.
+func rbftConfig(f, size int, offered float64, o Options) sim.Config {
+	clients := 10
+	return sim.Config{
+		F:            f,
+		Cost:         sim.DefaultCostModel(),
+		Seed:         o.Seed + 1,
+		BatchSize:    64,
+		BatchTimeout: 2 * time.Millisecond,
+		Monitoring: monitor.Config{
+			// A window long enough to hold many batches even at 4kB keeps
+			// the Δ measurement's quantisation noise well under 1-Δ.
+			Period:      500 * time.Millisecond,
+			Delta:       Delta,
+			MinRequests: 64,
+		},
+		Workload: sim.StaticLoad(clients, offered/float64(clients), size),
+		Warmup:   o.Warmup,
+	}
+}
+
+// saturationLoad approximates 80% of the RBFT cluster's capacity for a
+// request size at f=1 — high enough to be "saturating" in the paper's sense
+// while keeping queues stable so relative-throughput ratios are clean.
+func saturationLoad(size int) float64 { return loadFor(1, size) }
+
+// loadFor is saturationLoad scaled down for larger clusters (bigger MAC
+// authenticators and more propagation traffic per request).
+func loadFor(f, size int) float64 {
+	// Calibrated capacities: ~33 kreq/s at 8B, ~5 kreq/s at 4kB, with the
+	// size-dependent per-request cost interpolating between them.
+	perReq := 30e-6 + float64(size)/1024*42e-6
+	load := 0.8 / perReq
+	if f > 1 {
+		// Larger clusters pay more per request (wider MAC authenticators,
+		// more propagation); keep the same relative headroom.
+		load *= 0.6
+	}
+	return load
+}
+
+// dynamicWorkload builds the paper's dynamic load for a request size and
+// cluster: the 50-client spike reaches about the static load level.
+func dynamicWorkload(f, size int, o Options) sim.Workload {
+	stepDur := o.RunTime / 9
+	perClient := loadFor(f, size) / 50
+	return sim.DynamicLoad(perClient, size, stepDur)
+}
+
+// runExecuted runs a simulation and returns the executed-request count on a
+// designated correct node, plus the full result.
+func runExecuted(cfg sim.Config, runTime time.Duration, correct types.NodeID) (int, *sim.Result) {
+	res := sim.New(cfg).Run(runTime)
+	return res.ExecutedPerNode[correct], res
+}
+
+// pct returns 100*a/b, guarding division by zero.
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

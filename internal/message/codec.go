@@ -1,0 +1,389 @@
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rbft/internal/crypto"
+	"rbft/internal/types"
+)
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("message: truncated encoding")
+	ErrUnknownType = errors.New("message: unknown message type")
+	ErrOversized   = errors.New("message: length field exceeds limits")
+)
+
+// maxFieldLen bounds variable-length fields so a malformed length prefix
+// cannot trigger a huge allocation.
+const maxFieldLen = 16 << 20
+
+func putU64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
+
+// writer is an append-only encoding buffer.
+type writer struct{ b []byte }
+
+func (w *writer) u8(v uint8) { w.b = append(w.b, v) }
+func (w *writer) u32(v uint32) {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	w.b = append(w.b, buf[:]...)
+}
+
+func (w *writer) u64(v uint64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	w.b = append(w.b, buf[:]...)
+}
+
+func (w *writer) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+func (w *writer) digest(d types.Digest) { w.b = append(w.b, d[:]...) }
+
+func (w *writer) refs(refs []types.RequestRef) {
+	w.u32(uint32(len(refs)))
+	for _, r := range refs {
+		w.u64(uint64(r.Client))
+		w.u64(uint64(r.ID))
+		w.digest(r.Digest)
+	}
+}
+
+func (w *writer) auth(a crypto.Authenticator) {
+	w.u32(uint32(len(a)))
+	for _, m := range a {
+		w.b = append(w.b, m[:]...)
+	}
+}
+
+// reader decodes from a byte slice, latching the first error.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *reader) u8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *reader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+func (r *reader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if n > maxFieldLen {
+		r.fail(ErrOversized)
+		return nil
+	}
+	p := r.take(int(n))
+	if p == nil && n > 0 {
+		return nil
+	}
+	// Present-but-empty fields decode to an empty (non-nil) slice so
+	// encode/decode round trips preserve shape.
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+func (r *reader) digest() types.Digest {
+	var d types.Digest
+	p := r.take(types.DigestSize)
+	if p != nil {
+		copy(d[:], p)
+	}
+	return d
+}
+
+func (r *reader) mac() crypto.MAC {
+	var m crypto.MAC
+	p := r.take(crypto.MACSize)
+	if p != nil {
+		copy(m[:], p)
+	}
+	return m
+}
+
+func (r *reader) refs() []types.RequestRef {
+	n := r.u32()
+	if n > maxFieldLen/types.DigestSize {
+		r.fail(ErrOversized)
+		return nil
+	}
+	refs := make([]types.RequestRef, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		ref := types.RequestRef{
+			Client: types.ClientID(r.u64()),
+			ID:     types.RequestID(r.u64()),
+			Digest: r.digest(),
+		}
+		refs = append(refs, ref)
+	}
+	return refs
+}
+
+func (r *reader) auth() crypto.Authenticator {
+	n := r.u32()
+	if n > maxFieldLen/crypto.MACSize {
+		r.fail(ErrOversized)
+		return nil
+	}
+	a := make(crypto.Authenticator, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		a = append(a, r.mac())
+	}
+	return a
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrTruncated, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// Decode parses a full wire encoding back into a Message.
+func Decode(data []byte) (Message, error) {
+	r := &reader{b: data}
+	t := Type(r.u8())
+	if r.err != nil {
+		return nil, r.err
+	}
+	var m Message
+	switch t {
+	case TypeRequest:
+		m = decodeRequest(r)
+	case TypePropagate:
+		m = decodePropagate(r)
+	case TypePrePrepare:
+		m = decodePrePrepare(r)
+	case TypePrepare:
+		p := &Prepare{}
+		p.Instance, p.View, p.Seq, p.Digest, p.Node = decodePhase(r)
+		p.Auth = r.auth()
+		m = p
+	case TypeCommit:
+		c := &Commit{}
+		c.Instance, c.View, c.Seq, c.Digest, c.Node = decodePhase(r)
+		c.Auth = r.auth()
+		m = c
+	case TypeReply:
+		m = decodeReply(r)
+	case TypeInstanceChange:
+		ic := &InstanceChange{CPI: r.u64(), Node: types.NodeID(r.u64())}
+		ic.Auth = r.auth()
+		m = ic
+	case TypeViewChange:
+		m = decodeViewChange(r)
+	case TypeNewView:
+		m = decodeNewView(r)
+	case TypeCheckpoint:
+		cp := &Checkpoint{
+			Instance: types.InstanceID(r.u64()),
+			Seq:      types.SeqNum(r.u64()),
+			Digest:   r.digest(),
+			Node:     types.NodeID(r.u64()),
+		}
+		cp.Auth = r.auth()
+		m = cp
+	case TypeInvalid:
+		iv := &Invalid{Node: types.NodeID(r.u64()), Padding: r.bytes()}
+		m = iv
+	case TypeFetch:
+		m = decodeFetch(r)
+	case TypeFetchResp:
+		m = decodeFetchResp(r)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodeRequest(r *reader) *Request {
+	return &Request{
+		Client: types.ClientID(r.u64()),
+		ID:     types.RequestID(r.u64()),
+		Op:     r.bytes(),
+		Sig:    r.bytes(),
+		Auth:   r.auth(),
+	}
+}
+
+func decodePropagate(r *reader) *Propagate {
+	p := &Propagate{Node: types.NodeID(r.u64())}
+	inner := r.bytes()
+	if r.err == nil {
+		ir := &reader{b: inner}
+		if t := Type(ir.u8()); t != TypeRequest {
+			r.fail(fmt.Errorf("%w: propagate inner type %d", ErrUnknownType, t))
+			return p
+		}
+		p.Req = Request{
+			Client: types.ClientID(ir.u64()),
+			ID:     types.RequestID(ir.u64()),
+			Op:     ir.bytes(),
+			Sig:    ir.bytes(),
+		}
+		if err := ir.done(); err != nil {
+			r.fail(err)
+		}
+	}
+	p.Auth = r.auth()
+	return p
+}
+
+func decodePrePrepare(r *reader) *PrePrepare {
+	pp := &PrePrepare{
+		Instance: types.InstanceID(r.u64()),
+		View:     types.View(r.u64()),
+		Seq:      types.SeqNum(r.u64()),
+		Node:     types.NodeID(r.u64()),
+	}
+	pp.Batch = r.refs()
+	pp.Auth = r.auth()
+	return pp
+}
+
+func decodePhase(r *reader) (types.InstanceID, types.View, types.SeqNum, types.Digest, types.NodeID) {
+	return types.InstanceID(r.u64()), types.View(r.u64()), types.SeqNum(r.u64()), r.digest(), types.NodeID(r.u64())
+}
+
+func decodeReply(r *reader) *Reply {
+	rep := &Reply{
+		Client: types.ClientID(r.u64()),
+		ID:     types.RequestID(r.u64()),
+		Node:   types.NodeID(r.u64()),
+		Result: r.bytes(),
+	}
+	rep.MAC = r.mac()
+	return rep
+}
+
+func decodeViewChange(r *reader) *ViewChange {
+	vc := &ViewChange{
+		Instance:  types.InstanceID(r.u64()),
+		NewView:   types.View(r.u64()),
+		StableSeq: types.SeqNum(r.u64()),
+		Node:      types.NodeID(r.u64()),
+	}
+	n := r.u32()
+	if n > maxFieldLen/types.DigestSize {
+		r.fail(ErrOversized)
+		return vc
+	}
+	vc.Prepared = make([]PreparedProof, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		p := PreparedProof{
+			Seq:    types.SeqNum(r.u64()),
+			View:   types.View(r.u64()),
+			Digest: r.digest(),
+		}
+		p.Batch = r.refs()
+		vc.Prepared = append(vc.Prepared, p)
+	}
+	vc.Sig = r.bytes()
+	return vc
+}
+
+func decodeNewView(r *reader) *NewView {
+	nv := &NewView{
+		Instance: types.InstanceID(r.u64()),
+		View:     types.View(r.u64()),
+		Node:     types.NodeID(r.u64()),
+	}
+	nvc := r.u32()
+	if nvc > 1<<16 {
+		r.fail(ErrOversized)
+		return nv
+	}
+	nv.ViewChanges = make([]ViewChange, 0, nvc)
+	for i := uint32(0); i < nvc && r.err == nil; i++ {
+		sub, err := decodeSub(r.bytes())
+		if err != nil {
+			r.fail(err)
+			return nv
+		}
+		vc, ok := sub.(*ViewChange)
+		if !ok {
+			r.fail(fmt.Errorf("%w: new-view embeds %T", ErrUnknownType, sub))
+			return nv
+		}
+		nv.ViewChanges = append(nv.ViewChanges, *vc)
+	}
+	npp := r.u32()
+	if npp > 1<<16 {
+		r.fail(ErrOversized)
+		return nv
+	}
+	nv.PrePrepares = make([]PrePrepare, 0, npp)
+	for i := uint32(0); i < npp && r.err == nil; i++ {
+		sub, err := decodeSub(r.bytes())
+		if err != nil {
+			r.fail(err)
+			return nv
+		}
+		pp, ok := sub.(*PrePrepare)
+		if !ok {
+			r.fail(fmt.Errorf("%w: new-view embeds %T", ErrUnknownType, sub))
+			return nv
+		}
+		nv.PrePrepares = append(nv.PrePrepares, *pp)
+	}
+	nv.Auth = r.auth()
+	return nv
+}
+
+func decodeSub(data []byte) (Message, error) {
+	if data == nil {
+		return nil, ErrTruncated
+	}
+	return Decode(data)
+}

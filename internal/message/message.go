@@ -1,0 +1,506 @@
+// Package message defines every RBFT wire message and its binary encoding.
+//
+// Each message type carries its own authentication material (a signature, a
+// single MAC, or a MAC authenticator with one entry per node). Authentication
+// always covers the message body — the encoding of every field except the
+// authentication material itself — which the Body method exposes so senders
+// can authenticate and receivers can verify without re-implementing the
+// codec.
+package message
+
+import (
+	"rbft/internal/crypto"
+	"rbft/internal/types"
+)
+
+// Type discriminates wire messages.
+type Type uint8
+
+// Wire message types.
+const (
+	TypeRequest Type = iota + 1
+	TypePropagate
+	TypePrePrepare
+	TypePrepare
+	TypeCommit
+	TypeReply
+	TypeInstanceChange
+	TypeViewChange
+	TypeNewView
+	TypeCheckpoint
+	TypeInvalid // deliberately malformed traffic used by flooding attackers
+)
+
+var typeNames = map[Type]string{
+	TypeRequest:        "REQUEST",
+	TypePropagate:      "PROPAGATE",
+	TypePrePrepare:     "PRE-PREPARE",
+	TypePrepare:        "PREPARE",
+	TypeCommit:         "COMMIT",
+	TypeReply:          "REPLY",
+	TypeInstanceChange: "INSTANCE-CHANGE",
+	TypeViewChange:     "VIEW-CHANGE",
+	TypeNewView:        "NEW-VIEW",
+	TypeCheckpoint:     "CHECKPOINT",
+	TypeInvalid:        "INVALID",
+	TypeFetch:          "FETCH",
+	TypeFetchResp:      "FETCH-RESP",
+}
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return "UNKNOWN"
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	// MsgType returns the wire type tag.
+	MsgType() Type
+	// Marshal appends the full wire encoding (type tag, body,
+	// authentication material) to dst and returns the result.
+	Marshal(dst []byte) []byte
+	// Body returns the authenticated portion of the encoding: type tag and
+	// all fields except the authentication material.
+	Body() []byte
+}
+
+// Request is the client's signed request: operation o, request id rid, client
+// id c, signed with the client's key and wrapped in a MAC authenticator for
+// all nodes.
+type Request struct {
+	Client types.ClientID
+	ID     types.RequestID
+	Op     []byte
+
+	Sig  []byte
+	Auth crypto.Authenticator
+}
+
+var _ Message = (*Request)(nil)
+
+// MsgType implements Message.
+func (m *Request) MsgType() Type { return TypeRequest }
+
+// Ref returns the ordering identifier of the request.
+func (m *Request) Ref() types.RequestRef {
+	return types.RequestRef{Client: m.Client, ID: m.ID, Digest: m.OpDigest()}
+}
+
+// OpDigest hashes the request operation together with its origin, binding the
+// digest to the (client, id) pair.
+func (m *Request) OpDigest() types.Digest {
+	var hdr [16]byte
+	putU64(hdr[0:], uint64(m.Client))
+	putU64(hdr[8:], uint64(m.ID))
+	buf := make([]byte, 0, 16+len(m.Op))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, m.Op...)
+	return crypto.Digest(buf)
+}
+
+// SignedBody returns the portion of the request covered by the client
+// signature (everything except signature and authenticator).
+func (m *Request) SignedBody() []byte {
+	var w writer
+	w.u8(uint8(TypeRequest))
+	w.u64(uint64(m.Client))
+	w.u64(uint64(m.ID))
+	w.bytes(m.Op)
+	return w.b
+}
+
+// Body implements Message. The MAC authenticator covers the signed body plus
+// the signature, so a tampered signature is caught at MAC cost.
+func (m *Request) Body() []byte {
+	var w writer
+	w.b = m.SignedBody()
+	w.bytes(m.Sig)
+	return w.b
+}
+
+// Marshal implements Message.
+func (m *Request) Marshal(dst []byte) []byte {
+	var w writer
+	w.b = append(dst, m.Body()...)
+	w.auth(m.Auth)
+	return w.b
+}
+
+// Propagate is a node's forwarding of a verified client request to all other
+// nodes, authenticated with a MAC authenticator.
+type Propagate struct {
+	Req  Request // embedded request (with its client signature, no client auth)
+	Node types.NodeID
+
+	Auth crypto.Authenticator
+}
+
+var _ Message = (*Propagate)(nil)
+
+// MsgType implements Message.
+func (m *Propagate) MsgType() Type { return TypePropagate }
+
+// Body implements Message.
+func (m *Propagate) Body() []byte {
+	var w writer
+	w.u8(uint8(TypePropagate))
+	w.u64(uint64(m.Node))
+	inner := m.Req.SignedBody()
+	var iw writer
+	iw.b = inner
+	iw.bytes(m.Req.Sig)
+	w.bytes(iw.b)
+	return w.b
+}
+
+// Marshal implements Message.
+func (m *Propagate) Marshal(dst []byte) []byte {
+	var w writer
+	w.b = append(dst, m.Body()...)
+	w.auth(m.Auth)
+	return w.b
+}
+
+// PrePrepare is the ordering proposal from an instance's primary. It assigns
+// sequence number Seq in view View to a batch of request references.
+type PrePrepare struct {
+	Instance types.InstanceID
+	View     types.View
+	Seq      types.SeqNum
+	Batch    []types.RequestRef
+	Node     types.NodeID
+
+	Auth crypto.Authenticator
+}
+
+var _ Message = (*PrePrepare)(nil)
+
+// MsgType implements Message.
+func (m *PrePrepare) MsgType() Type { return TypePrePrepare }
+
+// BatchDigest hashes the batch contents, binding instance, view and sequence
+// number.
+func (m *PrePrepare) BatchDigest() types.Digest {
+	var w writer
+	w.u64(uint64(m.Instance))
+	w.u64(uint64(m.View))
+	w.u64(uint64(m.Seq))
+	w.refs(m.Batch)
+	return crypto.Digest(w.b)
+}
+
+// Body implements Message.
+func (m *PrePrepare) Body() []byte {
+	var w writer
+	w.u8(uint8(TypePrePrepare))
+	w.u64(uint64(m.Instance))
+	w.u64(uint64(m.View))
+	w.u64(uint64(m.Seq))
+	w.u64(uint64(m.Node))
+	w.refs(m.Batch)
+	return w.b
+}
+
+// Marshal implements Message.
+func (m *PrePrepare) Marshal(dst []byte) []byte {
+	var w writer
+	w.b = append(dst, m.Body()...)
+	w.auth(m.Auth)
+	return w.b
+}
+
+// Prepare is a non-primary replica's echo of a PRE-PREPARE.
+type Prepare struct {
+	Instance types.InstanceID
+	View     types.View
+	Seq      types.SeqNum
+	Digest   types.Digest // batch digest
+	Node     types.NodeID
+
+	Auth crypto.Authenticator
+}
+
+var _ Message = (*Prepare)(nil)
+
+// MsgType implements Message.
+func (m *Prepare) MsgType() Type { return TypePrepare }
+
+// Body implements Message.
+func (m *Prepare) Body() []byte {
+	return phaseBody(TypePrepare, m.Instance, m.View, m.Seq, m.Digest, m.Node)
+}
+
+// Marshal implements Message.
+func (m *Prepare) Marshal(dst []byte) []byte {
+	var w writer
+	w.b = append(dst, m.Body()...)
+	w.auth(m.Auth)
+	return w.b
+}
+
+// Commit is the third-phase message: the sender has collected a prepared
+// certificate for (view, seq, digest).
+type Commit struct {
+	Instance types.InstanceID
+	View     types.View
+	Seq      types.SeqNum
+	Digest   types.Digest
+	Node     types.NodeID
+
+	Auth crypto.Authenticator
+}
+
+var _ Message = (*Commit)(nil)
+
+// MsgType implements Message.
+func (m *Commit) MsgType() Type { return TypeCommit }
+
+// Body implements Message.
+func (m *Commit) Body() []byte {
+	return phaseBody(TypeCommit, m.Instance, m.View, m.Seq, m.Digest, m.Node)
+}
+
+// Marshal implements Message.
+func (m *Commit) Marshal(dst []byte) []byte {
+	var w writer
+	w.b = append(dst, m.Body()...)
+	w.auth(m.Auth)
+	return w.b
+}
+
+func phaseBody(t Type, inst types.InstanceID, v types.View, n types.SeqNum, d types.Digest, node types.NodeID) []byte {
+	var w writer
+	w.u8(uint8(t))
+	w.u64(uint64(inst))
+	w.u64(uint64(v))
+	w.u64(uint64(n))
+	w.digest(d)
+	w.u64(uint64(node))
+	return w.b
+}
+
+// Reply carries the execution result back to the client, authenticated with a
+// single node-to-client MAC.
+type Reply struct {
+	Client types.ClientID
+	ID     types.RequestID
+	Result []byte
+	Node   types.NodeID
+
+	MAC crypto.MAC
+}
+
+var _ Message = (*Reply)(nil)
+
+// MsgType implements Message.
+func (m *Reply) MsgType() Type { return TypeReply }
+
+// Body implements Message.
+func (m *Reply) Body() []byte {
+	var w writer
+	w.u8(uint8(TypeReply))
+	w.u64(uint64(m.Client))
+	w.u64(uint64(m.ID))
+	w.u64(uint64(m.Node))
+	w.bytes(m.Result)
+	return w.b
+}
+
+// Marshal implements Message.
+func (m *Reply) Marshal(dst []byte) []byte {
+	var w writer
+	w.b = append(dst, m.Body()...)
+	w.b = append(w.b, m.MAC[:]...)
+	return w.b
+}
+
+// InstanceChange is a node's vote that the master instance's primary is
+// malicious. CPI uniquely identifies the protocol-instance-change round.
+type InstanceChange struct {
+	CPI  uint64
+	Node types.NodeID
+
+	Auth crypto.Authenticator
+}
+
+var _ Message = (*InstanceChange)(nil)
+
+// MsgType implements Message.
+func (m *InstanceChange) MsgType() Type { return TypeInstanceChange }
+
+// Body implements Message.
+func (m *InstanceChange) Body() []byte {
+	var w writer
+	w.u8(uint8(TypeInstanceChange))
+	w.u64(m.CPI)
+	w.u64(uint64(m.Node))
+	return w.b
+}
+
+// Marshal implements Message.
+func (m *InstanceChange) Marshal(dst []byte) []byte {
+	var w writer
+	w.b = append(dst, m.Body()...)
+	w.auth(m.Auth)
+	return w.b
+}
+
+// PreparedProof is one prepared-but-possibly-uncommitted entry carried in a
+// VIEW-CHANGE so the new primary can re-propose it.
+type PreparedProof struct {
+	Seq    types.SeqNum
+	View   types.View // view in which it prepared
+	Digest types.Digest
+	Batch  []types.RequestRef
+}
+
+// ViewChange is a replica's signed report of its prepared state when moving
+// to NewView. Signed (not MAC'd) because it is relayed inside NEW-VIEW.
+type ViewChange struct {
+	Instance  types.InstanceID
+	NewView   types.View
+	StableSeq types.SeqNum // last stable checkpoint sequence
+	Prepared  []PreparedProof
+	Node      types.NodeID
+
+	Sig []byte
+}
+
+var _ Message = (*ViewChange)(nil)
+
+// MsgType implements Message.
+func (m *ViewChange) MsgType() Type { return TypeViewChange }
+
+// Body implements Message.
+func (m *ViewChange) Body() []byte {
+	var w writer
+	w.u8(uint8(TypeViewChange))
+	w.u64(uint64(m.Instance))
+	w.u64(uint64(m.NewView))
+	w.u64(uint64(m.StableSeq))
+	w.u64(uint64(m.Node))
+	w.u32(uint32(len(m.Prepared)))
+	for _, p := range m.Prepared {
+		w.u64(uint64(p.Seq))
+		w.u64(uint64(p.View))
+		w.digest(p.Digest)
+		w.refs(p.Batch)
+	}
+	return w.b
+}
+
+// Marshal implements Message.
+func (m *ViewChange) Marshal(dst []byte) []byte {
+	var w writer
+	w.b = append(dst, m.Body()...)
+	w.bytes(m.Sig)
+	return w.b
+}
+
+// NewView is the new primary's installation message for a view: the 2f+1
+// VIEW-CHANGE proofs it collected and the PRE-PREPAREs it re-issues for
+// prepared-but-uncommitted sequence numbers.
+type NewView struct {
+	Instance    types.InstanceID
+	View        types.View
+	ViewChanges []ViewChange
+	PrePrepares []PrePrepare
+	Node        types.NodeID
+
+	Auth crypto.Authenticator
+}
+
+var _ Message = (*NewView)(nil)
+
+// MsgType implements Message.
+func (m *NewView) MsgType() Type { return TypeNewView }
+
+// Body implements Message.
+func (m *NewView) Body() []byte {
+	var w writer
+	w.u8(uint8(TypeNewView))
+	w.u64(uint64(m.Instance))
+	w.u64(uint64(m.View))
+	w.u64(uint64(m.Node))
+	w.u32(uint32(len(m.ViewChanges)))
+	for i := range m.ViewChanges {
+		w.bytes(m.ViewChanges[i].Marshal(nil))
+	}
+	w.u32(uint32(len(m.PrePrepares)))
+	for i := range m.PrePrepares {
+		w.bytes(m.PrePrepares[i].Marshal(nil))
+	}
+	return w.b
+}
+
+// Marshal implements Message.
+func (m *NewView) Marshal(dst []byte) []byte {
+	var w writer
+	w.b = append(dst, m.Body()...)
+	w.auth(m.Auth)
+	return w.b
+}
+
+// Checkpoint advertises a replica's ordering-log digest at sequence Seq so
+// replicas can establish stable checkpoints and garbage-collect their logs.
+type Checkpoint struct {
+	Instance types.InstanceID
+	Seq      types.SeqNum
+	Digest   types.Digest
+	Node     types.NodeID
+
+	Auth crypto.Authenticator
+}
+
+var _ Message = (*Checkpoint)(nil)
+
+// MsgType implements Message.
+func (m *Checkpoint) MsgType() Type { return TypeCheckpoint }
+
+// Body implements Message.
+func (m *Checkpoint) Body() []byte {
+	var w writer
+	w.u8(uint8(TypeCheckpoint))
+	w.u64(uint64(m.Instance))
+	w.u64(uint64(m.Seq))
+	w.digest(m.Digest)
+	w.u64(uint64(m.Node))
+	return w.b
+}
+
+// Marshal implements Message.
+func (m *Checkpoint) Marshal(dst []byte) []byte {
+	var w writer
+	w.b = append(dst, m.Body()...)
+	w.auth(m.Auth)
+	return w.b
+}
+
+// Invalid is a deliberately garbage message used by the attack harness to
+// model flooding with unverifiable traffic of a chosen size.
+type Invalid struct {
+	Node    types.NodeID
+	Padding []byte
+}
+
+var _ Message = (*Invalid)(nil)
+
+// MsgType implements Message.
+func (m *Invalid) MsgType() Type { return TypeInvalid }
+
+// Body implements Message.
+func (m *Invalid) Body() []byte {
+	var w writer
+	w.u8(uint8(TypeInvalid))
+	w.u64(uint64(m.Node))
+	w.bytes(m.Padding)
+	return w.b
+}
+
+// Marshal implements Message.
+func (m *Invalid) Marshal(dst []byte) []byte {
+	return append(dst, m.Body()...)
+}

@@ -1,0 +1,186 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"rbft/internal/types"
+)
+
+func ref(c types.ClientID, id types.RequestID) types.RequestRef {
+	return types.RequestRef{Client: c, ID: id, Digest: types.Digest{byte(c), byte(id)}}
+}
+
+func TestDeltaTestFiresWhenMasterSlow(t *testing.T) {
+	m := New(Config{Instances: 2, Period: 100 * time.Millisecond, Delta: 0.9, MinRequests: 5})
+	now := time.Unix(0, 0)
+	for i := 0; i < 20; i++ {
+		r := ref(0, types.RequestID(i))
+		m.RequestDispatched(r, now)
+		m.RequestOrdered(1, r, now) // backup orders everything
+		if i < 5 {
+			m.RequestOrdered(0, r, now) // master orders only 25%
+		}
+	}
+	v := m.Tick(now.Add(100 * time.Millisecond))
+	if !v.Suspicious || v.Reason != ReasonThroughput {
+		t.Fatalf("verdict = %+v, want throughput suspicion", v)
+	}
+	if v.Ratio < 0.2 || v.Ratio > 0.3 {
+		t.Fatalf("ratio = %v, want 0.25", v.Ratio)
+	}
+}
+
+func TestDeltaTestPassesWhenBalanced(t *testing.T) {
+	m := New(Config{Instances: 2, Period: 100 * time.Millisecond, Delta: 0.9, MinRequests: 5})
+	now := time.Unix(0, 0)
+	for i := 0; i < 20; i++ {
+		r := ref(0, types.RequestID(i))
+		m.RequestDispatched(r, now)
+		m.RequestOrdered(1, r, now)
+		m.RequestOrdered(0, r, now)
+	}
+	if v := m.Tick(now.Add(100 * time.Millisecond)); v.Suspicious {
+		t.Fatalf("balanced instances flagged: %+v", v)
+	}
+}
+
+func TestDeltaTestSuppressedBelowMinRequests(t *testing.T) {
+	m := New(Config{Instances: 2, Period: 100 * time.Millisecond, Delta: 0.9, MinRequests: 50})
+	now := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		r := ref(0, types.RequestID(i))
+		m.RequestDispatched(r, now)
+		m.RequestOrdered(1, r, now)
+	}
+	if v := m.Tick(now.Add(100 * time.Millisecond)); v.Suspicious {
+		t.Fatal("idle-period noise must not trigger the delta test")
+	}
+}
+
+func TestTickBeforePeriodEndIsNoop(t *testing.T) {
+	m := New(Config{Instances: 2, Period: 100 * time.Millisecond, MinRequests: 1})
+	now := time.Unix(0, 0)
+	r := ref(0, 1)
+	m.RequestDispatched(r, now)
+	m.RequestOrdered(1, r, now)
+	if v := m.Tick(now.Add(50 * time.Millisecond)); v.Suspicious {
+		t.Fatal("tick before period end must not evaluate")
+	}
+}
+
+func TestLambdaTest(t *testing.T) {
+	m := New(Config{Instances: 2, Lambda: time.Millisecond})
+	now := time.Unix(0, 0)
+	r := ref(0, 1)
+	m.RequestDispatched(r, now)
+	v := m.RequestOrdered(0, r, now.Add(2*time.Millisecond))
+	if !v.Suspicious || v.Reason != ReasonLatency {
+		t.Fatalf("verdict = %+v, want latency suspicion", v)
+	}
+	// Within the bound: fine.
+	r2 := ref(0, 2)
+	m.RequestDispatched(r2, now)
+	if v := m.RequestOrdered(0, r2, now.Add(500*time.Microsecond)); v.Suspicious {
+		t.Fatalf("fast request flagged: %+v", v)
+	}
+}
+
+func TestLambdaIgnoresBackupLatency(t *testing.T) {
+	m := New(Config{Instances: 2, Lambda: time.Millisecond})
+	now := time.Unix(0, 0)
+	r := ref(0, 1)
+	m.RequestDispatched(r, now)
+	if v := m.RequestOrdered(1, r, now.Add(time.Hour)); v.Suspicious {
+		t.Fatal("lambda applies only to master-ordered requests")
+	}
+}
+
+func TestOmegaTest(t *testing.T) {
+	m := New(Config{Instances: 2, Omega: time.Millisecond})
+	now := time.Unix(0, 0)
+	// Build up a history where the backup orders promptly but the master is
+	// slow for this client.
+	for i := 1; i <= 10; i++ {
+		r := ref(3, types.RequestID(i))
+		m.RequestDispatched(r, now)
+		m.RequestOrdered(1, r, now.Add(100*time.Microsecond))
+		v := m.RequestOrdered(0, r, now.Add(5*time.Millisecond))
+		if i >= 2 && (!v.Suspicious || v.Reason != ReasonFairness) {
+			t.Fatalf("request %d: verdict = %+v, want fairness suspicion", i, v)
+		}
+	}
+}
+
+func TestOmegaPassesWhenFair(t *testing.T) {
+	m := New(Config{Instances: 2, Omega: time.Millisecond})
+	now := time.Unix(0, 0)
+	for i := 1; i <= 10; i++ {
+		r := ref(3, types.RequestID(i))
+		m.RequestDispatched(r, now)
+		m.RequestOrdered(1, r, now.Add(100*time.Microsecond))
+		if v := m.RequestOrdered(0, r, now.Add(200*time.Microsecond)); v.Suspicious {
+			t.Fatalf("fair master flagged: %+v", v)
+		}
+	}
+}
+
+func TestThroughputReporting(t *testing.T) {
+	m := New(Config{Instances: 2, Period: time.Second, MinRequests: 1})
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		r := ref(0, types.RequestID(i))
+		m.RequestDispatched(r, now)
+		m.RequestOrdered(0, r, now)
+		m.RequestOrdered(1, r, now)
+	}
+	m.Tick(now.Add(time.Second))
+	tp := m.Throughput()
+	if len(tp) != 2 || tp[0] != 100 || tp[1] != 100 {
+		t.Fatalf("throughput = %v, want [100 100]", tp)
+	}
+}
+
+func TestResetClearsCountsButKeepsDispatch(t *testing.T) {
+	m := New(Config{Instances: 2, Period: time.Second, MinRequests: 1, Lambda: time.Hour})
+	now := time.Unix(0, 0)
+	r := ref(0, 1)
+	m.RequestDispatched(r, now)
+	m.Reset(now.Add(time.Millisecond))
+	// The in-flight request still completes and is measured.
+	v := m.RequestOrdered(0, r, now.Add(2*time.Millisecond))
+	if v.Suspicious {
+		t.Fatalf("unexpected suspicion after reset: %+v", v)
+	}
+	if m.NextWake().IsZero() {
+		t.Fatal("monitor must stay armed after reset")
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	for r, want := range map[Reason]string{
+		ReasonNone:       "none",
+		ReasonThroughput: "throughput-delta",
+		ReasonLatency:    "latency-lambda",
+		ReasonFairness:   "fairness-omega",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("Reason(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestMasterSilentRatioZero(t *testing.T) {
+	m := New(Config{Instances: 3, Period: 100 * time.Millisecond, Delta: 0.9, MinRequests: 5})
+	now := time.Unix(0, 0)
+	for i := 0; i < 30; i++ {
+		r := ref(0, types.RequestID(i))
+		m.RequestDispatched(r, now)
+		m.RequestOrdered(1, r, now)
+		m.RequestOrdered(2, r, now)
+	}
+	v := m.Tick(now.Add(100 * time.Millisecond))
+	if !v.Suspicious || v.Ratio != 0 {
+		t.Fatalf("silent master: verdict = %+v, want ratio 0 suspicion", v)
+	}
+}

@@ -1,0 +1,267 @@
+package pbft
+
+import (
+	"fmt"
+	"time"
+
+	"rbft/internal/crypto"
+	"rbft/internal/message"
+	"rbft/internal/types"
+)
+
+// Catch-up (batch fetch). Transports are FIFO but not immune to loss: a
+// flood-closed NIC interval, a dropped UDP datagram or an overloaded receive
+// queue can leave a replica with a delivery gap it can never fill from the
+// normal flow (the COMMITs are gone). The checkpoint stream reveals the gap:
+// when f+1 distinct peers advertise a matching checkpoint digest at a
+// sequence this replica has not delivered, at least one correct peer is
+// ahead, so the missing batches are committed and safe to fetch. The replica
+// asks every peer for the range and adopts a batch once f+1 distinct peers
+// return identical content.
+
+const (
+	// fetchChunk caps the sequence range served per FETCH.
+	fetchChunk = 64
+	// fetchRetry is the re-request interval while a gap persists.
+	fetchRetry = 100 * time.Millisecond
+	// retainDeliveredFactor scales how many delivered batches are kept for
+	// serving fetches, in units of the watermark window.
+	retainDeliveredFactor = 2
+)
+
+// deliveredBatch is a retained copy of a delivered batch.
+type deliveredBatch struct {
+	view types.View
+	refs []types.RequestRef
+}
+
+// fetchState tracks one outstanding catch-up.
+type fetchState struct {
+	target   types.SeqNum // highest sequence evidence says is committed
+	deadline time.Time    // next retry
+	// votes[seq][node] is the refs-digest a peer returned.
+	votes map[types.SeqNum]map[types.NodeID]types.Digest
+	// payloads[seq][digest] retains one candidate batch per digest.
+	payloads map[types.SeqNum]map[types.Digest][]types.RequestRef
+}
+
+// noteCheckpointEvidence is called for every received CHECKPOINT; when f+1
+// distinct peers agree on a digest at a sequence beyond our deliveries, we
+// are behind and start (or extend) a fetch.
+func (in *Instance) noteCheckpointEvidence(seq types.SeqNum, now time.Time) Output {
+	var out Output
+	if seq <= in.lastDelivered {
+		return out
+	}
+	votes := in.checkpoints[seq]
+	if votes == nil {
+		return out
+	}
+	counts := make(map[types.Digest]int, len(votes))
+	behind := false
+	for _, d := range votes {
+		counts[d]++
+		if counts[d] >= in.cfg.Cluster.WeakQuorum() {
+			behind = true
+			break
+		}
+	}
+	if !behind {
+		return out
+	}
+	if in.fetch == nil {
+		in.fetch = &fetchState{
+			votes:    make(map[types.SeqNum]map[types.NodeID]types.Digest),
+			payloads: make(map[types.SeqNum]map[types.Digest][]types.RequestRef),
+		}
+	}
+	if seq > in.fetch.target {
+		in.fetch.target = seq
+	}
+	if in.fetch.deadline.IsZero() || !now.Before(in.fetch.deadline) {
+		out.merge(in.sendFetch(now))
+	}
+	return out
+}
+
+// sendFetch broadcasts the request for the current gap and arms the retry.
+func (in *Instance) sendFetch(now time.Time) Output {
+	var out Output
+	if in.fetch == nil || in.fetch.target <= in.lastDelivered {
+		in.fetch = nil
+		return out
+	}
+	in.fetch.deadline = now.Add(fetchRetry)
+	if in.behavior.Silent {
+		return out
+	}
+	f := &message.Fetch{
+		Instance: in.cfg.Instance,
+		FromSeq:  in.lastDelivered,
+		ToSeq:    in.fetch.target,
+		Node:     in.cfg.Node,
+	}
+	f.Auth = in.keys.AuthenticatorForNodes(in.cfg.Cluster.N, f.Body())
+	out.send(nil, f)
+	return out
+}
+
+// onFetch serves retained delivered batches for the requested range.
+func (in *Instance) onFetch(f *message.Fetch) (Output, error) {
+	var out Output
+	if f.Instance != in.cfg.Instance {
+		return out, fmt.Errorf("pbft: FETCH for instance %d on instance %d", f.Instance, in.cfg.Instance)
+	}
+	if in.behavior.Silent {
+		return out, nil
+	}
+	from := f.FromSeq
+	to := f.ToSeq
+	if to > in.lastDelivered {
+		to = in.lastDelivered
+	}
+	if to > from+fetchChunk {
+		to = from + fetchChunk
+	}
+	for seq := from + 1; seq <= to; seq++ {
+		db, ok := in.recentDelivered[seq]
+		if !ok {
+			continue // GC'd past the retention window
+		}
+		resp := &message.FetchResp{
+			Instance: in.cfg.Instance,
+			Seq:      seq,
+			Batch:    db.refs,
+			Node:     in.cfg.Node,
+		}
+		resp.Auth = in.keys.AuthenticatorForNodes(in.cfg.Cluster.N, resp.Body())
+		out.send([]types.NodeID{f.Node}, resp)
+	}
+	return out, nil
+}
+
+// onFetchResp tallies responses; f+1 identical batches from distinct peers
+// are adopted as delivered.
+func (in *Instance) onFetchResp(fr *message.FetchResp, now time.Time) (Output, error) {
+	var out Output
+	if fr.Instance != in.cfg.Instance {
+		return out, fmt.Errorf("pbft: FETCH-RESP for instance %d on instance %d", fr.Instance, in.cfg.Instance)
+	}
+	if in.fetch == nil || fr.Seq <= in.lastDelivered || fr.Seq > in.fetch.target {
+		return out, nil
+	}
+	digest := refsDigest(fr.Batch)
+	votes := in.fetch.votes[fr.Seq]
+	if votes == nil {
+		votes = make(map[types.NodeID]types.Digest, in.cfg.Cluster.WeakQuorum())
+		in.fetch.votes[fr.Seq] = votes
+	}
+	if _, dup := votes[fr.Node]; dup {
+		return out, nil
+	}
+	votes[fr.Node] = digest
+	payloads := in.fetch.payloads[fr.Seq]
+	if payloads == nil {
+		payloads = make(map[types.Digest][]types.RequestRef, 2)
+		in.fetch.payloads[fr.Seq] = payloads
+	}
+	if _, ok := payloads[digest]; !ok {
+		payloads[digest] = fr.Batch
+	}
+
+	matching := 0
+	for _, d := range votes {
+		if d == digest {
+			matching++
+		}
+	}
+	if matching < in.cfg.Cluster.WeakQuorum() {
+		return out, nil
+	}
+	// Adopt: mark the entry delivered with the fetched content.
+	e := in.entry(fr.Seq)
+	if !e.delivered {
+		e.delivered = true
+		e.havePP = true
+		e.view = in.view
+		e.batch = payloads[digest]
+		out.merge(in.deliverReady(now))
+	}
+	out.merge(in.fetchProgress(now))
+	return out, nil
+}
+
+// fetchProgress closes or re-arms the fetch after deliveries advanced.
+func (in *Instance) fetchProgress(now time.Time) Output {
+	var out Output
+	if in.fetch == nil {
+		return out
+	}
+	for seq := range in.fetch.votes {
+		if seq <= in.lastDelivered {
+			delete(in.fetch.votes, seq)
+			delete(in.fetch.payloads, seq)
+		}
+	}
+	if in.fetch.target <= in.lastDelivered {
+		in.fetch = nil
+		return out
+	}
+	return out
+}
+
+// fetchWake exposes the retry deadline to NextWake.
+func (in *Instance) fetchWake() time.Time {
+	if in.fetch == nil {
+		return time.Time{}
+	}
+	return in.fetch.deadline
+}
+
+// fetchTick retries an overdue fetch.
+func (in *Instance) fetchTick(now time.Time) Output {
+	var out Output
+	if in.fetch == nil || now.Before(in.fetch.deadline) {
+		return out
+	}
+	out.merge(in.fetchProgress(now))
+	if in.fetch != nil {
+		out.merge(in.sendFetch(now))
+	}
+	return out
+}
+
+// retainDelivered records a delivered batch for serving future fetches and
+// prunes the retention window.
+func (in *Instance) retainDelivered(seq types.SeqNum, view types.View, refs []types.RequestRef) {
+	in.recentDelivered[seq] = deliveredBatch{view: view, refs: refs}
+	retention := retainDeliveredFactor * in.cfg.WatermarkWindow
+	if seq > retention {
+		delete(in.recentDelivered, seq-retention)
+	}
+}
+
+// refsDigest hashes a batch's request refs (order-sensitive).
+func refsDigest(refs []types.RequestRef) types.Digest {
+	buf := make([]byte, 0, len(refs)*(16+types.DigestSize))
+	var tmp [8]byte
+	for _, r := range refs {
+		putU64(tmp[:], uint64(r.Client))
+		buf = append(buf, tmp[:]...)
+		putU64(tmp[:], uint64(r.ID))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, r.Digest[:]...)
+	}
+	return crypto.Digest(buf)
+}
+
+func putU64(b []byte, v uint64) {
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}

@@ -1,0 +1,162 @@
+package pbft
+
+import (
+	"testing"
+
+	"rbft/internal/message"
+	"rbft/internal/types"
+)
+
+// TestFetchRecoversPartitionedReplica: one replica loses all inbound traffic
+// while the others order and checkpoint past it; when connectivity returns,
+// checkpoint evidence reveals the gap and the fetch protocol fills it.
+func TestFetchRecoversPartitionedReplica(t *testing.T) {
+	tc := newTestCluster(t, 1, func(c *Config) {
+		c.BatchSize = 1
+		c.CheckpointInterval = 4
+		c.WatermarkWindow = 64
+	})
+	victim := types.NodeID(2)
+	tc.drop = func(from, to types.NodeID, m message.Message) bool {
+		return to == victim
+	}
+	for i := 0; i < 20; i++ {
+		tc.addRequest(ref(0, types.RequestID(i)))
+	}
+	if got := len(orderedRefs(tc.delivered[victim])); got != 0 {
+		t.Fatalf("victim delivered %d refs while partitioned", got)
+	}
+	for n := 0; n < tc.cfg.N; n++ {
+		if types.NodeID(n) == victim {
+			continue
+		}
+		if got := len(orderedRefs(tc.delivered[types.NodeID(n)])); got != 20 {
+			t.Fatalf("node %d delivered %d refs, want 20 (victim's absence must not stall)", n, got)
+		}
+	}
+
+	// Heal the partition; order more traffic so fresh checkpoints reach the
+	// victim and reveal its gap.
+	tc.drop = nil
+	for i := 20; i < 40; i++ {
+		tc.addRequest(ref(0, types.RequestID(i)))
+	}
+
+	want := orderedRefs(tc.delivered[0])
+	got := orderedRefs(tc.delivered[victim])
+	if len(got) != len(want) {
+		t.Fatalf("victim recovered %d of %d refs", len(got), len(want))
+	}
+	if !sameOrder(want, got) {
+		t.Fatal("victim's recovered order diverges")
+	}
+}
+
+// TestFetchRequiresWeakQuorum: a single (possibly faulty) responder cannot
+// make a replica adopt a batch.
+func TestFetchRequiresWeakQuorum(t *testing.T) {
+	tc := newTestCluster(t, 1, nil)
+	in := tc.replicas[0]
+	// Fabricate checkpoint evidence that seq 4 is committed elsewhere.
+	for _, from := range []types.NodeID{1, 2} {
+		cp := &message.Checkpoint{Instance: 0, Seq: 4, Digest: types.Digest{7}, Node: from}
+		if _, err := in.OnMessage(cp, tc.now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in.fetch == nil {
+		t.Fatal("f+1 checkpoint evidence did not start a fetch")
+	}
+	// One forged response must not be adopted.
+	forged := &message.FetchResp{Instance: 0, Seq: 1, Batch: []types.RequestRef{ref(9, 9)}, Node: 3}
+	if _, err := in.OnMessage(forged, tc.now); err != nil {
+		t.Fatal(err)
+	}
+	if in.lastDelivered != 0 {
+		t.Fatal("single fetch response was adopted")
+	}
+	// A second, matching response from a distinct node completes the weak
+	// quorum and delivers.
+	second := &message.FetchResp{Instance: 0, Seq: 1, Batch: []types.RequestRef{ref(9, 9)}, Node: 2}
+	out, err := in.OnMessage(second, tc.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.lastDelivered != 1 || len(out.Delivered) != 1 {
+		t.Fatalf("weak quorum did not deliver (lastDelivered=%d)", in.lastDelivered)
+	}
+}
+
+// TestFetchMismatchedResponsesDoNotCount: two responders with different
+// content do not form a quorum.
+func TestFetchMismatchedResponsesDoNotCount(t *testing.T) {
+	tc := newTestCluster(t, 1, nil)
+	in := tc.replicas[0]
+	for _, from := range []types.NodeID{1, 2} {
+		cp := &message.Checkpoint{Instance: 0, Seq: 4, Digest: types.Digest{7}, Node: from}
+		if _, err := in.OnMessage(cp, tc.now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := &message.FetchResp{Instance: 0, Seq: 1, Batch: []types.RequestRef{ref(1, 1)}, Node: 1}
+	b := &message.FetchResp{Instance: 0, Seq: 1, Batch: []types.RequestRef{ref(2, 2)}, Node: 2}
+	in.OnMessage(a, tc.now)
+	in.OnMessage(b, tc.now)
+	if in.lastDelivered != 0 {
+		t.Fatal("mismatched responses formed a quorum")
+	}
+}
+
+// TestFetchServesRetainedBatches: a replica answers FETCH with exactly what
+// it delivered.
+func TestFetchServesRetainedBatches(t *testing.T) {
+	tc := newTestCluster(t, 1, func(c *Config) { c.BatchSize = 1 })
+	for i := 0; i < 5; i++ {
+		tc.addRequest(ref(0, types.RequestID(i)))
+	}
+	in := tc.replicas[1]
+	req := &message.Fetch{Instance: 0, FromSeq: 0, ToSeq: 5, Node: 3}
+	out, err := in.OnMessage(req, tc.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := 0
+	for _, m := range out.Msgs {
+		fr, ok := m.Msg.(*message.FetchResp)
+		if !ok {
+			continue
+		}
+		resps++
+		if len(m.To) != 1 || m.To[0] != 3 {
+			t.Fatalf("response addressed to %v, want requester", m.To)
+		}
+		if len(fr.Batch) != 1 {
+			t.Fatalf("seq %d served %d refs", fr.Seq, len(fr.Batch))
+		}
+	}
+	if resps != 5 {
+		t.Fatalf("served %d responses, want 5", resps)
+	}
+}
+
+// TestFetchRespRoundTrip covers the new codec paths.
+func TestFetchCodecRoundTrip(t *testing.T) {
+	f := &message.Fetch{Instance: 1, FromSeq: 10, ToSeq: 20, Node: 2}
+	wire := f.Marshal(nil)
+	got, err := message.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := got.(*message.Fetch); !ok || g.FromSeq != 10 || g.ToSeq != 20 {
+		t.Fatalf("decoded %#v", got)
+	}
+	fr := &message.FetchResp{Instance: 1, Seq: 15, Batch: []types.RequestRef{ref(1, 2)}, Node: 0}
+	wire = fr.Marshal(nil)
+	got, err = message.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := got.(*message.FetchResp); !ok || g.Seq != 15 || len(g.Batch) != 1 {
+		t.Fatalf("decoded %#v", got)
+	}
+}

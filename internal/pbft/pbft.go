@@ -1,0 +1,806 @@
+// Package pbft implements one RBFT protocol instance: a PBFT-style
+// three-phase ordering state machine (PRE-PREPARE / PREPARE / COMMIT) with
+// request batching, watermarks, checkpoints, and an externally triggered view
+// change.
+//
+// An Instance is a pure state machine: it performs no I/O, spawns no
+// goroutines and never reads the wall clock. Every input handler takes the
+// current time and returns an Output describing the effects (messages to
+// send, batches delivered in sequence order). Drivers — the real-time runtime
+// and the discrete-event simulator — execute those effects. This is what lets
+// the same protocol code run over live TCP and inside the deterministic
+// simulator that regenerates the paper's figures.
+//
+// Differences from a standalone PBFT deployment, per the RBFT paper:
+//   - an instance never initiates a view change by itself; view changes are
+//     commanded by the node's instance-change mechanism and apply to every
+//     instance at once;
+//   - the instance orders request identifiers (client id, request id,
+//     digest), never request bodies;
+//   - a replica sends PREPARE for a batch only once its node has collected
+//     f+1 PROPAGATE copies of every request in the batch (the node signals
+//     this through AddRequest).
+package pbft
+
+import (
+	"fmt"
+	"time"
+
+	"rbft/internal/crypto"
+	"rbft/internal/message"
+	"rbft/internal/types"
+)
+
+// Config parameterises one protocol instance replica.
+type Config struct {
+	// Cluster is the 3f+1 cluster configuration.
+	Cluster types.Config
+	// Instance identifies which of the f+1 instances this replica belongs to.
+	Instance types.InstanceID
+	// Node is the node hosting this replica.
+	Node types.NodeID
+	// BatchSize is the maximum number of request refs per PRE-PREPARE.
+	BatchSize int
+	// BatchTimeout bounds how long the primary waits to fill a batch.
+	BatchTimeout time.Duration
+	// CheckpointInterval is the number of sequence numbers between
+	// checkpoints.
+	CheckpointInterval types.SeqNum
+	// WatermarkWindow is the width of the sequence window above the last
+	// stable checkpoint within which ordering may proceed.
+	WatermarkWindow types.SeqNum
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.BatchSize == 0 {
+		out.BatchSize = 64
+	}
+	if out.BatchTimeout == 0 {
+		out.BatchTimeout = 5 * time.Millisecond
+	}
+	if out.CheckpointInterval == 0 {
+		out.CheckpointInterval = 128
+	}
+	if out.WatermarkWindow == 0 {
+		out.WatermarkWindow = 4 * out.CheckpointInterval
+	}
+	return out
+}
+
+// Behavior injects Byzantine behaviour into a replica for the attack
+// experiments. The zero value is a correct replica.
+type Behavior struct {
+	// Silent suppresses all outbound protocol messages (a crashed or
+	// non-participating faulty replica).
+	Silent bool
+	// PrePrepareDelay makes a malicious primary hold every PRE-PREPARE for
+	// the given duration before sending it.
+	PrePrepareDelay time.Duration
+	// ProposeInterval throttles a malicious primary to at most one batch
+	// per interval, reducing its instance's throughput (worst-attack-2: the
+	// faulty master primary delays requests down to the detection limit).
+	ProposeInterval time.Duration
+	// ProposeRate throttles a malicious primary to at most this many
+	// request refs per second (token bucket), the precise pacing a smart
+	// worst-attack-2 primary uses to sit just above the Δ detection
+	// threshold. Takes precedence over ProposeInterval.
+	ProposeRate float64
+	// DelayClients makes an unfair primary delay proposals containing
+	// requests from these clients by PrePrepareDelay while serving everyone
+	// else promptly.
+	DelayClients map[types.ClientID]bool
+}
+
+// Batch is a delivered ordered batch.
+type Batch struct {
+	Instance types.InstanceID
+	Seq      types.SeqNum
+	View     types.View
+	Refs     []types.RequestRef
+}
+
+// Outbound is a message to transmit. A nil To means every other node.
+type Outbound struct {
+	To  []types.NodeID
+	Msg message.Message
+}
+
+// Output aggregates the effects of one input.
+type Output struct {
+	// Msgs are messages to transmit.
+	Msgs []Outbound
+	// Delivered are batches that became committed, in sequence order.
+	Delivered []Batch
+}
+
+func (o *Output) send(to []types.NodeID, m message.Message) {
+	o.Msgs = append(o.Msgs, Outbound{To: to, Msg: m})
+}
+
+func (o *Output) merge(other Output) {
+	o.Msgs = append(o.Msgs, other.Msgs...)
+	o.Delivered = append(o.Delivered, other.Delivered...)
+}
+
+// entry tracks the three-phase state of one sequence number.
+type entry struct {
+	view      types.View
+	digest    types.Digest
+	batch     []types.RequestRef
+	havePP    bool
+	prepares  map[types.NodeID]types.Digest
+	commits   map[types.NodeID]types.Digest
+	sentPrep  bool
+	sentComm  bool
+	delivered bool
+	// waiting counts batch refs the node has not yet collected f+1
+	// PROPAGATEs for; PREPARE is withheld until it reaches zero.
+	waiting int
+}
+
+// Instance is one protocol-instance replica. Not safe for concurrent use;
+// drivers serialise access.
+type Instance struct {
+	cfg      Config
+	behavior Behavior
+	keys     *crypto.KeyRing
+
+	view         types.View
+	inViewChange bool
+
+	// Primary state.
+	nextSeq       types.SeqNum // next sequence number to assign
+	pending       []types.RequestRef
+	inBatch       map[types.RequestRef]bool // queued or proposed by this primary
+	batchDeadline time.Time
+
+	// Replica state.
+	known             map[types.RequestRef]bool // refs with f+1 PROPAGATEs at the node
+	waiters           map[types.RequestRef][]types.SeqNum
+	entries           map[types.SeqNum]*entry
+	delivered         map[types.RequestRef]types.SeqNum
+	lastDelivered     types.SeqNum
+	stableSeq         types.SeqNum                  // last stable checkpoint
+	logDigest         types.Digest                  // running digest chain of delivered batches
+	checkpointDigests map[types.SeqNum]types.Digest // our own, awaiting stability
+	checkpoints       map[types.SeqNum]map[types.NodeID]types.Digest
+
+	// View-change state.
+	viewChanges map[types.View]map[types.NodeID]*message.ViewChange
+
+	// Catch-up state (see fetch.go).
+	recentDelivered map[types.SeqNum]deliveredBatch
+	fetch           *fetchState
+
+	// Delayed PRE-PREPAREs (malicious primary attack hook).
+	delayed     []delayedSend
+	lastPropose time.Time
+	tokens      float64
+	lastRefill  time.Time
+
+	// Statistics.
+	stats Stats
+}
+
+type delayedSend struct {
+	at  time.Time
+	msg *message.PrePrepare
+}
+
+// Stats counts observable protocol events, used by tests and the monitor.
+type Stats struct {
+	Proposed    uint64 // batches proposed as primary
+	Delivered   uint64 // batches delivered
+	RefsOrdered uint64 // request refs delivered
+	ViewChanges uint64 // view changes completed (NEW-VIEW accepted/sent)
+}
+
+// New creates a protocol-instance replica.
+func New(cfg Config, keys *crypto.KeyRing) *Instance {
+	c := cfg.withDefaults()
+	return &Instance{
+		cfg:               c,
+		keys:              keys,
+		nextSeq:           1,
+		inBatch:           make(map[types.RequestRef]bool),
+		known:             make(map[types.RequestRef]bool),
+		waiters:           make(map[types.RequestRef][]types.SeqNum),
+		entries:           make(map[types.SeqNum]*entry),
+		delivered:         make(map[types.RequestRef]types.SeqNum),
+		checkpointDigests: make(map[types.SeqNum]types.Digest),
+		checkpoints:       make(map[types.SeqNum]map[types.NodeID]types.Digest),
+		viewChanges:       make(map[types.View]map[types.NodeID]*message.ViewChange),
+		recentDelivered:   make(map[types.SeqNum]deliveredBatch),
+	}
+}
+
+// SetBehavior installs Byzantine behaviour (attack experiments only).
+func (in *Instance) SetBehavior(b Behavior) { in.behavior = b }
+
+// View returns the current view.
+func (in *Instance) View() types.View { return in.view }
+
+// InViewChange reports whether the replica is between VIEW-CHANGE and
+// NEW-VIEW.
+func (in *Instance) InViewChange() bool { return in.inViewChange }
+
+// Stats returns a copy of the replica's counters.
+func (in *Instance) Stats() Stats { return in.stats }
+
+// LastDelivered returns the highest contiguously delivered sequence number.
+func (in *Instance) LastDelivered() types.SeqNum { return in.lastDelivered }
+
+// Primary returns the node hosting this instance's primary in the current
+// view.
+func (in *Instance) Primary() types.NodeID {
+	return in.cfg.Cluster.PrimaryOf(in.view, in.cfg.Instance)
+}
+
+// IsPrimary reports whether this replica is the instance primary.
+func (in *Instance) IsPrimary() bool { return in.Primary() == in.cfg.Node }
+
+// NextWake returns the earliest time at which Tick must be called, or the
+// zero time if no timer is armed.
+func (in *Instance) NextWake() time.Time {
+	wake := in.batchDeadline
+	for _, d := range in.delayed {
+		if wake.IsZero() || d.at.Before(wake) {
+			wake = d.at
+		}
+	}
+	if fw := in.fetchWake(); !fw.IsZero() && (wake.IsZero() || fw.Before(wake)) {
+		wake = fw
+	}
+	return wake
+}
+
+// AddRequest informs the replica that its node has collected f+1 PROPAGATE
+// copies of the request and it is ready for ordering.
+func (in *Instance) AddRequest(ref types.RequestRef, now time.Time) Output {
+	var out Output
+	if in.known[ref] {
+		return out
+	}
+	in.known[ref] = true
+
+	// Release any PRE-PREPAREs that were waiting on this request.
+	for _, seq := range in.waiters[ref] {
+		e := in.entries[seq]
+		if e == nil {
+			continue
+		}
+		e.waiting--
+		if e.waiting == 0 {
+			out.merge(in.maybePrepare(seq, e, now))
+		}
+	}
+	delete(in.waiters, ref)
+
+	if in.IsPrimary() && !in.inViewChange {
+		out.merge(in.enqueue(ref, now))
+	}
+	return out
+}
+
+// enqueue adds a ref to the primary's pending batch and cuts a batch when
+// full, otherwise arms the batch timer.
+func (in *Instance) enqueue(ref types.RequestRef, now time.Time) Output {
+	var out Output
+	if in.inBatch[ref] {
+		return out
+	}
+	if _, done := in.delivered[ref]; done {
+		return out
+	}
+	in.inBatch[ref] = true
+	in.pending = append(in.pending, ref)
+	if len(in.pending) >= in.cfg.BatchSize {
+		out.merge(in.cutBatch(now))
+		return out
+	}
+	if in.batchDeadline.IsZero() {
+		in.batchDeadline = now.Add(in.cfg.BatchTimeout)
+	}
+	return out
+}
+
+// Tick fires timers: the batch timeout and the release of attack-delayed
+// PRE-PREPAREs.
+func (in *Instance) Tick(now time.Time) Output {
+	var out Output
+	if !in.batchDeadline.IsZero() && !now.Before(in.batchDeadline) {
+		out.merge(in.cutBatch(now))
+	}
+	if len(in.delayed) > 0 {
+		keep := in.delayed[:0]
+		for _, d := range in.delayed {
+			if now.Before(d.at) {
+				keep = append(keep, d)
+				continue
+			}
+			out.merge(in.emitPrePrepare(d.msg, now))
+		}
+		in.delayed = keep
+	}
+	out.merge(in.fetchTick(now))
+	return out
+}
+
+// cutBatch proposes the pending refs as one or more batches.
+func (in *Instance) cutBatch(now time.Time) Output {
+	var out Output
+	in.batchDeadline = time.Time{}
+	if !in.IsPrimary() || in.inViewChange || len(in.pending) == 0 {
+		return out
+	}
+	throttle := in.behavior.ProposeInterval
+	rate := in.behavior.ProposeRate
+	if rate > 0 {
+		// Token-bucket pacing: refill, burst-capped at one batch.
+		if !in.lastRefill.IsZero() {
+			in.tokens += rate * now.Sub(in.lastRefill).Seconds()
+		}
+		in.lastRefill = now
+		// Burst capacity of several batches: with a single-batch cap, idle
+		// moments between dispatches leak tokens and the realised rate
+		// undershoots the configured one.
+		if max := float64(4 * in.cfg.BatchSize); in.tokens > max {
+			in.tokens = max
+		}
+	}
+	for len(in.pending) > 0 {
+		if throttle > 0 && rate == 0 {
+			if next := in.lastPropose.Add(throttle); now.Before(next) {
+				in.batchDeadline = next
+				return out
+			}
+		}
+		if in.nextSeq > in.stableSeq+in.cfg.WatermarkWindow {
+			// Out of watermark window; wait for a stable checkpoint.
+			break
+		}
+		n := len(in.pending)
+		if n > in.cfg.BatchSize {
+			n = in.cfg.BatchSize
+		}
+		if rate > 0 {
+			// Propose in quarter-batch chunks: the paced stream then lands
+			// smoothly inside each monitoring window instead of in coarse
+			// bursts that quantise the measured ratio.
+			if chunk := in.cfg.BatchSize / 4; chunk >= 1 && n > chunk {
+				n = chunk
+			}
+		}
+		if rate > 0 {
+			// A hair of float tolerance, and a floor on the re-arm delay:
+			// without them the wait can truncate to zero and spin the
+			// timer without advancing time.
+			const epsilon = 1e-9
+			if in.tokens+epsilon < float64(n) {
+				// Wait until the bucket covers the whole intended batch, so
+				// pacing does not degenerate into single-request batches.
+				need := time.Duration((float64(n) - in.tokens) / rate * float64(time.Second))
+				if need < time.Microsecond {
+					need = time.Microsecond
+				}
+				in.batchDeadline = now.Add(need)
+				return out
+			}
+			in.tokens -= float64(n)
+		}
+		batch := make([]types.RequestRef, n)
+		copy(batch, in.pending[:n])
+		in.pending = in.pending[n:]
+
+		pp := &message.PrePrepare{
+			Instance: in.cfg.Instance,
+			View:     in.view,
+			Seq:      in.nextSeq,
+			Batch:    batch,
+			Node:     in.cfg.Node,
+		}
+		in.nextSeq++
+		in.stats.Proposed++
+
+		in.lastPropose = now
+		delay := in.prePrepareDelayFor(batch)
+		if delay > 0 {
+			in.delayed = append(in.delayed, delayedSend{at: now.Add(delay), msg: pp})
+		} else {
+			out.merge(in.emitPrePrepare(pp, now))
+		}
+		if throttle > 0 && rate == 0 {
+			// One batch per interval: re-arm for the backlog.
+			if len(in.pending) > 0 {
+				in.batchDeadline = now.Add(throttle)
+			}
+			return out
+		}
+	}
+	return out
+}
+
+// prePrepareDelayFor computes the attack delay applicable to a batch.
+func (in *Instance) prePrepareDelayFor(batch []types.RequestRef) time.Duration {
+	if in.behavior.PrePrepareDelay == 0 {
+		return 0
+	}
+	if len(in.behavior.DelayClients) == 0 {
+		return in.behavior.PrePrepareDelay
+	}
+	for _, ref := range batch {
+		if in.behavior.DelayClients[ref.Client] {
+			return in.behavior.PrePrepareDelay
+		}
+	}
+	return 0
+}
+
+// emitPrePrepare broadcasts a PRE-PREPARE and processes it locally.
+func (in *Instance) emitPrePrepare(pp *message.PrePrepare, now time.Time) Output {
+	var out Output
+	if !in.behavior.Silent {
+		pp.Auth = in.keys.AuthenticatorForNodes(in.cfg.Cluster.N, pp.Body())
+		out.send(nil, pp)
+	}
+	out.merge(in.acceptPrePrepare(pp, now))
+	return out
+}
+
+// OnMessage dispatches a verified instance message. The node layer has
+// already verified the MAC authenticator and that msg's Node field matches
+// the authenticated sender.
+func (in *Instance) OnMessage(msg message.Message, now time.Time) (Output, error) {
+	switch m := msg.(type) {
+	case *message.PrePrepare:
+		return in.onPrePrepare(m, now)
+	case *message.Prepare:
+		return in.onPrepare(m, now)
+	case *message.Commit:
+		return in.onCommit(m, now)
+	case *message.Checkpoint:
+		return in.onCheckpoint(m, now)
+	case *message.ViewChange:
+		return in.onViewChange(m)
+	case *message.NewView:
+		return in.onNewView(m, now)
+	case *message.Fetch:
+		return in.onFetch(m)
+	case *message.FetchResp:
+		return in.onFetchResp(m, now)
+	default:
+		return Output{}, fmt.Errorf("pbft: unexpected message type %s", msg.MsgType())
+	}
+}
+
+func (in *Instance) onPrePrepare(pp *message.PrePrepare, now time.Time) (Output, error) {
+	var out Output
+	if pp.Instance != in.cfg.Instance {
+		return out, fmt.Errorf("pbft: PRE-PREPARE for instance %d on instance %d", pp.Instance, in.cfg.Instance)
+	}
+	if pp.View != in.view || in.inViewChange {
+		return out, nil // stale or future view; ignore
+	}
+	if pp.Node != in.Primary() {
+		return out, fmt.Errorf("pbft: PRE-PREPARE from %d, primary is %d", pp.Node, in.Primary())
+	}
+	if !in.inWindow(pp.Seq) {
+		return out, nil
+	}
+	return in.acceptPrePrepare(pp, now), nil
+}
+
+// acceptPrePrepare records a PRE-PREPARE (already validated, or self-issued)
+// and sends PREPARE once every batch ref is known to the node.
+func (in *Instance) acceptPrePrepare(pp *message.PrePrepare, now time.Time) Output {
+	var out Output
+	e := in.entry(pp.Seq)
+	digest := pp.BatchDigest()
+	if e.havePP && e.view == pp.View {
+		return out // duplicate
+	}
+	if e.havePP && e.digest != digest && e.view >= pp.View {
+		return out // conflicting proposal; keep the first
+	}
+	e.havePP = true
+	e.view = pp.View
+	e.digest = digest
+	e.batch = pp.Batch
+	e.sentPrep = false
+	e.sentComm = false
+
+	// Count refs the node has not yet collected f+1 PROPAGATEs for. The
+	// paper's rule: reply with PREPARE only if the node already received f+1
+	// copies of the request, preventing a malicious primary from boosting
+	// its instance with requests sent only to it.
+	e.waiting = 0
+	for _, ref := range pp.Batch {
+		if _, done := in.delivered[ref]; done {
+			continue
+		}
+		if !in.known[ref] {
+			e.waiting++
+			in.waiters[ref] = append(in.waiters[ref], pp.Seq)
+		}
+	}
+	if e.waiting == 0 {
+		out.merge(in.maybePrepare(pp.Seq, e, now))
+	}
+	return out
+}
+
+// maybePrepare sends this replica's PREPARE (non-primary only) and checks
+// phase progress.
+func (in *Instance) maybePrepare(seq types.SeqNum, e *entry, now time.Time) Output {
+	var out Output
+	if !e.havePP || e.waiting > 0 {
+		return out
+	}
+	if !in.IsPrimary() && !e.sentPrep {
+		e.sentPrep = true
+		// Our own PREPARE counts toward the 2f quorum (PBFT counts the
+		// replica's logged prepare), which is what lets the instance make
+		// progress with f silent faulty replicas.
+		e.prepares[in.cfg.Node] = e.digest
+		if !in.behavior.Silent {
+			p := &message.Prepare{
+				Instance: in.cfg.Instance,
+				View:     e.view,
+				Seq:      seq,
+				Digest:   e.digest,
+				Node:     in.cfg.Node,
+			}
+			p.Auth = in.keys.AuthenticatorForNodes(in.cfg.Cluster.N, p.Body())
+			out.send(nil, p)
+		}
+	}
+	out.merge(in.checkPrepared(seq, e, now))
+	return out
+}
+
+func (in *Instance) onPrepare(p *message.Prepare, now time.Time) (Output, error) {
+	var out Output
+	if p.Instance != in.cfg.Instance {
+		return out, fmt.Errorf("pbft: PREPARE for instance %d on instance %d", p.Instance, in.cfg.Instance)
+	}
+	if p.View != in.view || in.inViewChange || !in.inWindow(p.Seq) {
+		return out, nil
+	}
+	if p.Node == in.Primary() {
+		return out, fmt.Errorf("pbft: primary %d must not send PREPARE", p.Node)
+	}
+	e := in.entry(p.Seq)
+	if _, dup := e.prepares[p.Node]; dup && p.Node != in.cfg.Node {
+		return out, nil
+	}
+	e.prepares[p.Node] = p.Digest
+	out.merge(in.checkPrepared(p.Seq, e, now))
+	return out, nil
+}
+
+// prepared: PRE-PREPARE plus 2f matching PREPAREs from distinct non-primary
+// replicas (our own counts when we sent it).
+func (in *Instance) checkPrepared(seq types.SeqNum, e *entry, now time.Time) Output {
+	var out Output
+	if !e.havePP || e.waiting > 0 || e.sentComm {
+		return out
+	}
+	matching := 0
+	for _, d := range e.prepares {
+		if d == e.digest {
+			matching++
+		}
+	}
+	if matching < in.cfg.Cluster.PrepareQuorum() {
+		return out
+	}
+	e.sentComm = true
+	if !in.behavior.Silent {
+		c := &message.Commit{
+			Instance: in.cfg.Instance,
+			View:     e.view,
+			Seq:      seq,
+			Digest:   e.digest,
+			Node:     in.cfg.Node,
+		}
+		c.Auth = in.keys.AuthenticatorForNodes(in.cfg.Cluster.N, c.Body())
+		out.send(nil, c)
+	}
+	e.commits[in.cfg.Node] = e.digest
+	out.merge(in.checkCommitted(seq, e, now))
+	return out
+}
+
+func (in *Instance) onCommit(c *message.Commit, now time.Time) (Output, error) {
+	var out Output
+	if c.Instance != in.cfg.Instance {
+		return out, fmt.Errorf("pbft: COMMIT for instance %d on instance %d", c.Instance, in.cfg.Instance)
+	}
+	if c.View != in.view || in.inViewChange || !in.inWindow(c.Seq) {
+		return out, nil
+	}
+	e := in.entry(c.Seq)
+	if _, dup := e.commits[c.Node]; dup && c.Node != in.cfg.Node {
+		return out, nil
+	}
+	e.commits[c.Node] = c.Digest
+	out.merge(in.checkCommitted(c.Seq, e, now))
+	return out, nil
+}
+
+// committed: 2f+1 matching COMMITs (including our own).
+func (in *Instance) checkCommitted(seq types.SeqNum, e *entry, now time.Time) Output {
+	var out Output
+	if !e.havePP || !e.sentComm || e.delivered {
+		return out
+	}
+	matching := 0
+	for _, d := range e.commits {
+		if d == e.digest {
+			matching++
+		}
+	}
+	if matching < in.cfg.Cluster.Quorum() {
+		return out
+	}
+	e.delivered = true
+	out.merge(in.deliverReady(now))
+	return out
+}
+
+// deliverReady delivers committed entries in contiguous sequence order and
+// emits checkpoints at interval boundaries.
+func (in *Instance) deliverReady(now time.Time) Output {
+	var out Output
+	for {
+		next := in.lastDelivered + 1
+		e := in.entries[next]
+		if e == nil || !e.delivered {
+			break
+		}
+		in.lastDelivered = next
+		refs := make([]types.RequestRef, 0, len(e.batch))
+		for _, ref := range e.batch {
+			if _, done := in.delivered[ref]; done {
+				continue // dedupe across view-change re-proposals
+			}
+			in.delivered[ref] = next
+			refs = append(refs, ref)
+			delete(in.inBatch, ref)
+		}
+		in.stats.Delivered++
+		in.stats.RefsOrdered += uint64(len(refs))
+		out.Delivered = append(out.Delivered, Batch{
+			Instance: in.cfg.Instance,
+			Seq:      next,
+			View:     e.view,
+			Refs:     refs,
+		})
+		in.retainDelivered(next, e.view, e.batch)
+		in.logDigest = chainDigest(in.logDigest, e.digest)
+
+		if next%in.cfg.CheckpointInterval == 0 {
+			out.merge(in.emitCheckpoint(next, now))
+		}
+	}
+	return out
+}
+
+func chainDigest(prev, batch types.Digest) types.Digest {
+	buf := make([]byte, 0, 2*types.DigestSize)
+	buf = append(buf, prev[:]...)
+	buf = append(buf, batch[:]...)
+	return crypto.Digest(buf)
+}
+
+func (in *Instance) emitCheckpoint(seq types.SeqNum, now time.Time) Output {
+	var out Output
+	in.checkpointDigests[seq] = in.logDigest
+	if !in.behavior.Silent {
+		cp := &message.Checkpoint{
+			Instance: in.cfg.Instance,
+			Seq:      seq,
+			Digest:   in.logDigest,
+			Node:     in.cfg.Node,
+		}
+		cp.Auth = in.keys.AuthenticatorForNodes(in.cfg.Cluster.N, cp.Body())
+		out.send(nil, cp)
+	}
+	out.merge(in.recordCheckpoint(seq, in.cfg.Node, in.logDigest, now))
+	return out
+}
+
+func (in *Instance) onCheckpoint(cp *message.Checkpoint, now time.Time) (Output, error) {
+	if cp.Instance != in.cfg.Instance {
+		return Output{}, fmt.Errorf("pbft: CHECKPOINT for instance %d on instance %d", cp.Instance, in.cfg.Instance)
+	}
+	if cp.Seq <= in.stableSeq {
+		return Output{}, nil
+	}
+	return in.recordCheckpoint(cp.Seq, cp.Node, cp.Digest, now), nil
+}
+
+func (in *Instance) recordCheckpoint(seq types.SeqNum, node types.NodeID, digest types.Digest, now time.Time) Output {
+	var out Output
+	m := in.checkpoints[seq]
+	if m == nil {
+		m = make(map[types.NodeID]types.Digest, in.cfg.Cluster.Quorum())
+		in.checkpoints[seq] = m
+	}
+	m[node] = digest
+	// Checkpoint evidence may reveal that this replica missed committed
+	// batches entirely; start catch-up if so. This must run even (indeed,
+	// especially) when we have no own digest for the sequence.
+	out.merge(in.noteCheckpointEvidence(seq, now))
+	// Stability requires 2f+1 digests matching our own.
+	own, haveOwn := in.checkpointDigests[seq]
+	if !haveOwn {
+		return out
+	}
+	matching := 0
+	for _, d := range m {
+		if d == own {
+			matching++
+		}
+	}
+	if matching >= in.cfg.Cluster.Quorum() && seq > in.stableSeq {
+		in.stabilize(seq)
+		// Stabilising widens the watermark window; a primary stalled on the
+		// window can now cut its backlog.
+		if in.IsPrimary() && !in.inViewChange && len(in.pending) > 0 {
+			out.merge(in.cutBatch(now))
+		}
+	}
+	return out
+}
+
+// stabilize garbage-collects state below the new stable checkpoint.
+func (in *Instance) stabilize(seq types.SeqNum) {
+	if seq <= in.stableSeq {
+		return
+	}
+	in.stableSeq = seq
+	for s := range in.entries {
+		if s <= seq {
+			delete(in.entries, s)
+		}
+	}
+	for s := range in.checkpoints {
+		if s < seq {
+			delete(in.checkpoints, s)
+		}
+	}
+	for s := range in.checkpointDigests {
+		if s < seq {
+			delete(in.checkpointDigests, s)
+		}
+	}
+	// Drop delivered-ref records old enough that no re-proposal can
+	// reference them (one full watermark window behind the stable point).
+	if seq > in.cfg.WatermarkWindow {
+		floor := seq - in.cfg.WatermarkWindow
+		for ref, at := range in.delivered {
+			if at <= floor {
+				delete(in.delivered, ref)
+				delete(in.known, ref)
+			}
+		}
+	}
+}
+
+func (in *Instance) inWindow(seq types.SeqNum) bool {
+	return seq > in.stableSeq && seq <= in.stableSeq+in.cfg.WatermarkWindow
+}
+
+func (in *Instance) entry(seq types.SeqNum) *entry {
+	e := in.entries[seq]
+	if e == nil {
+		e = &entry{
+			prepares: make(map[types.NodeID]types.Digest, in.cfg.Cluster.Quorum()),
+			commits:  make(map[types.NodeID]types.Digest, in.cfg.Cluster.Quorum()),
+		}
+		in.entries[seq] = e
+	}
+	return e
+}

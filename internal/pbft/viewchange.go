@@ -1,0 +1,298 @@
+package pbft
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rbft/internal/message"
+	"rbft/internal/types"
+)
+
+// StartViewChange moves the replica into view change toward newView. In RBFT
+// this is only ever invoked by the node's protocol-instance-change mechanism,
+// never by the instance itself, and it happens on every instance at once.
+func (in *Instance) StartViewChange(newView types.View, now time.Time) Output {
+	var out Output
+	if newView <= in.view {
+		return out // only move forward
+	}
+	in.view = newView
+	in.inViewChange = true
+	// Primary-only state is void across the change.
+	in.pending = nil
+	in.inBatch = make(map[types.RequestRef]bool)
+	in.batchDeadline = time.Time{}
+	in.delayed = nil
+
+	vc := &message.ViewChange{
+		Instance:  in.cfg.Instance,
+		NewView:   newView,
+		StableSeq: in.stableSeq,
+		Prepared:  in.preparedProofs(),
+		Node:      in.cfg.Node,
+	}
+	vc.Sig = in.keys.Sign(vc.Body())
+	if !in.behavior.Silent {
+		out.send(nil, vc)
+	}
+	more, err := in.onViewChange(vc)
+	if err == nil {
+		out.merge(more)
+	}
+	return out
+}
+
+// preparedProofs collects the prepared certificates above the stable
+// checkpoint, sorted by sequence number.
+func (in *Instance) preparedProofs() []message.PreparedProof {
+	var proofs []message.PreparedProof
+	for seq, e := range in.entries {
+		if seq <= in.stableSeq || !e.havePP || !e.sentComm {
+			continue
+		}
+		proofs = append(proofs, message.PreparedProof{
+			Seq:    seq,
+			View:   e.view,
+			Digest: e.digest,
+			Batch:  e.batch,
+		})
+	}
+	sort.Slice(proofs, func(i, j int) bool { return proofs[i].Seq < proofs[j].Seq })
+	return proofs
+}
+
+func (in *Instance) onViewChange(vc *message.ViewChange) (Output, error) {
+	var out Output
+	if vc.Instance != in.cfg.Instance {
+		return out, fmt.Errorf("pbft: VIEW-CHANGE for instance %d on instance %d", vc.Instance, in.cfg.Instance)
+	}
+	if vc.NewView < in.view {
+		return out, nil // stale
+	}
+	if vc.Node != in.cfg.Node {
+		if err := in.keys.VerifyNodeSignature(vc.Node, vc.Body(), vc.Sig); err != nil {
+			return out, fmt.Errorf("pbft: VIEW-CHANGE signature from node %d: %w", vc.Node, err)
+		}
+	}
+	byNode := in.viewChanges[vc.NewView]
+	if byNode == nil {
+		byNode = make(map[types.NodeID]*message.ViewChange, in.cfg.Cluster.Quorum())
+		in.viewChanges[vc.NewView] = byNode
+	}
+	if _, dup := byNode[vc.Node]; dup {
+		return out, nil
+	}
+	byNode[vc.Node] = vc
+
+	// Only the new primary assembles NEW-VIEW, and only while it is itself in
+	// the view change for that view.
+	if in.cfg.Cluster.PrimaryOf(vc.NewView, in.cfg.Instance) != in.cfg.Node {
+		return out, nil
+	}
+	if in.view != vc.NewView || !in.inViewChange {
+		return out, nil
+	}
+	if len(byNode) < in.cfg.Cluster.Quorum() {
+		return out, nil
+	}
+
+	vcs := make([]message.ViewChange, 0, len(byNode))
+	for _, stored := range byNode {
+		vcs = append(vcs, *stored)
+	}
+	sort.Slice(vcs, func(i, j int) bool { return vcs[i].Node < vcs[j].Node })
+
+	pps := in.computeNewViewPrePrepares(vc.NewView, vcs)
+	nv := &message.NewView{
+		Instance:    in.cfg.Instance,
+		View:        vc.NewView,
+		ViewChanges: vcs,
+		PrePrepares: pps,
+		Node:        in.cfg.Node,
+	}
+	if !in.behavior.Silent {
+		nv.Auth = in.keys.AuthenticatorForNodes(in.cfg.Cluster.N, nv.Body())
+		out.send(nil, nv)
+	}
+	out.merge(in.installNewView(nv))
+	return out, nil
+}
+
+// computeNewViewPrePrepares derives the deterministic set of re-issued
+// PRE-PREPAREs from a set of VIEW-CHANGE messages: for every sequence number
+// between the highest reported stable checkpoint and the highest prepared
+// sequence, the proposal prepared in the highest view wins; gaps become null
+// (empty) batches.
+func (in *Instance) computeNewViewPrePrepares(v types.View, vcs []message.ViewChange) []message.PrePrepare {
+	var minS, maxS types.SeqNum
+	best := make(map[types.SeqNum]message.PreparedProof)
+	for i := range vcs {
+		if vcs[i].StableSeq > minS {
+			minS = vcs[i].StableSeq
+		}
+		for _, p := range vcs[i].Prepared {
+			if p.Seq > maxS {
+				maxS = p.Seq
+			}
+			cur, ok := best[p.Seq]
+			if !ok || p.View > cur.View {
+				best[p.Seq] = p
+			}
+		}
+	}
+	var pps []message.PrePrepare
+	for seq := minS + 1; seq <= maxS; seq++ {
+		pp := message.PrePrepare{
+			Instance: in.cfg.Instance,
+			View:     v,
+			Seq:      seq,
+			Node:     in.cfg.Cluster.PrimaryOf(v, in.cfg.Instance),
+			Batch:    []types.RequestRef{},
+		}
+		if p, ok := best[seq]; ok {
+			pp.Batch = p.Batch
+		}
+		pps = append(pps, pp)
+	}
+	return pps
+}
+
+func (in *Instance) onNewView(nv *message.NewView, now time.Time) (Output, error) {
+	var out Output
+	if nv.Instance != in.cfg.Instance {
+		return out, fmt.Errorf("pbft: NEW-VIEW for instance %d on instance %d", nv.Instance, in.cfg.Instance)
+	}
+	if nv.View < in.view || (nv.View == in.view && !in.inViewChange) {
+		return out, nil // stale
+	}
+	wantPrimary := in.cfg.Cluster.PrimaryOf(nv.View, in.cfg.Instance)
+	if nv.Node != wantPrimary {
+		return out, fmt.Errorf("pbft: NEW-VIEW for view %d from %d, want primary %d", nv.View, nv.Node, wantPrimary)
+	}
+
+	// Validate the embedded VIEW-CHANGE quorum.
+	seen := make(map[types.NodeID]bool, len(nv.ViewChanges))
+	for i := range nv.ViewChanges {
+		vc := &nv.ViewChanges[i]
+		if vc.Instance != in.cfg.Instance || vc.NewView != nv.View {
+			return out, fmt.Errorf("pbft: NEW-VIEW embeds mismatched VIEW-CHANGE (instance %d, view %d)", vc.Instance, vc.NewView)
+		}
+		if err := in.keys.VerifyNodeSignature(vc.Node, vc.Body(), vc.Sig); err != nil {
+			return out, fmt.Errorf("pbft: NEW-VIEW embedded signature from node %d: %w", vc.Node, err)
+		}
+		seen[vc.Node] = true
+	}
+	if len(seen) < in.cfg.Cluster.Quorum() {
+		return out, fmt.Errorf("pbft: NEW-VIEW carries %d view changes, need %d", len(seen), in.cfg.Cluster.Quorum())
+	}
+
+	// The re-issued PRE-PREPAREs must be exactly the deterministic function
+	// of the view changes.
+	want := in.computeNewViewPrePrepares(nv.View, nv.ViewChanges)
+	if len(want) != len(nv.PrePrepares) {
+		return out, fmt.Errorf("pbft: NEW-VIEW re-issues %d proposals, want %d", len(nv.PrePrepares), len(want))
+	}
+	for i := range want {
+		got := &nv.PrePrepares[i]
+		if got.Seq != want[i].Seq || got.View != nv.View || got.BatchDigest() != want[i].BatchDigest() {
+			return out, fmt.Errorf("pbft: NEW-VIEW proposal %d does not match the view-change certificates", got.Seq)
+		}
+	}
+
+	return in.installNewView(nv), nil
+}
+
+// installNewView applies an accepted NEW-VIEW: enter the view, replay the
+// re-issued proposals, and (as primary) re-queue known-but-undelivered
+// requests so nothing in flight is lost.
+func (in *Instance) installNewView(nv *message.NewView) Output {
+	var out Output
+	in.view = nv.View
+	in.inViewChange = false
+	in.stats.ViewChanges++
+	delete(in.viewChanges, nv.View)
+	for v := range in.viewChanges {
+		if v <= nv.View {
+			delete(in.viewChanges, v)
+		}
+	}
+
+	maxSeq := in.stableSeq
+	reissued := make(map[types.RequestRef]bool)
+	for i := range nv.PrePrepares {
+		pp := nv.PrePrepares[i]
+		if pp.Seq > maxSeq {
+			maxSeq = pp.Seq
+		}
+		for _, ref := range pp.Batch {
+			reissued[ref] = true
+		}
+		// Reset any stale entry from the previous view so the re-issued
+		// proposal is processed cleanly.
+		if e := in.entries[pp.Seq]; e != nil && e.view < nv.View && !e.delivered {
+			delete(in.entries, pp.Seq)
+		}
+		out.merge(in.acceptPrePrepare(&pp, time.Time{}))
+	}
+	// Clear un-prepared leftovers from older views; their requests re-enter
+	// through the primary's queue below.
+	for seq, e := range in.entries {
+		if e.view < nv.View && !e.delivered && !e.sentComm {
+			delete(in.entries, seq)
+		}
+	}
+
+	if in.IsPrimary() {
+		if maxSeq+1 > in.nextSeq {
+			in.nextSeq = maxSeq + 1
+		}
+		if in.nextSeq <= in.stableSeq {
+			in.nextSeq = in.stableSeq + 1
+		}
+		// Deterministically re-queue in-flight requests.
+		var refs []types.RequestRef
+		for ref := range in.known {
+			if _, done := in.delivered[ref]; done {
+				continue
+			}
+			if reissued[ref] {
+				continue
+			}
+			refs = append(refs, ref)
+		}
+		sort.Slice(refs, func(i, j int) bool {
+			a, b := refs[i], refs[j]
+			if a.Client != b.Client {
+				return a.Client < b.Client
+			}
+			if a.ID != b.ID {
+				return a.ID < b.ID
+			}
+			return lessDigest(a.Digest, b.Digest)
+		})
+		for _, ref := range refs {
+			in.inBatch[ref] = true
+			in.pending = append(in.pending, ref)
+		}
+		if len(in.pending) > 0 {
+			// Cut immediately: view changes are rare and latency-sensitive.
+			out.merge(in.cutBatchNow())
+		}
+	}
+	return out
+}
+
+func lessDigest(a, b types.Digest) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// cutBatchNow cuts all pending batches without consulting the batch timer.
+func (in *Instance) cutBatchNow() Output {
+	return in.cutBatch(time.Time{})
+}

@@ -1,0 +1,196 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+
+	"rbft/internal/message"
+	"rbft/internal/types"
+)
+
+// TestComputeNewViewFillsGapsWithNullBatches: sequence numbers between the
+// stable checkpoint and the highest prepared proof that no view-change
+// reported must be re-proposed as null (empty) batches.
+func TestComputeNewViewFillsGapsWithNullBatches(t *testing.T) {
+	tc := newTestCluster(t, 1, nil)
+	in := tc.replicas[0]
+	vcs := []message.ViewChange{
+		{Instance: 0, NewView: 1, StableSeq: 2, Node: 0, Prepared: []message.PreparedProof{
+			{Seq: 5, View: 0, Digest: types.Digest{5}, Batch: []types.RequestRef{ref(0, 5)}},
+		}},
+		{Instance: 0, NewView: 1, StableSeq: 1, Node: 1, Prepared: []message.PreparedProof{
+			{Seq: 3, View: 0, Digest: types.Digest{3}, Batch: []types.RequestRef{ref(0, 3)}},
+		}},
+		{Instance: 0, NewView: 1, StableSeq: 2, Node: 2},
+	}
+	pps := in.computeNewViewPrePrepares(1, vcs)
+	// min stable = 2, max prepared = 5 → seqs 3,4,5.
+	if len(pps) != 3 {
+		t.Fatalf("re-issued %d proposals, want 3 (seqs 3..5)", len(pps))
+	}
+	if pps[0].Seq != 3 || len(pps[0].Batch) != 1 {
+		t.Fatalf("seq 3 = %+v, want the prepared batch", pps[0])
+	}
+	if pps[1].Seq != 4 || len(pps[1].Batch) != 0 {
+		t.Fatalf("seq 4 = %+v, want a null batch", pps[1])
+	}
+	if pps[2].Seq != 5 || len(pps[2].Batch) != 1 {
+		t.Fatalf("seq 5 = %+v, want the prepared batch", pps[2])
+	}
+	for _, pp := range pps {
+		if pp.View != 1 {
+			t.Fatalf("re-issued proposal in view %d, want 1", pp.View)
+		}
+	}
+}
+
+// TestComputeNewViewHighestViewWins: if the same sequence prepared in two
+// views, the higher view's proposal is re-issued (PBFT's safety rule).
+func TestComputeNewViewHighestViewWins(t *testing.T) {
+	tc := newTestCluster(t, 1, nil)
+	in := tc.replicas[0]
+	older := message.PreparedProof{Seq: 3, View: 0, Digest: types.Digest{1}, Batch: []types.RequestRef{ref(0, 1)}}
+	newer := message.PreparedProof{Seq: 3, View: 2, Digest: types.Digest{2}, Batch: []types.RequestRef{ref(0, 2)}}
+	vcs := []message.ViewChange{
+		{Instance: 0, NewView: 3, Node: 0, Prepared: []message.PreparedProof{older}},
+		{Instance: 0, NewView: 3, Node: 1, Prepared: []message.PreparedProof{newer}},
+	}
+	pps := in.computeNewViewPrePrepares(3, vcs)
+	if len(pps) != 3 {
+		t.Fatalf("re-issued %d proposals, want 3 (seqs 1..3)", len(pps))
+	}
+	got := pps[2]
+	if got.Seq != 3 || len(got.Batch) != 1 || got.Batch[0] != newer.Batch[0] {
+		t.Fatalf("seq 3 re-issued %+v, want the view-2 batch", got)
+	}
+}
+
+// TestPreparedProofsSortedAndAboveStable: proofs are emitted in sequence
+// order and exclude checkpointed entries.
+func TestPreparedProofsSortedAndAboveStable(t *testing.T) {
+	tc := newTestCluster(t, 1, func(c *Config) {
+		c.BatchSize = 1
+		c.CheckpointInterval = 2
+		c.WatermarkWindow = 64
+	})
+	for i := 0; i < 7; i++ {
+		tc.addRequest(ref(0, types.RequestID(i)))
+	}
+	in := tc.replicas[1]
+	if in.stableSeq == 0 {
+		t.Fatal("no stable checkpoint formed")
+	}
+	proofs := in.preparedProofs()
+	last := types.SeqNum(0)
+	for _, p := range proofs {
+		if p.Seq <= in.stableSeq {
+			t.Fatalf("proof for checkpointed seq %d (stable %d)", p.Seq, in.stableSeq)
+		}
+		if p.Seq <= last {
+			t.Fatal("proofs not sorted")
+		}
+		last = p.Seq
+	}
+}
+
+// TestNewViewRejectsTamperedProposals: a primary that re-issues proposals
+// inconsistent with the view-change certificates is rejected.
+func TestNewViewRejectsTamperedProposals(t *testing.T) {
+	tc := newTestCluster(t, 1, nil)
+	// Drive real view change traffic but intercept the NEW-VIEW.
+	r1, r2 := ref(0, 1), ref(0, 2)
+	tc.addRequest(r1)
+	tc.addRequest(r2)
+
+	// Collect signed view changes from every replica for view 1.
+	var vcs []message.ViewChange
+	for n, rep := range tc.replicas {
+		out := rep.StartViewChange(1, tc.now)
+		for _, m := range out.Msgs {
+			if vc, ok := m.Msg.(*message.ViewChange); ok {
+				vcs = append(vcs, *vc)
+			}
+		}
+		_ = n
+	}
+	if len(vcs) < 3 {
+		t.Fatalf("collected %d view changes", len(vcs))
+	}
+	newPrimary := tc.cfg.PrimaryOf(1, 0)
+	victim := types.NodeID((int(newPrimary) + 1) % tc.cfg.N)
+
+	// Build a forged NEW-VIEW: the legitimate certificates but a tampered
+	// extra proposal injecting a request that never prepared.
+	forged := &message.NewView{
+		Instance:    0,
+		View:        1,
+		ViewChanges: vcs[:3],
+		Node:        newPrimary,
+	}
+	forged.PrePrepares = tc.replicas[victim].computeNewViewPrePrepares(1, vcs[:3])
+	forged.PrePrepares = append(forged.PrePrepares, message.PrePrepare{
+		Instance: 0, View: 1,
+		Seq:   types.SeqNum(len(forged.PrePrepares) + 100),
+		Batch: []types.RequestRef{ref(9, 9)},
+		Node:  newPrimary,
+	})
+	if _, err := tc.replicas[victim].OnMessage(forged, tc.now); err == nil {
+		t.Fatal("NEW-VIEW with tampered proposals must be rejected")
+	}
+}
+
+// TestViewChangeDuringActiveLoad: requests keep flowing while the view
+// change happens; nothing is lost or duplicated.
+func TestViewChangeDuringActiveLoad(t *testing.T) {
+	tc := newTestCluster(t, 1, func(c *Config) { c.BatchSize = 2 })
+	// Stage requests at every replica but only partially run the network.
+	for i := 0; i < 10; i++ {
+		r := ref(types.ClientID(i%2), types.RequestID(i))
+		for n, rep := range tc.replicas {
+			tc.collect(types.NodeID(n), rep.AddRequest(r, tc.now))
+		}
+		// Deliver only a few messages so ordering is mid-flight.
+		for j := 0; j < 3 && len(tc.queue) > 0; j++ {
+			m := tc.queue[0]
+			tc.queue = tc.queue[1:]
+			out, _ := tc.replicas[m.to].OnMessage(m.msg, tc.now)
+			tc.collect(m.to, out)
+		}
+	}
+	tc.startViewChange(1)
+	tc.run()
+	want := orderedRefs(tc.delivered[0])
+	if len(want) != 10 {
+		t.Fatalf("node 0 delivered %d refs, want 10", len(want))
+	}
+	for n := 1; n < tc.cfg.N; n++ {
+		if !sameOrder(want, orderedRefs(tc.delivered[types.NodeID(n)])) {
+			t.Fatalf("node %d diverged after mid-flight view change", n)
+		}
+	}
+}
+
+// TestTickIsNoopWhenNotDue: calling Tick early must not cut batches.
+func TestTickIsNoopWhenNotDue(t *testing.T) {
+	tc := newTestCluster(t, 1, nil)
+	primary := tc.replicas[0].Primary()
+	in := tc.replicas[primary]
+	out := in.AddRequest(ref(0, 1), tc.now)
+	if len(out.Msgs) != 0 {
+		t.Fatal("single request must wait for the batch timer")
+	}
+	early := in.Tick(tc.now.Add(time.Microsecond))
+	if len(early.Msgs) != 0 {
+		t.Fatal("early tick cut a batch")
+	}
+	due := in.Tick(in.NextWake())
+	found := false
+	for _, m := range due.Msgs {
+		if m.Msg.MsgType() == message.TypePrePrepare {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("due tick did not cut the batch")
+	}
+}

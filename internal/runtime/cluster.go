@@ -1,0 +1,210 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"rbft/internal/app"
+	"rbft/internal/client"
+	"rbft/internal/core"
+	"rbft/internal/crypto"
+	"rbft/internal/monitor"
+	"rbft/internal/transport"
+	"rbft/internal/transport/memnet"
+	"rbft/internal/transport/tcpnet"
+	"rbft/internal/transport/udpnet"
+	"rbft/internal/types"
+)
+
+// TransportKind selects the wire for a local cluster.
+type TransportKind int
+
+// Supported transports.
+const (
+	// Mem wires the cluster through in-process channels.
+	Mem TransportKind = iota + 1
+	// TCP wires the cluster over loopback TCP (the deployment default).
+	TCP
+	// UDP wires the cluster over loopback UDP.
+	UDP
+)
+
+// ClusterOptions configures StartLocalCluster.
+type ClusterOptions struct {
+	// F is the number of tolerated faults; the cluster has 3f+1 nodes.
+	F int
+	// Transport selects the wire (default Mem).
+	Transport TransportKind
+	// NewApp builds each node's application instance (default app.Null).
+	NewApp func(n types.NodeID) app.Application
+	// Tune adjusts each node's configuration before start.
+	Tune func(c *core.Config)
+	// Secret seeds the cluster key store.
+	Secret []byte
+	// MaxClients bounds the client id space (default 64).
+	MaxClients int
+	// RetransmitTimeout configures client retransmission (default 500ms).
+	RetransmitTimeout time.Duration
+}
+
+// LocalCluster is a full RBFT cluster running inside one process, over
+// in-memory channels or real loopback sockets. It backs the examples, the
+// integration tests and the cmd tools' --local mode.
+type LocalCluster struct {
+	Cluster types.Config
+
+	opts  ClusterOptions
+	ks    *crypto.KeyStore
+	net   *memnet.Network
+	nodes []*NodeRuntime
+	addrs map[string]string // endpoint name -> dial address (tcp/udp)
+
+	clients []*ClientRuntime
+}
+
+// StartLocalCluster boots 3f+1 nodes and returns the running cluster.
+func StartLocalCluster(opts ClusterOptions) (*LocalCluster, error) {
+	if opts.Transport == 0 {
+		opts.Transport = Mem
+	}
+	if opts.MaxClients == 0 {
+		opts.MaxClients = 64
+	}
+	if opts.Secret == nil {
+		opts.Secret = []byte("rbft-local-cluster")
+	}
+	if opts.RetransmitTimeout == 0 {
+		opts.RetransmitTimeout = 500 * time.Millisecond
+	}
+	cluster := types.NewConfig(opts.F)
+	lc := &LocalCluster{
+		Cluster: cluster,
+		opts:    opts,
+		ks:      crypto.NewKeyStore(opts.Secret, cluster.N, opts.MaxClients),
+		addrs:   make(map[string]string),
+	}
+	if opts.Transport == Mem {
+		lc.net = memnet.NewNetwork()
+	}
+
+	// First pass: create transports so every node's address is known.
+	transports := make([]transport.Transport, cluster.N)
+	for i := 0; i < cluster.N; i++ {
+		tr, err := lc.listen(NodeName(types.NodeID(i)))
+		if err != nil {
+			lc.Stop()
+			return nil, err
+		}
+		transports[i] = tr
+	}
+	lc.connectPeers(transports)
+
+	// Second pass: start the nodes.
+	for i := 0; i < cluster.N; i++ {
+		id := types.NodeID(i)
+		cfg := core.Config{
+			Cluster: cluster,
+			Node:    id,
+			Monitoring: monitor.Config{
+				Period:      250 * time.Millisecond,
+				Delta:       0.5,
+				MinRequests: 32,
+			},
+			BatchTimeout: 2 * time.Millisecond,
+		}
+		if opts.NewApp != nil {
+			cfg.App = opts.NewApp(id)
+		}
+		if opts.Tune != nil {
+			opts.Tune(&cfg)
+		}
+		node := core.New(cfg, lc.ks.NodeRing(id))
+		lc.nodes = append(lc.nodes, StartNode(node, transports[i], cluster))
+	}
+	return lc, nil
+}
+
+// listen creates one endpoint of the configured kind.
+func (lc *LocalCluster) listen(name string) (transport.Transport, error) {
+	switch lc.opts.Transport {
+	case Mem:
+		return lc.net.Endpoint(name), nil
+	case TCP:
+		ep, err := tcpnet.Listen(name, "127.0.0.1:0", nil)
+		if err != nil {
+			return nil, err
+		}
+		lc.addrs[name] = ep.Addr()
+		return ep, nil
+	case UDP:
+		ep, err := udpnet.Listen(name, "127.0.0.1:0", nil)
+		if err != nil {
+			return nil, err
+		}
+		lc.addrs[name] = ep.Addr()
+		return ep, nil
+	default:
+		return nil, fmt.Errorf("runtime: unknown transport kind %d", lc.opts.Transport)
+	}
+}
+
+// connectPeers registers every node address with every endpoint.
+func (lc *LocalCluster) connectPeers(eps []transport.Transport) {
+	for _, ep := range eps {
+		lc.addPeersTo(ep)
+	}
+}
+
+func (lc *LocalCluster) addPeersTo(ep transport.Transport) {
+	switch e := ep.(type) {
+	case *tcpnet.Endpoint:
+		for name, addr := range lc.addrs {
+			if name != e.Name() {
+				e.AddPeer(name, addr)
+			}
+		}
+	case *udpnet.Endpoint:
+		for name, addr := range lc.addrs {
+			if name != e.Name() {
+				_ = e.AddPeer(name, addr)
+			}
+		}
+	}
+}
+
+// NewClient starts a client runtime attached to the cluster.
+func (lc *LocalCluster) NewClient(id types.ClientID) (*ClientRuntime, error) {
+	tr, err := lc.listen(ClientName(id))
+	if err != nil {
+		return nil, err
+	}
+	// Tell every node how to reach this client, and this client how to
+	// reach every node.
+	if lc.opts.Transport != Mem {
+		for _, nr := range lc.nodes {
+			lc.addPeersTo(nr.tr)
+		}
+		lc.addPeersTo(tr)
+	}
+	cl := client.New(client.Config{
+		Cluster:           lc.Cluster,
+		ID:                id,
+		RetransmitTimeout: lc.opts.RetransmitTimeout,
+	}, lc.ks.ClientRing(id))
+	cr := StartClient(cl, tr, lc.Cluster)
+	lc.clients = append(lc.clients, cr)
+	return cr, nil
+}
+
+// Node returns the runtime of node i (fault injection in tests).
+func (lc *LocalCluster) Node(i types.NodeID) *NodeRuntime { return lc.nodes[i] }
+
+// Stop shuts down all clients and nodes.
+func (lc *LocalCluster) Stop() {
+	for _, cr := range lc.clients {
+		cr.Stop()
+	}
+	for _, nr := range lc.nodes {
+		nr.Stop()
+	}
+}

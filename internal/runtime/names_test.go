@@ -1,0 +1,40 @@
+package runtime
+
+import "testing"
+
+func TestNames(t *testing.T) {
+	if got := NodeName(3); got != "node/3" {
+		t.Errorf("NodeName(3) = %q", got)
+	}
+	if got := ClientName(7); got != "client/7" {
+		t.Errorf("ClientName(7) = %q", got)
+	}
+}
+
+func TestParseName(t *testing.T) {
+	tests := []struct {
+		in      string
+		kind    string
+		id      int
+		wantErr bool
+	}{
+		{in: "node/0", kind: "node", id: 0},
+		{in: "node/12", kind: "node", id: 12},
+		{in: "client/5", kind: "client", id: 5},
+		{in: "garbage", wantErr: true},
+		{in: "node/x", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		kind, id, err := parseName(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseName(%q) succeeded, want error", tt.in)
+			}
+			continue
+		}
+		if err != nil || kind != tt.kind || id != tt.id {
+			t.Errorf("parseName(%q) = (%q, %d, %v), want (%q, %d)", tt.in, kind, id, err, tt.kind, tt.id)
+		}
+	}
+}

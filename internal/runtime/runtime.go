@@ -1,0 +1,341 @@
+// Package runtime drives the RBFT state machines in real time over a live
+// transport: one goroutine per node (and per client) multiplexes incoming
+// packets and timers, feeds them to the pure state machines, and transmits
+// the resulting messages. This is the deployment path; the discrete-event
+// simulator in internal/sim drives the same state machines in virtual time.
+package runtime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rbft/internal/client"
+	"rbft/internal/core"
+	"rbft/internal/message"
+	"rbft/internal/transport"
+	"rbft/internal/types"
+)
+
+// NodeName returns the canonical endpoint name of a node.
+func NodeName(id types.NodeID) string { return "node/" + strconv.Itoa(int(id)) }
+
+// ClientName returns the canonical endpoint name of a client.
+func ClientName(id types.ClientID) string { return "client/" + strconv.Itoa(int(id)) }
+
+// parseName splits an endpoint name into kind and numeric id.
+func parseName(name string) (kind string, id int, err error) {
+	k, v, ok := strings.Cut(name, "/")
+	if !ok {
+		return "", 0, fmt.Errorf("runtime: malformed endpoint name %q", name)
+	}
+	id, err = strconv.Atoi(v)
+	if err != nil {
+		return "", 0, fmt.Errorf("runtime: malformed endpoint name %q: %w", name, err)
+	}
+	return k, id, nil
+}
+
+// NodeRuntime runs one RBFT node over a transport.
+type NodeRuntime struct {
+	cluster types.Config
+	tr      transport.Transport
+
+	mu   sync.Mutex
+	node *core.Node
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartNode launches the event loop for node over tr. The caller retains no
+// right to touch node concurrently; use WithNode for synchronised access.
+func StartNode(node *core.Node, tr transport.Transport, cluster types.Config) *NodeRuntime {
+	nr := &NodeRuntime{
+		cluster: cluster,
+		tr:      tr,
+		node:    node,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go nr.loop()
+	return nr
+}
+
+// WithNode runs fn with exclusive access to the node state machine and
+// transmits any output it produced (fault-injection hooks in tests).
+func (nr *NodeRuntime) WithNode(fn func(n *core.Node) core.Output) {
+	nr.mu.Lock()
+	out := fn(nr.node)
+	nr.mu.Unlock()
+	nr.emit(out)
+}
+
+// Stop terminates the event loop and waits for it to exit. The transport is
+// closed as part of shutdown.
+func (nr *NodeRuntime) Stop() {
+	select {
+	case <-nr.stop:
+	default:
+		close(nr.stop)
+	}
+	nr.tr.Close()
+	<-nr.done
+}
+
+func (nr *NodeRuntime) loop() {
+	defer close(nr.done)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		nr.rearm(timer)
+		select {
+		case <-nr.stop:
+			return
+		case p, ok := <-nr.tr.Packets():
+			if !ok {
+				return
+			}
+			nr.handlePacket(p)
+		case now := <-timer.C:
+			nr.mu.Lock()
+			out := nr.node.Tick(now)
+			nr.mu.Unlock()
+			nr.emit(out)
+		}
+	}
+}
+
+// rearm points the timer at the node's next wake-up.
+func (nr *NodeRuntime) rearm(timer *time.Timer) {
+	nr.mu.Lock()
+	wake := nr.node.NextWake()
+	nr.mu.Unlock()
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	if wake.IsZero() {
+		timer.Reset(time.Hour)
+		return
+	}
+	d := time.Until(wake)
+	if d < 0 {
+		d = 0
+	}
+	timer.Reset(d)
+}
+
+func (nr *NodeRuntime) handlePacket(p transport.Packet) {
+	msg, err := message.Decode(p.Data)
+	if err != nil {
+		return // garbage frame
+	}
+	kind, id, err := parseName(p.From)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	var out core.Output
+	switch kind {
+	case "client":
+		req, ok := msg.(*message.Request)
+		if !ok || int(req.Client) != id {
+			return
+		}
+		nr.mu.Lock()
+		out = nr.node.OnClientRequest(req, now)
+		nr.mu.Unlock()
+	case "node":
+		if id < 0 || id >= nr.cluster.N {
+			return
+		}
+		nr.mu.Lock()
+		out = nr.node.OnNodeMessage(msg, types.NodeID(id), now)
+		nr.mu.Unlock()
+	default:
+		return
+	}
+	nr.emit(out)
+}
+
+// emit transmits a node output over the wire.
+func (nr *NodeRuntime) emit(out core.Output) {
+	self := nr.node.ID()
+	for _, nm := range out.NodeMsgs {
+		data := nm.Msg.Marshal(nil)
+		targets := nm.To
+		if targets == nil {
+			for i := 0; i < nr.cluster.N; i++ {
+				if types.NodeID(i) != self {
+					targets = append(targets, types.NodeID(i))
+				}
+			}
+		}
+		for _, to := range targets {
+			// Best effort: the protocol tolerates message loss, and a dead
+			// peer must not wedge the loop.
+			_ = nr.tr.Send(NodeName(to), data)
+		}
+	}
+	for _, cm := range out.ClientMsgs {
+		_ = nr.tr.Send(ClientName(cm.To), cm.Msg.Marshal(nil))
+	}
+}
+
+// ClientRuntime runs one RBFT client over a transport.
+type ClientRuntime struct {
+	cluster types.Config
+	tr      transport.Transport
+
+	mu sync.Mutex
+	cl *client.Client
+
+	completions chan client.Completed
+	stop        chan struct{}
+	done        chan struct{}
+}
+
+// StartClient launches the event loop for cl over tr.
+func StartClient(cl *client.Client, tr transport.Transport, cluster types.Config) *ClientRuntime {
+	cr := &ClientRuntime{
+		cluster:     cluster,
+		tr:          tr,
+		cl:          cl,
+		completions: make(chan client.Completed, 1024),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	go cr.loop()
+	return cr
+}
+
+// Submit signs and transmits a new request to every node (open loop: it
+// does not wait for completion).
+func (cr *ClientRuntime) Submit(op []byte) {
+	cr.mu.Lock()
+	req := cr.cl.NewRequest(op, time.Now())
+	cr.mu.Unlock()
+	data := req.Marshal(nil)
+	for i := 0; i < cr.cluster.N; i++ {
+		_ = cr.tr.Send(NodeName(types.NodeID(i)), data)
+	}
+}
+
+// Completions streams accepted results (f+1 matching replies).
+func (cr *ClientRuntime) Completions() <-chan client.Completed { return cr.completions }
+
+// Invoke submits op and blocks until it completes or the timeout expires.
+// It must not run concurrently with other Invoke/Submit consumers of the
+// Completions channel.
+func (cr *ClientRuntime) Invoke(op []byte, timeout time.Duration) (client.Completed, error) {
+	cr.mu.Lock()
+	req := cr.cl.NewRequest(op, time.Now())
+	cr.mu.Unlock()
+	data := req.Marshal(nil)
+	for i := 0; i < cr.cluster.N; i++ {
+		_ = cr.tr.Send(NodeName(types.NodeID(i)), data)
+	}
+	deadline := time.After(timeout)
+	for {
+		select {
+		case done := <-cr.completions:
+			if done.ID == req.ID {
+				return done, nil
+			}
+			// Another in-flight request finished; keep waiting for ours.
+		case <-deadline:
+			return client.Completed{}, fmt.Errorf("runtime: request %d timed out after %v", req.ID, timeout)
+		}
+	}
+}
+
+// Stop terminates the event loop.
+func (cr *ClientRuntime) Stop() {
+	select {
+	case <-cr.stop:
+	default:
+		close(cr.stop)
+	}
+	cr.tr.Close()
+	<-cr.done
+}
+
+func (cr *ClientRuntime) loop() {
+	defer close(cr.done)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		cr.rearm(timer)
+		select {
+		case <-cr.stop:
+			return
+		case p, ok := <-cr.tr.Packets():
+			if !ok {
+				return
+			}
+			cr.handlePacket(p)
+		case now := <-timer.C:
+			cr.mu.Lock()
+			resend := cr.cl.Tick(now)
+			cr.mu.Unlock()
+			for _, req := range resend {
+				data := req.Marshal(nil)
+				for i := 0; i < cr.cluster.N; i++ {
+					_ = cr.tr.Send(NodeName(types.NodeID(i)), data)
+				}
+			}
+		}
+	}
+}
+
+func (cr *ClientRuntime) rearm(timer *time.Timer) {
+	cr.mu.Lock()
+	wake := cr.cl.NextWake()
+	cr.mu.Unlock()
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	if wake.IsZero() {
+		timer.Reset(time.Hour)
+		return
+	}
+	d := time.Until(wake)
+	if d < 0 {
+		d = 0
+	}
+	timer.Reset(d)
+}
+
+func (cr *ClientRuntime) handlePacket(p transport.Packet) {
+	msg, err := message.Decode(p.Data)
+	if err != nil {
+		return
+	}
+	rep, ok := msg.(*message.Reply)
+	if !ok {
+		return
+	}
+	kind, id, err := parseName(p.From)
+	if err != nil || kind != "node" {
+		return
+	}
+	cr.mu.Lock()
+	done, ok := cr.cl.OnReply(rep, types.NodeID(id), time.Now())
+	cr.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case cr.completions <- done:
+	default:
+		// Consumer not draining; drop rather than wedge the loop.
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"time"
+
+	"rbft/internal/message"
+	"rbft/internal/types"
+)
+
+// Flood is a message-flooding attack: garbage messages of Size bytes at Rate
+// per second per target, starting Start after the run begins (Stop zero
+// means until the end of the run).
+type Flood struct {
+	// From is the attacking node (ignored when FromClients is set).
+	From types.NodeID
+	// FromClients models faulty clients flooding the nodes' client NICs
+	// with unverifiable requests.
+	FromClients bool
+	// Targets are the victim nodes.
+	Targets []types.NodeID
+	// Size is the garbage message size ("messages of the maximal size").
+	Size int
+	// Rate is messages per second per target.
+	Rate float64
+	// Start and Stop are offsets from the beginning of the run.
+	Start, Stop time.Duration
+}
+
+// floodMsg returns a cached garbage message for a flood (the padding is
+// immutable, so reuse is safe).
+func (s *Sim) floodMsg(f Flood) *message.Invalid {
+	if s.floodCache == nil {
+		s.floodCache = make(map[int]*message.Invalid)
+	}
+	if m, ok := s.floodCache[f.Size]; ok && m.Node == f.From {
+		return m
+	}
+	m := &message.Invalid{Node: f.From, Padding: make([]byte, f.Size)}
+	s.floodCache[f.Size] = m
+	return m
+}
+
+func (s *Sim) startFloods() {
+	for _, f := range s.cfg.Floods {
+		flood := f
+		if flood.Rate <= 0 || len(flood.Targets) == 0 {
+			continue
+		}
+		start := s.now.Add(flood.Start)
+		var stop time.Time
+		if flood.Stop > 0 {
+			stop = s.now.Add(flood.Stop)
+		}
+		for _, target := range flood.Targets {
+			t := target
+			s.schedule(start, func() { s.floodOnce(flood, t, stop) })
+		}
+	}
+}
+
+// floodOnce sends one garbage message to the target and reschedules.
+func (s *Sim) floodOnce(f Flood, target types.NodeID, stop time.Time) {
+	if !stop.IsZero() && !s.now.Before(stop) {
+		return
+	}
+	dst := s.nodes[target]
+	garbage := s.floodMsg(f)
+
+	if f.FromClients {
+		// Client-NIC flood: consumes the victim's client NIC inbound
+		// bandwidth and MAC-verification CPU; it cannot be attributed to a
+		// node, so no NIC closure applies.
+		l := &dst.clientRx
+		start := s.now
+		if l.busyUntil.After(start) {
+			start = l.busyUntil
+		}
+		l.busyUntil = start.Add(s.cfg.Cost.serialization(f.Size))
+		arrive := l.busyUntil.Add(s.cfg.Cost.LinkLatency)
+		s.schedule(arrive, func() { s.deliverToNode(dst, garbage, 0, true) })
+	} else {
+		// Node-to-node flood: consumes the attacker's dedicated link to the
+		// victim (per-peer NICs isolate other traffic) and the victim's CPU
+		// until the flood detector closes the NIC.
+		s.sendNodeToNode(s.nodes[f.From], target, garbage)
+	}
+
+	next := s.now.Add(time.Duration(float64(time.Second) / f.Rate))
+	s.schedule(next, func() { s.floodOnce(f, target, stop) })
+}

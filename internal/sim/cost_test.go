@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"rbft/internal/message"
+	"rbft/internal/types"
+)
+
+func TestSerializationScalesWithSize(t *testing.T) {
+	c := DefaultCostModel()
+	small := c.Serialization(8)
+	big := c.Serialization(8192)
+	if big <= small {
+		t.Fatalf("serialization must grow with size: %v vs %v", small, big)
+	}
+	// 1 Gbit/s: 125 bytes/µs.
+	if got := c.Serialization(125_000_000); got < 900*time.Millisecond || got > 1100*time.Millisecond {
+		t.Fatalf("1s worth of bytes serialized in %v", got)
+	}
+	zero := CostModel{}
+	if zero.Serialization(1000) != 0 {
+		t.Fatal("zero bandwidth must not divide by zero")
+	}
+}
+
+func TestInCostChargesSignatureOnce(t *testing.T) {
+	c := DefaultCostModel()
+	req := &message.Request{Client: 1, ID: 1, Op: make([]byte, 8)}
+	first := c.inCost(req, true)
+	later := c.inCost(req, false)
+	if first-later != c.SigVerify {
+		t.Fatalf("first-sight premium = %v, want SigVerify %v", first-later, c.SigVerify)
+	}
+}
+
+func TestInCostGrowsWithPayload(t *testing.T) {
+	c := DefaultCostModel()
+	small := c.inCost(&message.Propagate{Req: message.Request{Op: make([]byte, 8)}}, false)
+	big := c.inCost(&message.Propagate{Req: message.Request{Op: make([]byte, 4096)}}, false)
+	if big <= small {
+		t.Fatalf("payload hashing must grow with size: %v vs %v", small, big)
+	}
+}
+
+func TestOutCostScalesWithClusterSize(t *testing.T) {
+	c := DefaultCostModel()
+	p := &message.Prepare{}
+	four := c.outCost(p, 4)
+	seven := c.outCost(p, 7)
+	if seven <= four {
+		t.Fatalf("authenticator generation must scale with N: %v vs %v", four, seven)
+	}
+}
+
+func TestOrderedPayloadAblationCosts(t *testing.T) {
+	plain := DefaultCostModel()
+	full := DefaultCostModel()
+	full.OrderedPayloadBytes = 4096
+	pp := &message.PrePrepare{Batch: make([]types.RequestRef, 64)}
+	if full.inCost(pp, false) <= plain.inCost(pp, false) {
+		t.Fatal("ordered-payload ablation must raise PRE-PREPARE processing cost")
+	}
+	if full.wireSize(pp) <= plain.wireSize(pp) {
+		t.Fatal("ordered-payload ablation must raise PRE-PREPARE wire size")
+	}
+	// Other message types are unaffected.
+	p := &message.Prepare{}
+	if full.wireSize(p) != plain.wireSize(p) {
+		t.Fatal("ablation must only affect PRE-PREPAREs")
+	}
+}
+
+func TestExecCost(t *testing.T) {
+	c := DefaultCostModel()
+	if c.execCost(4096) <= c.execCost(8) {
+		t.Fatal("execution cost must grow with operation size")
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"rbft/internal/client"
+	"rbft/internal/monitor"
+	"rbft/internal/types"
+)
+
+// ICRecord is one observed protocol instance change.
+type ICRecord struct {
+	At      time.Time
+	Node    types.NodeID
+	CPI     uint64
+	NewView types.View
+	Reason  monitor.Reason
+}
+
+// MonitorSample is one node's per-instance throughput reading (figures 9
+// and 11 plot these).
+type MonitorSample struct {
+	At         time.Time
+	Node       types.NodeID
+	Throughput []float64 // req/s per instance
+}
+
+// LatencyPoint is one completed request's latency (figure 12 plots these per
+// client).
+type LatencyPoint struct {
+	Client  types.ClientID
+	ID      types.RequestID
+	At      time.Time
+	Latency time.Duration
+}
+
+// Metrics accumulates raw observations during a run.
+type Metrics struct {
+	cluster types.Config
+
+	start, end time.Time // measurement window (after warmup)
+
+	completions    int
+	latencySum     time.Duration
+	latencies      []time.Duration
+	clientSeries   []LatencyPoint
+	executed       []int   // per node, within window
+	orderedByInst  [][]int // per node per instance, cumulative (whole run)
+	icEvents       []ICRecord
+	nicCloses      int
+	monitorSamples []MonitorSample
+}
+
+func newMetrics(cluster types.Config) *Metrics {
+	m := &Metrics{
+		cluster:  cluster,
+		executed: make([]int, cluster.N),
+	}
+	m.orderedByInst = make([][]int, cluster.N)
+	for i := range m.orderedByInst {
+		m.orderedByInst[i] = make([]int, cluster.Instances())
+	}
+	return m
+}
+
+func (m *Metrics) inWindow(now time.Time) bool {
+	return !now.Before(m.start) && !now.After(m.end)
+}
+
+func (m *Metrics) recordExecution(node types.NodeID, _ types.RequestRef, now time.Time) {
+	if m.inWindow(now) {
+		m.executed[node]++
+	}
+}
+
+func (m *Metrics) recordOrdered(node types.NodeID, counts []int) {
+	for i, c := range counts {
+		if i < len(m.orderedByInst[node]) {
+			m.orderedByInst[node][i] += c
+		}
+	}
+}
+
+func (m *Metrics) recordCompletion(id types.ClientID, done client.Completed, now time.Time, trackSeries bool) {
+	if trackSeries {
+		m.clientSeries = append(m.clientSeries, LatencyPoint{
+			Client: id, ID: done.ID, At: now, Latency: done.Latency,
+		})
+	}
+	if !m.inWindow(now) {
+		return
+	}
+	m.completions++
+	m.latencySum += done.Latency
+	m.latencies = append(m.latencies, done.Latency)
+}
+
+func (m *Metrics) recordMonitorSample(node types.NodeID, now time.Time, tp []float64) {
+	m.monitorSamples = append(m.monitorSamples, MonitorSample{At: now, Node: node, Throughput: tp})
+}
+
+// Result is the summary of one simulation run.
+type Result struct {
+	// Window is the measurement window length (run duration minus warmup).
+	Window time.Duration
+	// Completed counts client-accepted requests within the window.
+	Completed int
+	// Throughput is Completed divided by the window, in req/s.
+	Throughput float64
+	// AvgLatency, P50Latency and P99Latency summarise client-observed
+	// latency within the window.
+	AvgLatency time.Duration
+	P50Latency time.Duration
+	P99Latency time.Duration
+	// ExecutedPerNode counts master-ordered executions per node within the
+	// window.
+	ExecutedPerNode []int
+	// OrderedPerNodeInstance counts refs ordered per node per instance over
+	// the whole run.
+	OrderedPerNodeInstance [][]int
+	// InstanceChanges lists all observed instance-change completions.
+	InstanceChanges []ICRecord
+	// NICCloses counts flood-triggered NIC closures.
+	NICCloses int
+	// ClientSeries is the per-request latency series (when tracked).
+	ClientSeries []LatencyPoint
+	// MonitorSamples are the per-node monitor readings (when sampled).
+	MonitorSamples []MonitorSample
+}
+
+func (m *Metrics) result(cfg Config) *Result {
+	window := m.end.Sub(m.start)
+	r := &Result{
+		Window:                 window,
+		Completed:              m.completions,
+		ExecutedPerNode:        m.executed,
+		OrderedPerNodeInstance: m.orderedByInst,
+		InstanceChanges:        m.icEvents,
+		NICCloses:              m.nicCloses,
+		ClientSeries:           m.clientSeries,
+		MonitorSamples:         m.monitorSamples,
+	}
+	if window > 0 {
+		r.Throughput = float64(m.completions) / window.Seconds()
+	}
+	if len(m.latencies) > 0 {
+		r.AvgLatency = m.latencySum / time.Duration(len(m.latencies))
+		sorted := append([]time.Duration(nil), m.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		r.P50Latency = sorted[len(sorted)/2]
+		r.P99Latency = sorted[len(sorted)*99/100]
+	}
+	return r
+}
+
+// ViewChanged reports whether any node completed an instance change.
+func (r *Result) ViewChanged() bool { return len(r.InstanceChanges) > 0 }

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"rbft/internal/client"
+	"rbft/internal/types"
+)
+
+func TestMetricsWindowing(t *testing.T) {
+	m := newMetrics(types.NewConfig(1))
+	start := time.Unix(0, 0)
+	m.start = start.Add(time.Second) // warmup boundary
+	m.end = start.Add(3 * time.Second)
+
+	// Before the window: ignored.
+	m.recordCompletion(1, client.Completed{ID: 1, Latency: time.Millisecond}, start, false)
+	m.recordExecution(0, types.RequestRef{}, start)
+	// Inside: counted.
+	m.recordCompletion(1, client.Completed{ID: 2, Latency: 2 * time.Millisecond}, start.Add(2*time.Second), false)
+	m.recordExecution(0, types.RequestRef{}, start.Add(2*time.Second))
+	// After: ignored.
+	m.recordCompletion(1, client.Completed{ID: 3, Latency: time.Millisecond}, start.Add(4*time.Second), false)
+
+	res := m.result(Config{})
+	if res.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1 (window only)", res.Completed)
+	}
+	if res.ExecutedPerNode[0] != 1 {
+		t.Fatalf("ExecutedPerNode[0] = %d, want 1", res.ExecutedPerNode[0])
+	}
+	if res.AvgLatency != 2*time.Millisecond {
+		t.Fatalf("AvgLatency = %v", res.AvgLatency)
+	}
+	if res.Window != 2*time.Second {
+		t.Fatalf("Window = %v", res.Window)
+	}
+	if res.Throughput != 0.5 {
+		t.Fatalf("Throughput = %v, want 0.5 req/s", res.Throughput)
+	}
+}
+
+func TestMetricsLatencySeriesTracking(t *testing.T) {
+	m := newMetrics(types.NewConfig(1))
+	m.start = time.Unix(0, 0)
+	m.end = time.Unix(10, 0)
+	// Series points are recorded regardless of the window (the whole
+	// timeline matters for figure 12), but summary stats stay windowed.
+	m.recordCompletion(2, client.Completed{ID: 1, Latency: time.Millisecond}, time.Unix(20, 0), true)
+	res := m.result(Config{})
+	if len(res.ClientSeries) != 1 || res.ClientSeries[0].Client != 2 {
+		t.Fatalf("series = %+v", res.ClientSeries)
+	}
+	if res.Completed != 0 {
+		t.Fatal("out-of-window completion leaked into the summary")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	m := newMetrics(types.NewConfig(1))
+	m.start = time.Unix(0, 0)
+	m.end = time.Unix(1000, 0)
+	at := time.Unix(500, 0)
+	for i := 1; i <= 100; i++ {
+		m.recordCompletion(0, client.Completed{ID: types.RequestID(i), Latency: time.Duration(i) * time.Millisecond}, at, false)
+	}
+	res := m.result(Config{})
+	if res.P50Latency < 49*time.Millisecond || res.P50Latency > 52*time.Millisecond {
+		t.Fatalf("P50 = %v", res.P50Latency)
+	}
+	if res.P99Latency < 98*time.Millisecond {
+		t.Fatalf("P99 = %v", res.P99Latency)
+	}
+}
+
+func TestResultViewChanged(t *testing.T) {
+	r := &Result{}
+	if r.ViewChanged() {
+		t.Fatal("empty result claims a view change")
+	}
+	r.InstanceChanges = append(r.InstanceChanges, ICRecord{})
+	if !r.ViewChanged() {
+		t.Fatal("result with IC records denies a view change")
+	}
+}

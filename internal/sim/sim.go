@@ -1,0 +1,502 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"rbft/internal/core"
+	"rbft/internal/crypto"
+	"rbft/internal/message"
+	"rbft/internal/monitor"
+	"rbft/internal/types"
+)
+
+// event is one scheduled simulator action.
+type event struct {
+	at  time.Time
+	seq uint64 // FIFO tiebreak for identical timestamps
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Config parameterises one simulation run.
+type Config struct {
+	// F is the number of tolerated faults (N = 3f+1 nodes).
+	F int
+	// Cost is the CPU/network cost model.
+	Cost CostModel
+	// UDP disables the TCP per-message latency overhead.
+	UDP bool
+	// Seed feeds the deterministic jitter source.
+	Seed int64
+
+	// BatchSize and BatchTimeout configure the ordering instances.
+	BatchSize    int
+	BatchTimeout time.Duration
+	// Monitoring carries Δ/Λ/Ω; Instances is filled in automatically.
+	Monitoring monitor.Config
+	// CheckpointInterval and WatermarkWindow tune log GC.
+	CheckpointInterval types.SeqNum
+	WatermarkWindow    types.SeqNum
+	// FloodThreshold etc. tune the node flood defence; zero uses the node
+	// defaults.
+	FloodThreshold int
+	FloodWindow    time.Duration
+	NICClosePeriod time.Duration
+
+	// Workload drives the clients.
+	Workload Workload
+
+	// NodeBehavior installs Byzantine node behaviour for attacks.
+	NodeBehavior map[types.NodeID]core.Behavior
+	// Floods are message-flooding attacks.
+	Floods []Flood
+	// CorruptClientAuthFor lists nodes for which all clients corrupt their
+	// request MAC entry (worst-attack-1 step i).
+	CorruptClientAuthFor []types.NodeID
+	// Script schedules arbitrary mid-run actions (e.g. changing an
+	// attacker's behaviour).
+	Script []Action
+
+	// Warmup excludes the initial interval from summary metrics.
+	Warmup time.Duration
+	// TrackClientLatency records a per-request latency series per client
+	// (figure 12).
+	TrackClientLatency bool
+	// MonitorSampleEvery samples every node's per-instance monitor
+	// throughput at this interval (figures 9 and 11). Zero disables.
+	MonitorSampleEvery time.Duration
+}
+
+// Action is a scheduled scriptable step.
+type Action struct {
+	At time.Time
+	Do func(s *Sim)
+}
+
+// cpuTask is one unit of work waiting on a node CPU queue.
+type cpuTask struct {
+	msg      message.Message
+	from     types.NodeID
+	isClient bool
+	isTick   bool
+}
+
+// cpuQueue is a single-server FIFO CPU queue (one core).
+type cpuQueue struct {
+	pending []cpuTask
+	running bool
+}
+
+// link models one unidirectional network link (dedicated NICs per pair).
+type link struct {
+	busyUntil time.Time
+}
+
+// simNode wraps a core.Node with its CPU queues and NIC links.
+type simNode struct {
+	node *core.Node
+	id   types.NodeID
+	// queues: index 0 = node modules (verification, propagation, dispatch,
+	// execution); 1..f+1 = one core per protocol-instance replica.
+	queues []cpuQueue
+	// peerTx[j] is the outbound link to node j; clientTx/clientRx are the
+	// client-facing NIC directions.
+	peerTx   []link
+	clientTx link
+	clientRx link
+	// closed[peer] drops traffic from that peer until the deadline (NIC
+	// closure on flood detection).
+	closed map[types.NodeID]time.Time
+	// sigSeen tracks request keys whose signature this node has already
+	// verified (signature cost charged once).
+	sigSeen map[types.RequestKey]bool
+	// timerAt is the currently scheduled wake-up (zero if none).
+	timerAt time.Time
+}
+
+// Sim is one simulation run.
+type Sim struct {
+	cfg     Config
+	cluster types.Config
+	ks      *crypto.KeyStore
+	rng     *rand.Rand
+
+	events eventHeap
+	seq    uint64
+	now    time.Time
+	endAt  time.Time
+
+	nodes   []*simNode
+	clients []*simClient
+
+	floodCache map[int]*message.Invalid
+
+	metrics *Metrics
+}
+
+// New builds a simulator from the configuration.
+func New(cfg Config) *Sim {
+	cluster := types.NewConfig(cfg.F)
+	maxClients := cfg.Workload.maxClients() + 1
+	s := &Sim{
+		cfg:     cfg,
+		cluster: cluster,
+		ks:      crypto.NewInsecureFastKeyStore([]byte("rbft-sim"), cluster.N, maxClients),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		now:     time.Unix(0, 0),
+		metrics: newMetrics(cluster),
+	}
+	for i := 0; i < cluster.N; i++ {
+		id := types.NodeID(i)
+		nodeCfg := core.Config{
+			Cluster:            cluster,
+			Node:               id,
+			BatchSize:          cfg.BatchSize,
+			BatchTimeout:       cfg.BatchTimeout,
+			CheckpointInterval: cfg.CheckpointInterval,
+			WatermarkWindow:    cfg.WatermarkWindow,
+			Monitoring:         cfg.Monitoring,
+			FloodThreshold:     cfg.FloodThreshold,
+			FloodWindow:        cfg.FloodWindow,
+			NICClosePeriod:     cfg.NICClosePeriod,
+		}
+		sn := &simNode{
+			node:    core.New(nodeCfg, s.ks.NodeRing(id)),
+			id:      id,
+			queues:  make([]cpuQueue, cluster.Instances()+1),
+			peerTx:  make([]link, cluster.N),
+			closed:  make(map[types.NodeID]time.Time),
+			sigSeen: make(map[types.RequestKey]bool),
+		}
+		if b, ok := cfg.NodeBehavior[id]; ok {
+			sn.node.SetBehavior(b)
+		}
+		s.nodes = append(s.nodes, sn)
+	}
+	s.setupClients()
+	return s
+}
+
+// Cluster returns the cluster configuration of the run.
+func (s *Sim) Cluster() types.Config { return s.cluster }
+
+// Node returns the core node state machine of node id (scripted attacks).
+func (s *Sim) Node(id types.NodeID) *core.Node { return s.nodes[id].node }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+func (s *Sim) schedule(at time.Time, fn func()) {
+	if at.Before(s.now) {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Run executes the simulation for duration d and returns the collected
+// metrics.
+func (s *Sim) Run(d time.Duration) *Result {
+	start := s.now
+	s.endAt = start.Add(d)
+	s.metrics.start = start.Add(s.cfg.Warmup)
+	s.metrics.end = s.endAt
+
+	s.startWorkload()
+	s.startFloods()
+	for _, a := range s.cfg.Script {
+		act := a
+		s.schedule(act.At, func() { act.Do(s) })
+	}
+	if s.cfg.MonitorSampleEvery > 0 {
+		s.schedule(start.Add(s.cfg.MonitorSampleEvery), s.sampleMonitors)
+	}
+	for _, sn := range s.nodes {
+		s.armNodeTimer(sn)
+	}
+
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.at.After(s.endAt) {
+			break
+		}
+		s.now = ev.at
+		ev.fn()
+	}
+	s.now = s.endAt
+	return s.metrics.result(s.cfg)
+}
+
+// ---- node task processing ----
+
+// queueFor routes a message to the CPU queue that processes it.
+func queueFor(msg message.Message, instances int) int {
+	inst, _, ok := instanceOf(msg)
+	if ok && int(inst) < instances {
+		return 1 + int(inst)
+	}
+	return 0
+}
+
+func instanceOf(msg message.Message) (types.InstanceID, types.NodeID, bool) {
+	switch m := msg.(type) {
+	case *message.PrePrepare:
+		return m.Instance, m.Node, true
+	case *message.Prepare:
+		return m.Instance, m.Node, true
+	case *message.Commit:
+		return m.Instance, m.Node, true
+	case *message.Checkpoint:
+		return m.Instance, m.Node, true
+	case *message.ViewChange:
+		return m.Instance, m.Node, true
+	case *message.NewView:
+		return m.Instance, m.Node, true
+	case *message.Fetch:
+		return m.Instance, m.Node, true
+	case *message.FetchResp:
+		return m.Instance, m.Node, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// enqueueTask appends a task to a node CPU queue, starting the queue if idle.
+func (s *Sim) enqueueTask(sn *simNode, q int, task cpuTask) {
+	queue := &sn.queues[q]
+	queue.pending = append(queue.pending, task)
+	if !queue.running {
+		s.startNextTask(sn, q)
+	}
+}
+
+// startNextTask runs the head-of-queue task at the current time.
+func (s *Sim) startNextTask(sn *simNode, q int) {
+	queue := &sn.queues[q]
+	if len(queue.pending) == 0 {
+		queue.running = false
+		return
+	}
+	task := queue.pending[0]
+	queue.pending = queue.pending[1:]
+	queue.running = true
+
+	cost, out := s.runTask(sn, task)
+	done := s.now.Add(cost)
+	s.schedule(done, func() {
+		s.emitOutputs(sn, out)
+		s.armNodeTimer(sn)
+		s.startNextTask(sn, q)
+	})
+}
+
+// runTask invokes the node state machine for one task and returns the CPU
+// cost plus the node output (emitted at completion).
+func (s *Sim) runTask(sn *simNode, task cpuTask) (time.Duration, core.Output) {
+	if task.isTick {
+		out := sn.node.Tick(s.now)
+		return s.outputCost(out), out
+	}
+	first := s.chargeFirstSight(sn, task.msg)
+	cost := s.cfg.Cost.inCost(task.msg, first)
+	var out core.Output
+	if task.isClient {
+		req, ok := task.msg.(*message.Request)
+		if !ok {
+			return cost, out
+		}
+		out = sn.node.OnClientRequest(req, s.now)
+	} else {
+		out = sn.node.OnNodeMessage(task.msg, task.from, s.now)
+	}
+	return cost + s.outputCost(out), out
+}
+
+// chargeFirstSight reports whether msg carries a request body this node has
+// not yet signature-verified, and marks it.
+func (s *Sim) chargeFirstSight(sn *simNode, msg message.Message) bool {
+	var key types.RequestKey
+	switch m := msg.(type) {
+	case *message.Request:
+		key = types.RequestKey{Client: m.Client, ID: m.ID}
+	case *message.Propagate:
+		key = types.RequestKey{Client: m.Req.Client, ID: m.Req.ID}
+	default:
+		return false
+	}
+	if sn.sigSeen[key] {
+		return false
+	}
+	sn.sigSeen[key] = true
+	return true
+}
+
+// outputCost sums the authentication and execution costs of a node output.
+func (s *Sim) outputCost(out core.Output) time.Duration {
+	var cost time.Duration
+	for _, nm := range out.NodeMsgs {
+		cost += s.cfg.Cost.outCost(nm.Msg, s.cluster.N)
+	}
+	for _, cm := range out.ClientMsgs {
+		cost += s.cfg.Cost.outCost(cm.Msg, 1)
+	}
+	for _, ex := range out.Executions {
+		_ = ex
+		cost += s.cfg.Cost.execCost(s.cfg.Workload.RequestSize)
+	}
+	return cost
+}
+
+// emitOutputs transmits a node output over the modelled network and records
+// metrics.
+func (s *Sim) emitOutputs(sn *simNode, out core.Output) {
+	for _, nc := range out.NICCloses {
+		sn.closed[nc.Peer] = nc.Until
+		s.metrics.nicCloses++
+	}
+	for _, ic := range out.InstanceChanges {
+		s.metrics.icEvents = append(s.metrics.icEvents, ICRecord{
+			At: s.now, Node: sn.id, CPI: ic.CPI, NewView: ic.NewView, Reason: ic.Reason,
+		})
+	}
+	for _, ex := range out.Executions {
+		s.metrics.recordExecution(sn.id, ex.Ref, s.now)
+	}
+	if out.OrderedByInstance != nil {
+		s.metrics.recordOrdered(sn.id, out.OrderedByInstance)
+	}
+	for _, nm := range out.NodeMsgs {
+		size := s.cfg.Cost.wireSize(nm.Msg)
+		targets := nm.To
+		if targets == nil {
+			for i := 0; i < s.cluster.N; i++ {
+				if types.NodeID(i) != sn.id {
+					targets = append(targets, types.NodeID(i))
+				}
+			}
+		}
+		for _, to := range targets {
+			s.sendNodeToNodeSized(sn, to, nm.Msg, size)
+		}
+	}
+	for _, cm := range out.ClientMsgs {
+		s.sendNodeToClient(sn, cm.To, cm.Msg)
+	}
+}
+
+// sendNodeToNode transmits msg on the dedicated from→to link.
+func (s *Sim) sendNodeToNode(from *simNode, to types.NodeID, msg message.Message) {
+	s.sendNodeToNodeSized(from, to, msg, s.cfg.Cost.wireSize(msg))
+}
+
+func (s *Sim) sendNodeToNodeSized(from *simNode, to types.NodeID, msg message.Message, size int) {
+	l := &from.peerTx[to]
+	start := s.now
+	if l.busyUntil.After(start) {
+		start = l.busyUntil
+	}
+	ser := s.cfg.Cost.serialization(size)
+	l.busyUntil = start.Add(ser)
+	arrive := l.busyUntil.Add(s.cfg.Cost.LinkLatency)
+	if !s.cfg.UDP {
+		arrive = arrive.Add(s.cfg.Cost.TCPExtraLatency)
+	}
+	dst := s.nodes[to]
+	fromID := from.id
+	s.schedule(arrive, func() { s.deliverToNode(dst, msg, fromID, false) })
+}
+
+// deliverToNode enqueues an arrived message unless the sender's NIC is
+// closed (dropped at zero CPU cost).
+func (s *Sim) deliverToNode(sn *simNode, msg message.Message, from types.NodeID, isClient bool) {
+	if !isClient {
+		if until, closed := sn.closed[from]; closed {
+			if s.now.Before(until) {
+				return
+			}
+			delete(sn.closed, from)
+		}
+	}
+	q := queueFor(msg, s.cluster.Instances())
+	s.enqueueTask(sn, q, cpuTask{msg: msg, from: from, isClient: isClient})
+}
+
+// sendNodeToClient transmits a reply over the node's client NIC.
+func (s *Sim) sendNodeToClient(from *simNode, to types.ClientID, msg message.Message) {
+	if int(to) >= len(s.clients) {
+		return
+	}
+	size := len(msg.Marshal(nil))
+	l := &from.clientTx
+	start := s.now
+	if l.busyUntil.After(start) {
+		start = l.busyUntil
+	}
+	ser := s.cfg.Cost.serialization(size)
+	l.busyUntil = start.Add(ser)
+	arrive := l.busyUntil.Add(s.cfg.Cost.LinkLatency)
+	if !s.cfg.UDP {
+		arrive = arrive.Add(s.cfg.Cost.TCPExtraLatency)
+	}
+	cl := s.clients[to]
+	fromID := from.id
+	s.schedule(arrive, func() { s.clientReceive(cl, msg, fromID) })
+}
+
+// armNodeTimer keeps exactly one pending wake-up per node.
+func (s *Sim) armNodeTimer(sn *simNode) {
+	wake := sn.node.NextWake()
+	if wake.IsZero() || wake.After(s.endAt) {
+		return
+	}
+	if !sn.timerAt.IsZero() && !sn.timerAt.After(wake) && sn.timerAt.After(s.now) {
+		return // an earlier or equal wake-up is already scheduled
+	}
+	if wake.Before(s.now) {
+		wake = s.now
+	}
+	sn.timerAt = wake
+	s.schedule(wake, func() { s.fireNodeTimer(sn) })
+}
+
+func (s *Sim) fireNodeTimer(sn *simNode) {
+	sn.timerAt = time.Time{}
+	wake := sn.node.NextWake()
+	if wake.IsZero() {
+		return
+	}
+	if wake.After(s.now) {
+		s.armNodeTimer(sn)
+		return
+	}
+	s.enqueueTask(sn, 0, cpuTask{isTick: true})
+}
+
+// sampleMonitors records every node's per-instance monitor throughput.
+func (s *Sim) sampleMonitors() {
+	for _, sn := range s.nodes {
+		s.metrics.recordMonitorSample(sn.id, s.now, sn.node.Monitor().Throughput())
+	}
+	s.schedule(s.now.Add(s.cfg.MonitorSampleEvery), s.sampleMonitors)
+}

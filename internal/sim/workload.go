@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"time"
+
+	"rbft/internal/client"
+	"rbft/internal/crypto"
+	"rbft/internal/message"
+	"rbft/internal/types"
+)
+
+// Phase is one segment of a workload: a number of active open-loop clients,
+// each sending at RatePerClient, for Duration.
+type Phase struct {
+	Duration      time.Duration
+	Clients       int
+	RatePerClient float64 // requests per second per client
+}
+
+// Workload drives the simulated clients.
+type Workload struct {
+	// RequestSize is the operation payload size in bytes.
+	RequestSize int
+	// Phases execute in order; the last phase's client population persists
+	// until the run ends.
+	Phases []Phase
+	// RetransmitTimeout configures client retransmission (0 = a 2s default).
+	RetransmitTimeout time.Duration
+}
+
+func (w Workload) maxClients() int {
+	max := 0
+	for _, p := range w.Phases {
+		if p.Clients > max {
+			max = p.Clients
+		}
+	}
+	return max
+}
+
+// StaticLoad is the paper's static workload: a fixed saturating client
+// population sending at a constant rate.
+func StaticLoad(clients int, ratePerClient float64, requestSize int) Workload {
+	return Workload{
+		RequestSize: requestSize,
+		Phases:      []Phase{{Duration: 0, Clients: clients, RatePerClient: ratePerClient}},
+	}
+}
+
+// DynamicLoad is the paper's dynamic workload: start with one client,
+// progressively increase to ten, spike to fifty, then ramp back down to one.
+// stepDur is the duration of each population step.
+func DynamicLoad(ratePerClient float64, requestSize int, stepDur time.Duration) Workload {
+	var phases []Phase
+	for c := 1; c <= 10; c += 3 {
+		phases = append(phases, Phase{Duration: stepDur, Clients: c, RatePerClient: ratePerClient})
+	}
+	phases = append(phases, Phase{Duration: stepDur, Clients: 50, RatePerClient: ratePerClient})
+	for c := 10; c >= 1; c -= 3 {
+		phases = append(phases, Phase{Duration: stepDur, Clients: c, RatePerClient: ratePerClient})
+	}
+	return Workload{RequestSize: requestSize, Phases: phases}
+}
+
+// simClient wraps a client state machine with its open-loop generator state.
+type simClient struct {
+	cl      *client.Client
+	id      types.ClientID
+	active  bool
+	rate    float64
+	op      []byte
+	timerAt time.Time
+}
+
+func (s *Sim) setupClients() {
+	n := s.cfg.Workload.maxClients()
+	rt := s.cfg.Workload.RetransmitTimeout
+	if rt == 0 {
+		rt = 2 * time.Second
+	}
+	op := make([]byte, s.cfg.Workload.RequestSize)
+	for i := range op {
+		op[i] = byte(i * 31)
+	}
+	for i := 0; i < n; i++ {
+		id := types.ClientID(i)
+		s.clients = append(s.clients, &simClient{
+			cl: client.New(client.Config{
+				Cluster:           s.cluster,
+				ID:                id,
+				RetransmitTimeout: rt,
+			}, s.ks.ClientRing(id)),
+			id: id,
+			op: op,
+		})
+	}
+}
+
+// startWorkload schedules the phase transitions.
+func (s *Sim) startWorkload() {
+	at := s.now
+	for i, p := range s.cfg.Workload.Phases {
+		phase := p
+		s.schedule(at, func() { s.applyPhase(phase) })
+		if i < len(s.cfg.Workload.Phases)-1 {
+			at = at.Add(p.Duration)
+		}
+	}
+}
+
+func (s *Sim) applyPhase(p Phase) {
+	for i, sc := range s.clients {
+		wasActive := sc.active
+		sc.active = i < p.Clients
+		sc.rate = p.RatePerClient
+		if sc.active && !wasActive {
+			// Stagger activations slightly to avoid phase-locked bursts.
+			delay := time.Duration(s.rng.Int63n(int64(time.Millisecond) + 1))
+			client := sc
+			s.schedule(s.now.Add(delay), func() { s.clientSend(client) })
+		}
+	}
+}
+
+// clientSend emits one request and schedules the next per the open-loop rate.
+func (s *Sim) clientSend(sc *simClient) {
+	if !sc.active || sc.rate <= 0 {
+		return
+	}
+	req := sc.cl.NewRequest(sc.op, s.now)
+	s.broadcastRequest(sc, req)
+	s.armClientTimer(sc)
+
+	// Next send: deterministic interval with ±20% jitter.
+	interval := time.Duration(float64(time.Second) / sc.rate)
+	jitter := time.Duration((s.rng.Float64() - 0.5) * 0.4 * float64(interval))
+	s.schedule(s.now.Add(interval+jitter), func() { s.clientSend(sc) })
+}
+
+// broadcastRequest transmits a request to every node through each node's
+// client NIC, applying the worst-attack-1 MAC corruption if configured.
+func (s *Sim) broadcastRequest(sc *simClient, req *message.Request) {
+	size := len(req.Marshal(nil))
+	for _, sn := range s.nodes {
+		msg := message.Message(req)
+		if s.corruptFor(sn.id) {
+			bad := *req
+			bad.Auth = append(crypto.Authenticator(nil), req.Auth...)
+			if int(sn.id) < len(bad.Auth) {
+				bad.Auth[sn.id][0] ^= 0xff
+			}
+			msg = &bad
+		}
+		l := &sn.clientRx
+		start := s.now
+		if l.busyUntil.After(start) {
+			start = l.busyUntil
+		}
+		l.busyUntil = start.Add(s.cfg.Cost.serialization(size))
+		arrive := l.busyUntil.Add(s.cfg.Cost.LinkLatency)
+		if !s.cfg.UDP {
+			arrive = arrive.Add(s.cfg.Cost.TCPExtraLatency)
+		}
+		node := sn
+		m := msg
+		s.schedule(arrive, func() { s.deliverToNode(node, m, 0, true) })
+	}
+}
+
+func (s *Sim) corruptFor(n types.NodeID) bool {
+	for _, id := range s.cfg.CorruptClientAuthFor {
+		if id == n {
+			return true
+		}
+	}
+	return false
+}
+
+// clientReceive processes a reply at the client.
+func (s *Sim) clientReceive(sc *simClient, msg message.Message, from types.NodeID) {
+	rep, ok := msg.(*message.Reply)
+	if !ok {
+		return
+	}
+	done, ok := sc.cl.OnReply(rep, from, s.now)
+	if !ok {
+		return
+	}
+	s.metrics.recordCompletion(sc.id, done, s.now, s.cfg.TrackClientLatency)
+}
+
+// armClientTimer keeps one pending retransmission wake-up per client.
+func (s *Sim) armClientTimer(sc *simClient) {
+	wake := sc.cl.NextWake()
+	if wake.IsZero() || wake.After(s.endAt) {
+		return
+	}
+	if !sc.timerAt.IsZero() && !sc.timerAt.After(wake) && sc.timerAt.After(s.now) {
+		return
+	}
+	if wake.Before(s.now) {
+		wake = s.now
+	}
+	sc.timerAt = wake
+	s.schedule(wake, func() { s.fireClientTimer(sc) })
+}
+
+func (s *Sim) fireClientTimer(sc *simClient) {
+	sc.timerAt = time.Time{}
+	for _, req := range sc.cl.Tick(s.now) {
+		s.broadcastRequest(sc, req)
+	}
+	s.armClientTimer(sc)
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStaticLoadShape(t *testing.T) {
+	w := StaticLoad(5, 100, 4096)
+	if w.maxClients() != 5 {
+		t.Fatalf("maxClients = %d", w.maxClients())
+	}
+	if w.RequestSize != 4096 {
+		t.Fatalf("RequestSize = %d", w.RequestSize)
+	}
+	if len(w.Phases) != 1 || w.Phases[0].RatePerClient != 100 {
+		t.Fatalf("phases = %+v", w.Phases)
+	}
+}
+
+func TestDynamicLoadShape(t *testing.T) {
+	w := DynamicLoad(200, 8, time.Second)
+	if w.maxClients() != 50 {
+		t.Fatalf("maxClients = %d, want the 50-client spike", w.maxClients())
+	}
+	// Ramp up, spike, ramp down: first and last phases have one client.
+	first, last := w.Phases[0], w.Phases[len(w.Phases)-1]
+	if first.Clients != 1 || last.Clients != 1 {
+		t.Fatalf("ramp endpoints: %d..%d clients", first.Clients, last.Clients)
+	}
+	spike := 0
+	for _, p := range w.Phases {
+		if p.Clients > spike {
+			spike = p.Clients
+		}
+	}
+	if spike != 50 {
+		t.Fatalf("spike = %d clients, want 50", spike)
+	}
+}
+
+// TestPhaseDeactivationStopsClients: after the population shrinks, the
+// deactivated clients stop sending.
+func TestPhaseDeactivationStopsClients(t *testing.T) {
+	cfg := Config{
+		F:    1,
+		Cost: DefaultCostModel(),
+		Seed: 1,
+		Workload: Workload{
+			RequestSize: 8,
+			Phases: []Phase{
+				{Duration: 200 * time.Millisecond, Clients: 5, RatePerClient: 200},
+				{Duration: 0, Clients: 1, RatePerClient: 200},
+			},
+		},
+		BatchTimeout: 2 * time.Millisecond,
+	}
+	s := New(cfg)
+	res := s.Run(600 * time.Millisecond)
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	// Offered: 5 clients for 0.2s (200/s) + 1 client for 0.4s ≈ 280 reqs.
+	// With all 5 active throughout it would be ~600.
+	if res.Completed > 420 {
+		t.Fatalf("completed %d requests; deactivated clients kept sending", res.Completed)
+	}
+}

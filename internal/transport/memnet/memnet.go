@@ -1,0 +1,113 @@
+// Package memnet is an in-process transport: endpoints exchange frames over
+// channels inside one OS process. Used by examples and integration tests
+// that want a full RBFT cluster without sockets, and by fault-injection
+// tests (it supports per-link drop rules).
+package memnet
+
+import (
+	"fmt"
+	"sync"
+
+	"rbft/internal/transport"
+)
+
+// Network is the in-process hub connecting endpoints.
+type Network struct {
+	mu        sync.RWMutex
+	endpoints map[string]*Endpoint
+	// dropRule, when set, drops the frame if it returns true.
+	dropRule func(from, to string, data []byte) bool
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{endpoints: make(map[string]*Endpoint)}
+}
+
+// SetDropRule installs a frame-dropping predicate (fault injection). Pass
+// nil to clear.
+func (n *Network) SetDropRule(rule func(from, to string, data []byte) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropRule = rule
+}
+
+// Endpoint creates (or returns) the endpoint with the given name.
+func (n *Network) Endpoint(name string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok {
+		return ep
+	}
+	ep := &Endpoint{
+		net:  n,
+		name: name,
+		// A deep buffer so a slow receiver does not deadlock senders that
+		// hold the node lock; overflow drops (the protocol tolerates loss).
+		recv: make(chan transport.Packet, 4096),
+	}
+	n.endpoints[name] = ep
+	return ep
+}
+
+// Endpoint is one in-process transport endpoint.
+type Endpoint struct {
+	net    *Network
+	name   string
+	recv   chan transport.Packet
+	closed sync.Once
+	done   bool
+	mu     sync.Mutex
+}
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// Name implements transport.Transport.
+func (e *Endpoint) Name() string { return e.name }
+
+// Packets implements transport.Transport.
+func (e *Endpoint) Packets() <-chan transport.Packet { return e.recv }
+
+// Send implements transport.Transport.
+func (e *Endpoint) Send(to string, data []byte) error {
+	if len(data) > transport.MaxFrame {
+		return transport.ErrFrameTooBig
+	}
+	e.net.mu.RLock()
+	dst, ok := e.net.endpoints[to]
+	drop := e.net.dropRule
+	e.net.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", transport.ErrUnknownPeer, to)
+	}
+	if drop != nil && drop(e.name, to, data) {
+		return nil // silently dropped (fault injection)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.done {
+		return transport.ErrClosed
+	}
+	select {
+	case dst.recv <- transport.Packet{From: e.name, Data: buf}:
+	default:
+		// Receiver overloaded: drop, like a saturated NIC.
+	}
+	return nil
+}
+
+// Close implements transport.Transport.
+func (e *Endpoint) Close() error {
+	e.closed.Do(func() {
+		e.mu.Lock()
+		e.done = true
+		close(e.recv)
+		e.mu.Unlock()
+		e.net.mu.Lock()
+		delete(e.net.endpoints, e.name)
+		e.net.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,44 @@
+// Package transport abstracts the wire for the real-time runtime: an
+// endpoint can send byte frames to named peers and receive frames tagged
+// with the sender's claimed name. Authentication of the claim happens above,
+// at the MAC layer — a transport only provides framing and delivery.
+//
+// Three implementations exist: memnet (in-process channels, used by examples
+// and tests), tcpnet (length-prefixed frames over TCP, the deployment
+// default per the paper), and udpnet (datagrams, the paper's lower-latency
+// variant).
+package transport
+
+import "errors"
+
+// Packet is one received frame.
+type Packet struct {
+	// From is the sender's claimed endpoint name.
+	From string
+	// Data is the frame payload.
+	Data []byte
+}
+
+// Transport is one endpoint's connection to the cluster.
+type Transport interface {
+	// Send transmits data to the named peer. It may block briefly but must
+	// not block indefinitely on a slow peer.
+	Send(to string, data []byte) error
+	// Packets returns the receive channel. It is closed when the transport
+	// closes.
+	Packets() <-chan Packet
+	// Name returns this endpoint's name.
+	Name() string
+	// Close releases resources and closes the Packets channel.
+	Close() error
+}
+
+// Errors shared by implementations.
+var (
+	ErrClosed      = errors.New("transport: closed")
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+	ErrFrameTooBig = errors.New("transport: frame exceeds limit")
+)
+
+// MaxFrame bounds a single frame; larger frames are rejected on both sides.
+const MaxFrame = 16 << 20

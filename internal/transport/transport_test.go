@@ -1,0 +1,257 @@
+package transport_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rbft/internal/transport"
+	"rbft/internal/transport/memnet"
+	"rbft/internal/transport/tcpnet"
+	"rbft/internal/transport/udpnet"
+)
+
+// harness builds a pair of connected endpoints for each implementation.
+type pairFn func(t *testing.T) (a, b transport.Transport)
+
+func memPair(t *testing.T) (transport.Transport, transport.Transport) {
+	t.Helper()
+	net := memnet.NewNetwork()
+	return net.Endpoint("a"), net.Endpoint("b")
+}
+
+func tcpPair(t *testing.T) (transport.Transport, transport.Transport) {
+	t.Helper()
+	a, err := tcpnet.Listen("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tcpnet.Listen("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer("b", b.Addr())
+	b.AddPeer("a", a.Addr())
+	return a, b
+}
+
+func udpPair(t *testing.T) (transport.Transport, transport.Transport) {
+	t.Helper()
+	a, err := udpnet.Listen("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := udpnet.Listen("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddPeer("b", b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer("a", a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func impls() map[string]pairFn {
+	return map[string]pairFn{
+		"memnet": memPair,
+		"tcpnet": tcpPair,
+		"udpnet": udpPair,
+	}
+}
+
+func recvOne(t *testing.T, tr transport.Transport) transport.Packet {
+	t.Helper()
+	select {
+	case p, ok := <-tr.Packets():
+		if !ok {
+			t.Fatal("packets channel closed")
+		}
+		return p
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for packet")
+	}
+	return transport.Packet{}
+}
+
+func TestSendReceive(t *testing.T) {
+	for name, mk := range impls() {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(t)
+			defer a.Close()
+			defer b.Close()
+			want := []byte("hello rbft")
+			if err := a.Send("b", want); err != nil {
+				t.Fatal(err)
+			}
+			p := recvOne(t, b)
+			if p.From != "a" || !bytes.Equal(p.Data, want) {
+				t.Fatalf("got %q from %q", p.Data, p.From)
+			}
+			// And the reverse direction.
+			if err := b.Send("a", []byte("pong")); err != nil {
+				t.Fatal(err)
+			}
+			p = recvOne(t, a)
+			if p.From != "b" || string(p.Data) != "pong" {
+				t.Fatalf("got %q from %q", p.Data, p.From)
+			}
+		})
+	}
+}
+
+func TestManyFramesInOrderTCP(t *testing.T) {
+	// TCP guarantees FIFO; memnet does too.
+	for _, name := range []string{"memnet", "tcpnet"} {
+		mk := impls()[name]
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(t)
+			defer a.Close()
+			defer b.Close()
+			const n = 500
+			for i := 0; i < n; i++ {
+				if err := a.Send("b", []byte(fmt.Sprintf("m%04d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				p := recvOne(t, b)
+				if want := fmt.Sprintf("m%04d", i); string(p.Data) != want {
+					t.Fatalf("frame %d: got %q, want %q", i, p.Data, want)
+				}
+			}
+		})
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	for name, mk := range impls() {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(t)
+			defer a.Close()
+			defer b.Close()
+			if err := a.Send("nobody", []byte("x")); !errors.Is(err, transport.ErrUnknownPeer) {
+				t.Fatalf("Send to unknown peer: %v, want ErrUnknownPeer", err)
+			}
+		})
+	}
+}
+
+func TestCloseIdempotentAndChannelCloses(t *testing.T) {
+	for name, mk := range impls() {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(t)
+			defer b.Close()
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case _, ok := <-a.Packets():
+				if ok {
+					t.Fatal("expected closed channel")
+				}
+			case <-time.After(time.Second):
+				t.Fatal("packets channel not closed")
+			}
+		})
+	}
+}
+
+func TestLargeFrameTCP(t *testing.T) {
+	a, b := tcpPair(t)
+	defer a.Close()
+	defer b.Close()
+	big := bytes.Repeat([]byte{0xab}, 1<<20)
+	if err := a.Send("b", big); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, b)
+	if !bytes.Equal(p.Data, big) {
+		t.Fatal("1MB frame corrupted")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	a, b := tcpPair(t)
+	defer a.Close()
+	defer b.Close()
+	huge := make([]byte, transport.MaxFrame+1)
+	if err := a.Send("b", huge); !errors.Is(err, transport.ErrFrameTooBig) {
+		t.Fatalf("oversized frame: %v, want ErrFrameTooBig", err)
+	}
+	// UDP has a much smaller datagram bound.
+	ua, ub := udpPair(t)
+	defer ua.Close()
+	defer ub.Close()
+	if err := ua.Send("b", make([]byte, udpnet.MaxDatagram)); !errors.Is(err, transport.ErrFrameTooBig) {
+		t.Fatalf("oversized datagram: %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestMemnetDropRule(t *testing.T) {
+	net := memnet.NewNetwork()
+	a, b := net.Endpoint("a"), net.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	net.SetDropRule(func(from, to string, data []byte) bool { return true })
+	if err := a.Send("b", []byte("dropped")); err != nil {
+		t.Fatal(err)
+	}
+	net.SetDropRule(nil)
+	if err := a.Send("b", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, b)
+	if string(p.Data) != "kept" {
+		t.Fatalf("got %q, want the undropped frame", p.Data)
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	a, err := tcpnet.Listen("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := tcpnet.Listen("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := b.Addr()
+	a.AddPeer("b", addrB)
+	if err := a.Send("b", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	// Restart b on the same address.
+	b.Close()
+	b2, err := tcpnet.Listen("b", addrB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	// The cached connection is stale; Send must recover (first send may be
+	// lost in the reset window, so try a few times).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := a.Send("b", []byte("two")); err == nil {
+			select {
+			case p := <-b2.Packets():
+				if string(p.Data) == "two" {
+					return
+				}
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never recovered after peer restart")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package udpnet is the UDP transport: one datagram per frame, each
+// prefixed with the sender's name. The paper's UDP variant of RBFT showed
+// 18-22% lower latency than TCP at the same peak throughput; this transport
+// lets the runtime reproduce that deployment. Frames larger than a safe
+// datagram payload are rejected (RBFT instance traffic is small because
+// instances order request identifiers, not bodies).
+package udpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"rbft/internal/transport"
+)
+
+// MaxDatagram bounds one UDP frame (name prefix + payload).
+const MaxDatagram = 60 * 1024
+
+// Endpoint is a UDP transport endpoint.
+type Endpoint struct {
+	name string
+	conn *net.UDPConn
+	recv chan transport.Packet
+
+	mu    sync.RWMutex
+	peers map[string]*net.UDPAddr
+	done  bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// Listen creates an endpoint named name bound to addr. peers maps peer
+// names to their UDP addresses.
+func Listen(name, addr string, peers map[string]string) (*Endpoint, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet resolve: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet listen: %w", err)
+	}
+	e := &Endpoint{
+		name:  name,
+		conn:  conn,
+		recv:  make(chan transport.Packet, 4096),
+		peers: make(map[string]*net.UDPAddr, len(peers)),
+	}
+	for k, v := range peers {
+		if err := e.AddPeer(k, v); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	e.wg.Add(1)
+	go e.readLoop()
+	return e, nil
+}
+
+// Addr returns the bound address.
+func (e *Endpoint) Addr() string { return e.conn.LocalAddr().String() }
+
+// AddPeer registers a peer's address.
+func (e *Endpoint) AddPeer(name, addr string) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udpnet resolve peer %q: %w", name, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[name] = udpAddr
+	return nil
+}
+
+// Name implements transport.Transport.
+func (e *Endpoint) Name() string { return e.name }
+
+// Packets implements transport.Transport.
+func (e *Endpoint) Packets() <-chan transport.Packet { return e.recv }
+
+func (e *Endpoint) readLoop() {
+	defer e.wg.Done()
+	buf := make([]byte, MaxDatagram+4)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < 2 {
+			continue
+		}
+		nameLen := int(binary.BigEndian.Uint16(buf[:2]))
+		if 2+nameLen > n {
+			continue
+		}
+		from := string(buf[2 : 2+nameLen])
+		data := make([]byte, n-2-nameLen)
+		copy(data, buf[2+nameLen:n])
+		e.mu.RLock()
+		closed := e.done
+		e.mu.RUnlock()
+		if closed {
+			return
+		}
+		select {
+		case e.recv <- transport.Packet{From: from, Data: data}:
+		default:
+			// Drop on overload: UDP semantics.
+		}
+	}
+}
+
+// Send implements transport.Transport.
+func (e *Endpoint) Send(to string, data []byte) error {
+	if 2+len(e.name)+len(data) > MaxDatagram {
+		return transport.ErrFrameTooBig
+	}
+	e.mu.RLock()
+	addr, ok := e.peers[to]
+	done := e.done
+	e.mu.RUnlock()
+	if done {
+		return transport.ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("%w: %q", transport.ErrUnknownPeer, to)
+	}
+	frame := make([]byte, 2+len(e.name)+len(data))
+	binary.BigEndian.PutUint16(frame[:2], uint16(len(e.name)))
+	copy(frame[2:], e.name)
+	copy(frame[2+len(e.name):], data)
+	_, err := e.conn.WriteToUDP(frame, addr)
+	return err
+}
+
+// Close implements transport.Transport.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.done {
+		e.mu.Unlock()
+		return nil
+	}
+	e.done = true
+	e.mu.Unlock()
+	e.conn.Close()
+	e.wg.Wait()
+	close(e.recv)
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package types: see types.go for the full documentation of identifiers and
+// cluster configuration. This file pins down the numerology used throughout
+// the repository, matching the paper's system model (§II):
+//
+//   - N = 3f+1 nodes tolerate f Byzantine nodes (the theoretical bound).
+//   - Each node runs f+1 protocol instances; instance 0 is the master.
+//   - Quorum()      = 2f+1 — Byzantine majority: any two quorums intersect
+//     in at least one correct node.
+//   - WeakQuorum()  = f+1  — at least one correct node; used for PROPAGATE
+//     (request durability), client reply acceptance, and batch fetch.
+//   - PrepareQuorum() = 2f — PREPAREs matching a PRE-PREPARE (the sender's
+//     own logged PREPARE counts toward it, per PBFT).
+package types

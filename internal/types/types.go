@@ -1,0 +1,136 @@
+// Package types defines the identifier vocabulary shared by every RBFT
+// module: node, client, instance and view identifiers, sequence numbers,
+// request references, and the cluster configuration with its quorum
+// arithmetic.
+package types
+
+import (
+	"fmt"
+)
+
+// NodeID identifies one of the N physical nodes in the cluster. Node IDs are
+// dense integers in [0, N).
+type NodeID int
+
+// ClientID identifies a client. Client IDs live in a separate namespace from
+// node IDs.
+type ClientID int
+
+// InstanceID identifies one of the f+1 protocol instances running on every
+// node. Instance 0 is never special by itself; which instance is the master
+// is a function of the current instance-change counter.
+type InstanceID int
+
+// View is the shared view number. RBFT increments the view on every protocol
+// instance change, which rotates the primary of every instance at once.
+type View uint64
+
+// SeqNum is a per-instance sequence number assigned by that instance's
+// primary during ordering.
+type SeqNum uint64
+
+// RequestID is the client-chosen request identifier (monotonically increasing
+// per client in well-behaved clients).
+type RequestID uint64
+
+// DigestSize is the byte length of request and batch digests (SHA-256).
+const DigestSize = 32
+
+// Digest is a collision-resistant hash of a request payload or batch.
+type Digest [DigestSize]byte
+
+// String renders a short hex prefix, enough for logs.
+func (d Digest) String() string {
+	return fmt.Sprintf("%x", d[:4])
+}
+
+// IsZero reports whether the digest is all zeroes (an unset digest).
+func (d Digest) IsZero() bool {
+	return d == Digest{}
+}
+
+// RequestRef identifies a request for ordering purposes. RBFT instances
+// order request identifiers, not request bodies: the triple
+// (client, request id, digest) is what flows through the three-phase commit.
+type RequestRef struct {
+	Client ClientID
+	ID     RequestID
+	Digest Digest
+}
+
+// Key returns a map key uniquely identifying the request origin (client and
+// request id). Two refs with the same Key but different digests indicate an
+// equivocating client.
+func (r RequestRef) Key() RequestKey {
+	return RequestKey{Client: r.Client, ID: r.ID}
+}
+
+// RequestKey is the (client, request id) pair used to index request state.
+type RequestKey struct {
+	Client ClientID
+	ID     RequestID
+}
+
+// Config captures the static cluster parameters.
+type Config struct {
+	// N is the number of nodes. RBFT requires N = 3f+1.
+	N int
+	// F is the number of Byzantine nodes tolerated.
+	F int
+}
+
+// NewConfig returns the configuration tolerating f faults (N = 3f+1).
+func NewConfig(f int) Config {
+	return Config{N: 3*f + 1, F: f}
+}
+
+// Validate reports whether the configuration is a well-formed 3f+1 cluster.
+func (c Config) Validate() error {
+	if c.F < 0 {
+		return fmt.Errorf("config: negative f (%d)", c.F)
+	}
+	if c.N != 3*c.F+1 {
+		return fmt.Errorf("config: N=%d is not 3f+1 for f=%d", c.N, c.F)
+	}
+	return nil
+}
+
+// Instances returns the number of protocol instances every node runs (f+1).
+func (c Config) Instances() int { return c.F + 1 }
+
+// Quorum returns the Byzantine quorum size 2f+1.
+func (c Config) Quorum() int { return 2*c.F + 1 }
+
+// WeakQuorum returns f+1, the count guaranteeing at least one correct node.
+func (c Config) WeakQuorum() int { return c.F + 1 }
+
+// PrepareQuorum returns 2f, the number of PREPARE messages (besides the
+// PRE-PREPARE) needed for a replica to reach the prepared state.
+func (c Config) PrepareQuorum() int { return 2 * c.F }
+
+// PrimaryOf returns the node hosting the primary replica of instance inst in
+// view v. The placement (v + inst) mod N guarantees that with f+1 <= N
+// instances, no node hosts more than one primary at a time.
+func (c Config) PrimaryOf(v View, inst InstanceID) NodeID {
+	return NodeID((uint64(v) + uint64(inst)) % uint64(c.N))
+}
+
+// IsPrimary reports whether node n hosts the primary of instance inst in
+// view v.
+func (c Config) IsPrimary(n NodeID, v View, inst InstanceID) bool {
+	return c.PrimaryOf(v, inst) == n
+}
+
+// AllNodes returns the node IDs [0, N).
+func (c Config) AllNodes() []NodeID {
+	nodes := make([]NodeID, c.N)
+	for i := range nodes {
+		nodes[i] = NodeID(i)
+	}
+	return nodes
+}
+
+// MasterInstance is the instance whose ordering is executed. In RBFT the
+// master is fixed (instance 0); instance changes replace its primary by
+// advancing the shared view rather than by re-electing the master.
+const MasterInstance InstanceID = 0

@@ -1,0 +1,79 @@
+// Package rbft is a from-scratch Go implementation of RBFT — Redundant
+// Byzantine Fault Tolerance (Aublin, Ben Mokhtar, Quéma; ICDCS 2013).
+//
+// RBFT runs f+1 parallel instances of a PBFT-style ordering protocol on the
+// same 3f+1 nodes, each instance with its primary on a different node. All
+// instances order client requests (by identifier only); only the master
+// instance's order is executed. Every node monitors per-instance throughput
+// and per-request latency: if the master underperforms the backups beyond
+// the Δ/Λ/Ω thresholds, 2f+1 nodes vote a protocol instance change that
+// rotates every primary at once — bounding what a smartly malicious primary
+// can do to ~3% throughput loss, where earlier "robust" protocols lose
+// 78-99%.
+//
+// Layout:
+//
+//	internal/core      the RBFT node (verification, propagation, dispatch &
+//	                   monitoring, execution, instance change)
+//	internal/pbft      one protocol instance: three-phase ordering state machine
+//	internal/monitor   Δ/Λ/Ω monitoring
+//	internal/client    open-loop client
+//	internal/runtime   real-time driver over live transports (TCP/UDP/memnet)
+//	internal/sim       deterministic discrete-event simulator (evaluation)
+//	internal/baseline  Prime, Aardvark, Spinning comparison protocols
+//	internal/harness   regenerates every table and figure of the paper
+//
+// This file re-exports the deployment-facing surface so applications can
+// depend on a single package.
+package rbft
+
+import (
+	"rbft/internal/app"
+	"rbft/internal/client"
+	"rbft/internal/runtime"
+	"rbft/internal/types"
+)
+
+// Re-exported identifier types.
+type (
+	// NodeID identifies one of the 3f+1 nodes.
+	NodeID = types.NodeID
+	// ClientID identifies a client.
+	ClientID = types.ClientID
+	// Application is the deterministic replicated state machine.
+	Application = app.Application
+	// Completed is an accepted request result.
+	Completed = client.Completed
+	// ClusterOptions configures StartLocalCluster.
+	ClusterOptions = runtime.ClusterOptions
+	// LocalCluster is an in-process RBFT cluster.
+	LocalCluster = runtime.LocalCluster
+	// NodeRuntime runs one node over a live transport.
+	NodeRuntime = runtime.NodeRuntime
+	// ClientRuntime runs one client over a live transport.
+	ClientRuntime = runtime.ClientRuntime
+)
+
+// Transport kinds for ClusterOptions.
+const (
+	Mem = runtime.Mem
+	TCP = runtime.TCP
+	UDP = runtime.UDP
+)
+
+// StartLocalCluster boots a 3f+1-node RBFT cluster inside this process,
+// over in-memory channels or loopback TCP/UDP sockets.
+func StartLocalCluster(opts ClusterOptions) (*LocalCluster, error) {
+	return runtime.StartLocalCluster(opts)
+}
+
+// NewConfig returns the cluster configuration tolerating f faults.
+func NewConfig(f int) types.Config { return types.NewConfig(f) }
+
+// Reference applications.
+var (
+	// NewKV creates the replicated key-value store application.
+	NewKV = app.NewKV
+	// NewCounter creates the replicated counter application.
+	NewCounter = app.NewCounter
+)

@@ -1,0 +1,95 @@
+package rbft_test
+
+import (
+	"testing"
+	"time"
+
+	"rbft"
+)
+
+// TestPublicFacade exercises the library exactly as the README shows it:
+// boot a cluster through the root package, run requests, observe agreement.
+func TestPublicFacade(t *testing.T) {
+	counters := make(map[rbft.NodeID]interface{ Total(rbft.ClientID) uint64 })
+	cluster, err := rbft.StartLocalCluster(rbft.ClusterOptions{
+		F: 1,
+		NewApp: func(n rbft.NodeID) rbft.Application {
+			c := rbft.NewCounter()
+			counters[n] = c
+			return c
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	if cluster.Cluster.N != 4 || cluster.Cluster.Instances() != 2 {
+		t.Fatalf("unexpected cluster shape: %+v", cluster.Cluster)
+	}
+
+	client, err := cluster.NewClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last rbft.Completed
+	for i := 0; i < 5; i++ {
+		done, err := client.Invoke(nil, 10*time.Second)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		last = done
+	}
+	if last.ID != 5 {
+		t.Fatalf("last completed id = %d, want 5", last.ID)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		agreed := true
+		for _, c := range counters {
+			if c.Total(1) != 5 {
+				agreed = false
+			}
+		}
+		if agreed {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("nodes did not converge to 5 executions")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPublicKVApp drives the KV application through the facade over TCP.
+func TestPublicKVApp(t *testing.T) {
+	cluster, err := rbft.StartLocalCluster(rbft.ClusterOptions{
+		F:         1,
+		Transport: rbft.TCP,
+		NewApp:    func(rbft.NodeID) rbft.Application { return rbft.NewKV() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	client, err := cluster.NewClient(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put, err := client.Invoke([]byte("PUT k v"), 10*time.Second)
+	if err != nil || string(put.Result) != "OK" {
+		t.Fatalf("PUT: %q, %v", put.Result, err)
+	}
+	get, err := client.Invoke([]byte("GET k"), 10*time.Second)
+	if err != nil || string(get.Result) != "v" {
+		t.Fatalf("GET: %q, %v", get.Result, err)
+	}
+}
+
+func TestNewConfig(t *testing.T) {
+	cfg := rbft.NewConfig(2)
+	if cfg.N != 7 || cfg.Quorum() != 5 {
+		t.Fatalf("NewConfig(2) = %+v", cfg)
+	}
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Reproduce the paper: full test suite, benchmark harness, and every
+# table/figure at paper scale. Writes test_output.txt, bench_output.txt and
+# bench_full.txt in the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go test ./... =="
+go test ./... 2>&1 | tee test_output.txt
+
+echo "== go test -bench=. -benchmem =="
+go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+echo "== rbft-bench -exp all =="
+go run ./cmd/rbft-bench -exp all 2>&1 | tee bench_full.txt
