@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"rbft/tools/analyzers/framework"
+)
+
+// vetConfig mirrors the JSON configuration the go command hands to a
+// -vettool (the unitchecker protocol): one compiled package, with export
+// data files for all its dependencies already in the build cache.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs one go vet unit of work described by cfgFile.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rbft-vet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command requires the facts output file to exist even though
+	// these analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("rbft-vet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	var applicable []*framework.Analyzer
+	for _, a := range analyzers {
+		if a.Scope(cfg.ImportPath) {
+			applicable = append(applicable, a)
+		}
+	}
+	if len(applicable) == 0 {
+		return 0
+	}
+
+	pkg, err := loadUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "rbft-vet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range applicable {
+		diags, err := framework.Run(a, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			// The protocol invariants target shipped code; go vet also
+			// feeds us test-augmented units, whose _test.go files are
+			// exempt (tests may use wall clocks and unordered iteration).
+			if strings.HasSuffix(pos.Filename, "_test.go") {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, a.Name, d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// loadUnit parses and type-checks the unit's sources against the export
+// data recorded in the config.
+func loadUnit(cfg *vetConfig) (*framework.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := &exportDataImporter{base: importer.ForCompiler(fset, cfg.Compiler, lookup)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor(cfg.Compiler, runtime.GOARCH)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return framework.NewPackage(cfg.ImportPath, cfg.Dir, fset, files, tpkg, info), nil
+}
+
+type exportDataImporter struct {
+	base types.Importer
+}
+
+func (i *exportDataImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.base.Import(path)
+}

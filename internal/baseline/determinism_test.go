@@ -1,0 +1,28 @@
+package baseline
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestBaselineByteIdenticalAcrossRuns pins the baseline engines (which
+// share the simulator's cost model) to the same determinism standard as
+// the RBFT simulator: repeated runs of an attacked Aardvark scenario must
+// agree byte for byte.
+func TestBaselineByteIdenticalAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		w := Static(4000, 8, 2*time.Second)
+		r := Aardvark(AardvarkConfig{Attack: true}, w)
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("serializing baseline result: %v", err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("baseline runs diverged:\n run1: %s\n run2: %s", a, b)
+	}
+}

@@ -232,9 +232,11 @@ func New(cfg Config, keys *crypto.KeyRing) *Node {
 // SetBehavior installs Byzantine behaviour (attack experiments only).
 func (n *Node) SetBehavior(b Behavior) {
 	n.behavior = b
-	for inst, rb := range b.Instance {
-		if int(inst) < len(n.replicas) {
-			n.replicas[inst].SetBehavior(rb)
+	// Iterate replicas in instance order rather than ranging over the
+	// b.Instance map, so installation order is deterministic.
+	for i := range n.replicas {
+		if rb, ok := b.Instance[types.InstanceID(i)]; ok {
+			n.replicas[i].SetBehavior(rb)
 		}
 	}
 }
@@ -500,6 +502,9 @@ func (n *Node) onInstanceMessage(msg message.Message, from types.NodeID, now tim
 // instanceAndSender extracts the instance id and claimed sender of a
 // protocol message.
 func instanceAndSender(msg message.Message) (types.InstanceID, types.NodeID, bool) {
+	// Node-level messages carry no instance id; OnNodeMessage handles them
+	// before delegating here, and the default arm rejects them as invalid.
+	//rbft:dispatch ignore=Request,Propagate,Reply,InstanceChange,Invalid
 	switch m := msg.(type) {
 	case *message.PrePrepare:
 		return m.Instance, m.Node, true
@@ -524,6 +529,9 @@ func instanceAndSender(msg message.Message) (types.InstanceID, types.NodeID, boo
 
 // authOf returns the MAC authenticator of an instance message.
 func authOf(msg message.Message) crypto.Authenticator {
+	// ViewChange is signed, not MAC'd (verified inside the instance); the
+	// remaining ignored types never reach the instance path.
+	//rbft:dispatch ignore=Request,Propagate,Reply,InstanceChange,Invalid,ViewChange
 	switch m := msg.(type) {
 	case *message.PrePrepare:
 		return m.Auth

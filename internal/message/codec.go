@@ -195,6 +195,7 @@ func Decode(data []byte) (Message, error) {
 		return nil, r.err
 	}
 	var m Message
+	//rbft:dispatch
 	switch t {
 	case TypeRequest:
 		m = decodeRequest(r)

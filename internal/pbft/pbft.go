@@ -452,6 +452,10 @@ func (in *Instance) emitPrePrepare(pp *message.PrePrepare, now time.Time) Output
 // already verified the MAC authenticator and that msg's Node field matches
 // the authenticated sender.
 func (in *Instance) OnMessage(msg message.Message, now time.Time) (Output, error) {
+	// Node-level messages (client traffic, request propagation, replies,
+	// instance changes, attack garbage) are consumed by core.Node and can
+	// never reach an instance.
+	//rbft:dispatch ignore=Request,Propagate,Reply,InstanceChange,Invalid
 	switch m := msg.(type) {
 	case *message.PrePrepare:
 		return in.onPrePrepare(m, now)

@@ -44,7 +44,7 @@ type NodeRuntime struct {
 	tr      transport.Transport
 
 	mu   sync.Mutex
-	node *core.Node
+	node *core.Node // guarded by mu
 
 	stop chan struct{}
 	done chan struct{}
@@ -165,7 +165,9 @@ func (nr *NodeRuntime) handlePacket(p transport.Packet) {
 
 // emit transmits a node output over the wire.
 func (nr *NodeRuntime) emit(out core.Output) {
+	nr.mu.Lock()
 	self := nr.node.ID()
+	nr.mu.Unlock()
 	for _, nm := range out.NodeMsgs {
 		data := nm.Msg.Marshal(nil)
 		targets := nm.To
@@ -193,7 +195,7 @@ type ClientRuntime struct {
 	tr      transport.Transport
 
 	mu sync.Mutex
-	cl *client.Client
+	cl *client.Client // guarded by mu
 
 	completions chan client.Completed
 	stop        chan struct{}

@@ -120,6 +120,9 @@ func (c CostModel) serialization(size int) time.Duration { return c.Serializatio
 // time (signature verification is charged once per request per node).
 func (c CostModel) inCost(msg message.Message, firstSight bool) time.Duration {
 	cost := c.BaseProcess
+	// Replies are consumed by clients, which the cost model charges on the
+	// outbound side only.
+	//rbft:dispatch ignore=Reply
 	switch m := msg.(type) {
 	case *message.Request:
 		cost += c.MACVerify + c.hash(len(m.Op))
@@ -151,6 +154,8 @@ func (c CostModel) inCost(msg message.Message, firstSight bool) time.Duration {
 // outCost models the CPU cost of authenticating an outbound message for n
 // cluster nodes.
 func (c CostModel) outCost(msg message.Message, n int) time.Duration {
+	// Correct nodes never emit Invalid; attack injection charges it zero.
+	//rbft:dispatch ignore=Invalid
 	switch m := msg.(type) {
 	case *message.Request:
 		return c.SigSign + time.Duration(n)*c.MACGen

@@ -260,6 +260,9 @@ func queueFor(msg message.Message, instances int) int {
 }
 
 func instanceOf(msg message.Message) (types.InstanceID, types.NodeID, bool) {
+	// Node-level messages are processed on CPU queue 0; only per-instance
+	// protocol messages route to an instance core.
+	//rbft:dispatch ignore=Request,Propagate,Reply,InstanceChange,Invalid
 	switch m := msg.(type) {
 	case *message.PrePrepare:
 		return m.Instance, m.Node, true

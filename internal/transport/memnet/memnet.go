@@ -14,9 +14,9 @@ import (
 // Network is the in-process hub connecting endpoints.
 type Network struct {
 	mu        sync.RWMutex
-	endpoints map[string]*Endpoint
+	endpoints map[string]*Endpoint // guarded by mu
 	// dropRule, when set, drops the frame if it returns true.
-	dropRule func(from, to string, data []byte) bool
+	dropRule func(from, to string, data []byte) bool // guarded by mu
 }
 
 // NewNetwork creates an empty network.
@@ -56,7 +56,7 @@ type Endpoint struct {
 	name   string
 	recv   chan transport.Packet
 	closed sync.Once
-	done   bool
+	done   bool // guarded by mu
 	mu     sync.Mutex
 }
 

@@ -25,10 +25,10 @@ type Endpoint struct {
 	recv     chan transport.Packet
 
 	mu       sync.Mutex
-	peers    map[string]string      // name -> dial address
-	conns    map[string]*lockedConn // name -> established outbound connection
-	accepted map[net.Conn]bool      // inbound connections, closed on shutdown
-	done     bool
+	peers    map[string]string      // guarded by mu; name -> dial address
+	conns    map[string]*lockedConn // guarded by mu; name -> established outbound connection
+	accepted map[net.Conn]bool      // guarded by mu; inbound connections, closed on shutdown
+	done     bool                   // guarded by mu
 
 	wg sync.WaitGroup
 }
@@ -36,6 +36,9 @@ type Endpoint struct {
 // lockedConn serialises concurrent frame writes on one connection.
 type lockedConn struct {
 	mu   sync.Mutex
+	// conn deliberately carries no guard annotation: the mutex only
+	// serialises frame writes, while Close is called lock-free to unblock
+	// stuck writers (net.Conn is safe for concurrent use).
 	conn net.Conn
 }
 

@@ -25,8 +25,8 @@ type Endpoint struct {
 	recv chan transport.Packet
 
 	mu    sync.RWMutex
-	peers map[string]*net.UDPAddr
-	done  bool
+	peers map[string]*net.UDPAddr // guarded by mu
+	done  bool                    // guarded by mu
 
 	wg sync.WaitGroup
 }

@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate: build, stock vet, the protocol-invariant analyzers, the test
+# suite, and the race detector over the concurrent packages. Every step
+# must pass; see docs/STATIC_ANALYSIS.md for what rbft-vet enforces.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== rbft-vet ./... =="
+go run ./cmd/rbft-vet ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/runtime/... ./internal/transport/... ./internal/client/...
+
+echo "CI gate passed."

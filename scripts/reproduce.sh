@@ -5,6 +5,11 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Gate the reproduction on the CI checks (build, vet, protocol-invariant
+# analyzers, tests, race detector) so figures are never produced from a
+# tree that violates the determinism or locking invariants.
+./scripts/ci.sh
+
 echo "== go test ./... =="
 go test ./... 2>&1 | tee test_output.txt
 

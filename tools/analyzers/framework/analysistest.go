@@ -1,0 +1,146 @@
+package framework
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest mimics golang.org/x/tools' analysistest.Run: it loads the packages
+// named under testdata/src, runs the analyzer (bypassing its Scope), and
+// matches diagnostics against `// want "regexp"` comments on the same line.
+// Every diagnostic must be wanted and every want must be matched.
+func RunTest(t *testing.T, testdata string, a *Analyzer, pkgNames ...string) {
+	t.Helper()
+	patterns := make([]string, len(pkgNames))
+	for i, p := range pkgNames {
+		patterns[i] = "./src/" + p
+	}
+	pkgs, err := Load(testdata, patterns...)
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := Run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses `// want "re" "re2"` comments. The expectation applies
+// to the line the comment starts on.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimPrefix(strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/"), "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWantPatterns(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWantPatterns scans a sequence of Go string literals (interpreted or
+// raw) and compiles each as a regexp.
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var sc scanner.Scanner
+	fset := token.NewFileSet()
+	file := fset.AddFile("want", fset.Base(), len(s))
+	var firstErr error
+	sc.Init(file, []byte(s), func(pos token.Position, msg string) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("%s: %s", pos, msg)
+		}
+	}, 0)
+	var res []*regexp.Regexp
+	for {
+		_, tok, lit := sc.Scan()
+		if tok == token.EOF || firstErr != nil {
+			break
+		}
+		if tok == token.SEMICOLON {
+			continue
+		}
+		if tok != token.STRING {
+			return nil, fmt.Errorf("expected string literal, got %s %q", tok, lit)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, re)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return res, nil
+}
+
+// TestData returns the caller's testdata directory as an absolute path.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

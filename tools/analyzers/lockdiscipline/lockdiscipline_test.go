@@ -1,0 +1,27 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"rbft/tools/analyzers/framework"
+	"rbft/tools/analyzers/lockdiscipline"
+)
+
+func TestAnalyzer(t *testing.T) {
+	framework.RunTest(t, framework.TestData(t), lockdiscipline.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"rbft/internal/runtime":          true,
+		"rbft/internal/transport":        true,
+		"rbft/internal/transport/tcpnet": true,
+		"rbft/internal/transport/memnet": true,
+		"rbft/internal/core":             false,
+		"rbft/internal/sim":              false,
+	} {
+		if got := lockdiscipline.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

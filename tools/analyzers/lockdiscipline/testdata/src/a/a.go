@@ -1,0 +1,74 @@
+// Package a contains lock-discipline violations for the self-test.
+package a
+
+import "sync"
+
+// Registry is a shared table with annotated guarded fields.
+type Registry struct {
+	mu sync.Mutex
+	// guarded by mu
+	entries map[string]int
+	done    bool // guarded by mu
+
+	hits int // unguarded on purpose: no annotation, never checked
+}
+
+// good: lock held around access.
+func (r *Registry) Put(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[k] = v
+	r.done = false
+}
+
+// bad: no lock anywhere in the function.
+func (r *Registry) Leak(k string) int {
+	return r.entries[k] // want `r\.entries is guarded by r\.mu, which this function never locks`
+}
+
+// bad: access lexically before the acquisition.
+func (r *Registry) Early() int {
+	n := len(r.entries) // want `r\.entries is guarded by r\.mu but accessed before the lock is taken`
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return n + len(r.entries)
+}
+
+// good: Locked suffix means the caller holds the mutex.
+func (r *Registry) sizeLocked() int {
+	return len(r.entries)
+}
+
+// good: constructor initialises before publication.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.entries = make(map[string]int)
+	return r
+}
+
+// good: unguarded field needs no lock.
+func (r *Registry) Hits() int { return r.hits }
+
+// suppressed: justified lock-free read.
+func (r *Registry) Racy() bool {
+	//rbft:ignore lockdiscipline -- monotonic flag read, stale value acceptable
+	return r.done
+}
+
+// bad: value receiver copies the mutex.
+func (r Registry) Copied() int { // want `value receiver copies a lock`
+	return r.hits
+}
+
+// bad: value parameter and copy assignment.
+func consume(r Registry) { // want `value parameter copies a lock`
+	cp := r // want `assignment copies a lock`
+	_ = cp
+}
+
+// bad: range over a slice of lock-containing values.
+func sweep(rs []Registry) {
+	for _, r := range rs { // want `range value copies a lock`
+		_ = r
+	}
+}

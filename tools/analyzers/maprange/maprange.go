@@ -1,0 +1,323 @@
+// Package maprange guards the protocol packages against Go's randomized map
+// iteration order leaking into protocol decisions or emitted message order.
+// RBFT compares f+1 parallel instances against each other; if the order in
+// which a quorum set, per-replica vote map, or per-client table is walked can
+// change the messages a node emits (or their order), two runs of the same
+// scenario diverge and the paper's cross-instance accounting breaks.
+//
+// For every `for ... range m` over a map in a scoped package the analyzer
+// classifies the loop body. A body is accepted as order-insensitive when it
+// only performs commutative aggregation:
+//
+//   - counters and numeric accumulation (x++, x += v, x |= v, ...);
+//   - map/set writes (m2[k] = v) and delete(m, k);
+//   - assignments of constants (found = true);
+//   - fresh per-iteration declarations (:=), if/else and nested blocks of
+//     the same shape, continue/break (early exit of a monotonic scan), and
+//     returns of constant values.
+//
+// One non-commutative pattern is recognised as safe: appending to a slice
+// that is subsequently sorted (sort.Slice / sort.Sort / sort.Strings /
+// sort.Ints / slices.Sort*) later in the same function — the standard
+// "collect then order" idiom. Everything else is reported; fix by iterating
+// a sorted key slice, or suppress with
+// `//rbft:ignore maprange -- <why order cannot matter>`.
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rbft/tools/analyzers/framework"
+)
+
+// Analyzer is the maprange pass.
+var Analyzer = &framework.Analyzer{
+	Name:  "maprange",
+	Doc:   "flag map iteration whose order can reach protocol decisions or message emission",
+	Scope: inScope,
+	Run:   run,
+}
+
+var protocolPackages = []string{
+	"rbft/internal/sim",
+	"rbft/internal/core",
+	"rbft/internal/pbft",
+	"rbft/internal/baseline",
+	"rbft/internal/monitor",
+	"rbft/internal/message",
+}
+
+func inScope(pkgPath string) bool {
+	for _, p := range protocolPackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function body (including its closures) looking for
+// range statements over maps.
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, body, rs)
+		return true
+	})
+}
+
+// violation is one order-sensitive operation found in a loop body.
+type violation struct {
+	pos  token.Pos
+	what string
+	// appendTo is set when the violation is `s = append(s, ...)`; such
+	// violations are forgiven if s is sorted later in the function.
+	appendTo string
+}
+
+func checkMapRange(pass *framework.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	var c classifier
+	c.pass = pass
+	c.block(rs.Body)
+	for _, v := range c.violations {
+		if v.appendTo != "" && sortedAfter(pass, fnBody, rs, v.appendTo) {
+			continue
+		}
+		pass.Reportf(v.pos, "map iteration order reaches %s; iterate over sorted keys, sort the result, or annotate //rbft:ignore maprange -- <reason>", v.what)
+	}
+}
+
+type classifier struct {
+	pass       *framework.Pass
+	violations []violation
+}
+
+func (c *classifier) violate(pos token.Pos, what string) {
+	c.violations = append(c.violations, violation{pos: pos, what: what})
+}
+
+func (c *classifier) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.stmt(s)
+	}
+}
+
+func (c *classifier) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		// x++ / x-- : commutative.
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.ExprStmt:
+		c.call(s.X)
+	case *ast.DeclStmt:
+		// local declaration, fresh per iteration
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			c.violate(s.Pos(), "a goto whose target depends on iteration order")
+		}
+		// break/continue: early exit of a monotonic scan is accepted (the
+		// exit condition must itself be order-insensitive, which holds for
+		// threshold/existence checks).
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.block(s.Body)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		c.block(s)
+	case *ast.ForStmt:
+		c.block(s.Body)
+	case *ast.RangeStmt:
+		// The nested loop gets its own map check if it ranges a map; its
+		// body is classified under the same commutativity rules here.
+		c.block(s.Body)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			for _, st := range cc.(*ast.CaseClause).Body {
+				c.stmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			for _, st := range cc.(*ast.CaseClause).Body {
+				c.stmt(st)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if !c.isConstant(r) {
+				c.violate(s.Pos(), "a return value chosen by iteration order")
+				return
+			}
+		}
+	default:
+		c.violate(s.Pos(), "a statement that may depend on iteration order")
+	}
+}
+
+func (c *classifier) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// commutative accumulation
+		return
+	case token.DEFINE:
+		// fresh variables each iteration
+		return
+	}
+	// Plain `=`: acceptable when writing a map element (insertion order into
+	// a map is unobservable), when assigning a constant, or when appending
+	// to a slice that is sorted afterwards (resolved by the caller).
+	for i, lhs := range s.Lhs {
+		if ident, ok := lhs.(*ast.Ident); ok && ident.Name == "_" {
+			continue
+		}
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			if xt := c.pass.TypesInfo.TypeOf(idx.X); xt != nil {
+				if _, isMap := xt.Underlying().(*types.Map); isMap {
+					continue
+				}
+			}
+			c.violate(s.Pos(), "an indexed write whose slot depends on iteration order")
+			continue
+		}
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		if rhs != nil && c.isConstant(rhs) {
+			continue
+		}
+		if target, ok := appendTarget(lhs, rhs); ok {
+			c.violations = append(c.violations, violation{
+				pos:      s.Pos(),
+				what:     "the order of an emitted/accumulated slice",
+				appendTo: target,
+			})
+			continue
+		}
+		c.violate(s.Pos(), "a last-writer-wins assignment")
+	}
+}
+
+// call accepts side-effect-free or commutative builtin calls.
+func (c *classifier) call(e ast.Expr) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		c.violate(e.Pos(), "an expression statement")
+		return
+	}
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		switch ident.Name {
+		case "delete", "panic", "print", "println":
+			return
+		}
+	}
+	c.violate(e.Pos(), "a call with side effects ordered by the iteration")
+}
+
+// isConstant reports whether the expression has a compile-time constant
+// value (literal, named const, or composition thereof).
+func (c *classifier) isConstant(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if ok && tv.Value != nil {
+		return true
+	}
+	// Composite literals of constants (e.g. struct{}{} set sentinel) and
+	// nil are fine too.
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if !c.isConstant(el) {
+				return false
+			}
+		}
+		return true
+	case *ast.Ident:
+		return e.Name == "nil" || e.Name == "true" || e.Name == "false"
+	}
+	return false
+}
+
+// appendTarget matches `s = append(s, ...)` and returns the textual name of
+// s.
+func appendTarget(lhs ast.Expr, rhs ast.Expr) (string, bool) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return "", false
+	}
+	l := types.ExprString(lhs)
+	if types.ExprString(call.Args[0]) != l {
+		return "", false
+	}
+	return l, true
+}
+
+// sortedAfter reports whether `name` is passed to a recognised sort call
+// positioned after the range statement within the enclosing function body.
+func sortedAfter(pass *framework.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, name string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		isSort := pkg.Name == "sort" ||
+			(pkg.Name == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort"))
+		if !isSort || len(call.Args) == 0 {
+			return true
+		}
+		if types.ExprString(call.Args[0]) == name {
+			found = true
+		}
+		return true
+	})
+	return found
+}

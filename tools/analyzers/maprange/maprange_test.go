@@ -1,0 +1,25 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"rbft/tools/analyzers/framework"
+	"rbft/tools/analyzers/maprange"
+)
+
+func TestAnalyzer(t *testing.T) {
+	framework.RunTest(t, framework.TestData(t), maprange.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"rbft/internal/pbft":    true,
+		"rbft/internal/monitor": true,
+		"rbft/internal/crypto":  false,
+		"rbft/cmd/rbft-node":    false,
+	} {
+		if got := maprange.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package a contains map-iteration patterns for the maprange self-test.
+package a
+
+import "sort"
+
+type ref struct {
+	Client int
+	ID     uint64
+}
+
+type msg struct{ Ref ref }
+
+// bad: emission order depends on map order.
+func emitUnsorted(votes map[int]ref, send func(msg)) {
+	for _, r := range votes {
+		send(msg{Ref: r}) // want `a call with side effects ordered by the iteration`
+	}
+}
+
+// bad: building an output slice without sorting it.
+func collectUnsorted(votes map[int]ref) []ref {
+	var out []ref
+	for _, r := range votes {
+		out = append(out, r) // want `the order of an emitted/accumulated slice`
+	}
+	return out
+}
+
+// bad: last-writer-wins pick.
+func pickAny(votes map[int]ref) ref {
+	var chosen ref
+	for _, r := range votes {
+		chosen = r // want `a last-writer-wins assignment`
+	}
+	return chosen
+}
+
+// bad: returning a loop-dependent value ("first" element of a map).
+func first(votes map[int]ref) ref {
+	for _, r := range votes {
+		return r // want `a return value chosen by iteration order`
+	}
+	return ref{}
+}
+
+// good: collect then sort (the standard idiom).
+func collectSorted(votes map[int]ref) []ref {
+	var out []ref
+	for _, r := range votes {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// good: commutative aggregation — counting, threshold checks, set building.
+func quorum(votes map[int]ref, q int) bool {
+	counts := make(map[ref]int)
+	reached := false
+	for _, r := range votes {
+		counts[r]++
+		if counts[r] >= q {
+			reached = true
+			break
+		}
+	}
+	return reached
+}
+
+// good: garbage collection by key predicate.
+func gc(votes map[int]ref, floor int) {
+	for k := range votes {
+		if k < floor {
+			delete(votes, k)
+		}
+	}
+}
+
+// good: iterate sorted keys, then order-sensitive work is on a slice.
+func sortedKeys(votes map[int]ref, send func(msg)) {
+	keys := make([]int, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		send(msg{Ref: votes[k]})
+	}
+}
+
+// suppressed: justified order-insensitive call.
+func suppressed(votes map[int]ref, observe func(ref)) {
+	for _, r := range votes {
+		//rbft:ignore maprange -- observe is a commutative metric sink
+		observe(r)
+	}
+}

@@ -1,0 +1,28 @@
+package msghandler_test
+
+import (
+	"testing"
+
+	"rbft/tools/analyzers/framework"
+	"rbft/tools/analyzers/msghandler"
+)
+
+func TestAnalyzer(t *testing.T) {
+	framework.RunTest(t, framework.TestData(t), msghandler.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"rbft/internal/core":      true,
+		"rbft/internal/pbft":      true,
+		"rbft/internal/sim":       true,
+		"rbft/internal/message":   true,
+		"rbft/internal/types":     true,
+		"rbft/internal/transport": false,
+		"rbft/internal/crypto":    false,
+	} {
+		if got := msghandler.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package a contains dispatch-exhaustiveness patterns for the msghandler
+// self-test: a miniature message vocabulary and handler switches.
+package a
+
+// Kind tags wire messages.
+type Kind uint8
+
+// Wire kinds.
+const (
+	KindPing Kind = iota + 1
+	KindPong
+	KindData
+)
+
+// kindNames is deliberately missing KindData.
+var kindNames = map[Kind]string{ // want `map keyed by Kind is missing entries for: KindData`
+	KindPing: "PING",
+	KindPong: "PONG",
+}
+
+// Message is the wire message interface.
+type Message interface{ MsgKind() Kind }
+
+// Ping is a liveness probe.
+type Ping struct{}
+
+// MsgKind implements Message.
+func (*Ping) MsgKind() Kind { return KindPing }
+
+// Pong answers a Ping.
+type Pong struct{}
+
+// MsgKind implements Message.
+func (*Pong) MsgKind() Kind { return KindPong }
+
+// Data carries a payload.
+type Data struct{ B []byte }
+
+// MsgKind implements Message.
+func (*Data) MsgKind() Kind { return KindData }
+
+func name(k Kind) string { return kindNames[k] }
+
+// bad: annotated dispatch switch missing the Data arm.
+func handleIncomplete(m Message) string {
+	//rbft:dispatch
+	switch m.(type) { // want `dispatch switch over Message is missing arms for: Data`
+	case *Ping:
+		return "ping"
+	case *Pong:
+		return "pong"
+	default:
+		return name(m.MsgKind())
+	}
+}
+
+// good: every implementor handled.
+func handleFull(m Message) string {
+	//rbft:dispatch
+	switch mm := m.(type) {
+	case *Ping:
+		return "ping"
+	case *Pong:
+		return "pong"
+	case *Data:
+		return string(mm.B)
+	default:
+		return "unknown"
+	}
+}
+
+// good: documented ignore list for types that cannot reach this switch.
+func handlePartial(m Message) string {
+	//rbft:dispatch ignore=Data
+	switch m.(type) {
+	case *Ping, *Pong:
+		return "control"
+	default:
+		return "dropped"
+	}
+}
+
+// good: unannotated switches are not dispatch points.
+func peek(m Message) bool {
+	switch m.(type) {
+	case *Ping:
+		return true
+	}
+	return false
+}
+
+// bad: annotated value switch over the enum missing KindData.
+func decodeIncomplete(k Kind) Message {
+	//rbft:dispatch
+	switch k { // want `dispatch switch over Kind is missing arms for: KindData`
+	case KindPing:
+		return &Ping{}
+	case KindPong:
+		return &Pong{}
+	default:
+		return nil
+	}
+}
+
+// good: value switch covering every constant.
+func decodeFull(k Kind) Message {
+	//rbft:dispatch
+	switch k {
+	case KindPing:
+		return &Ping{}
+	case KindPong:
+		return &Pong{}
+	case KindData:
+		return &Data{}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,111 @@
+// Package simdeterminism enforces the virtual-time discipline of the
+// simulator-executed packages: the discrete-event simulator in internal/sim
+// drives the protocol state machines single-threaded in virtual time, and
+// the repository's experimental claims (RBFT's ≤3% degradation under attack)
+// are only reproducible if those packages never consult the wall clock,
+// never draw from a shared randomness source, and never introduce scheduling
+// nondeterminism.
+//
+// In scoped packages it reports:
+//   - calls to (or references of) time.Now, time.Since, time.Until,
+//     time.Sleep, time.After, time.Tick, time.NewTimer, time.NewTicker and
+//     time.AfterFunc — virtual time is passed in as a time.Time parameter;
+//   - package-level math/rand functions (rand.Intn, rand.Shuffle, ...),
+//     which draw from the process-global source; a locally seeded
+//     *rand.Rand via rand.New(rand.NewSource(seed)) is fine;
+//   - go statements — simulator-executed code must stay single-threaded;
+//   - select statements with a default clause — polling a channel makes
+//     progress depend on goroutine scheduling.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rbft/tools/analyzers/framework"
+)
+
+// Analyzer is the simdeterminism pass.
+var Analyzer = &framework.Analyzer{
+	Name:  "simdeterminism",
+	Doc:   "forbid wall-clock, global randomness, goroutines and channel polling in simulator-executed packages",
+	Scope: inScope,
+	Run:   run,
+}
+
+// simPackages are the packages the discrete-event simulator executes
+// in-process; everything here must be deterministic under a fixed seed.
+var simPackages = []string{
+	"rbft/internal/sim",
+	"rbft/internal/core",
+	"rbft/internal/pbft",
+	"rbft/internal/baseline",
+	"rbft/internal/monitor",
+	"rbft/internal/message",
+}
+
+func inScope(pkgPath string) bool {
+	for _, p := range simPackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClock lists the time package functions that read or wait on the real
+// clock (or create timers that do).
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randAllowed lists math/rand package functions that merely construct
+// deterministic generators.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawned in simulator-executed code; the simulator is single-threaded virtual time")
+			case *ast.SelectStmt:
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+						pass.Reportf(n.Pos(), "select with default in simulator-executed code; channel polling makes progress scheduling-dependent")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSelector(pass *framework.Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // method, e.g. (time.Time).Since does not exist but (time.Time).After does
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClock[fn.Name()] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulator-executed code must use the virtual `now` passed in", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randAllowed[fn.Name()] {
+			pass.Reportf(sel.Pos(), "global math/rand.%s is shared process state; use a *rand.Rand seeded from the simulation config", fn.Name())
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"rbft/tools/analyzers/framework"
+	"rbft/tools/analyzers/simdeterminism"
+)
+
+func TestAnalyzer(t *testing.T) {
+	framework.RunTest(t, framework.TestData(t), simdeterminism.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"rbft/internal/sim":              true,
+		"rbft/internal/core":             true,
+		"rbft/internal/message":          true,
+		"rbft/internal/transport/tcpnet": false,
+		"rbft/internal/runtime":          false,
+		"rbft/cmd/rbft-bench":            false,
+	} {
+		if got := simdeterminism.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package a contains known-bad nondeterminism patterns for the
+// simdeterminism analyzer self-test.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func sleeper() {
+	time.Sleep(1)        // want `time\.Sleep reads the wall clock`
+	_ = time.After(1)    // want `time\.After reads the wall clock`
+	_ = time.NewTimer(1) // want `time\.NewTimer reads the wall clock`
+	select {             // want `select with default`
+	case <-time.Tick(1): // want `time\.Tick reads the wall clock`
+	default:
+	}
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	return rand.Intn(10)               // want `global math/rand\.Intn`
+}
+
+func spawns() {
+	go globalRand() // want `goroutine spawned in simulator-executed code`
+}
+
+// good: seeded local generator, virtual now passed in, time arithmetic.
+func good(now time.Time, seed int64) time.Time {
+	rng := rand.New(rand.NewSource(seed))
+	d := time.Duration(rng.Int63n(1000))
+	if now.After(time.Unix(0, 0)) {
+		return now.Add(d)
+	}
+	return now
+}
+
+// suppressed: justified wall-clock use.
+func suppressed() time.Time {
+	//rbft:ignore simdeterminism -- self-test of the suppression comment
+	return time.Now()
+}
