@@ -2,26 +2,40 @@
 //
 // Usage:
 //
-//	rbft-bench [-exp all|table1|fig1|fig2|fig3|fig7a|fig7b|fig8|fig9|fig10|fig11|fig12|ablation] [-quick] [-seed N]
+//	rbft-bench [-exp all|table1|fig1|fig2|fig3|fig7a|fig7b|fig8|fig9|fig10|fig11|fig12|ablation|bench] [-quick] [-seed N]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured record.
+//
+// The "bench" experiment runs a small fixed scenario suite (fault-free plus
+// both worst attacks) and, with -json, writes the machine-readable summary
+// CI tracks as BENCH_sim.json. With -trace it also dumps the worst-attack-1
+// run's JSONL protocol trace for rbft-trace.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"rbft/internal/harness"
+	"rbft/internal/obs"
+)
+
+var (
+	benchJSON  string
+	benchTrace string
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig3, fig7a, fig7b, fig8, fig9, fig10, fig11, fig12, ablation)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig3, fig7a, fig7b, fig8, fig9, fig10, fig11, fig12, ablation, bench)")
 	quick := flag.Bool("quick", false, "shorter runs (smoke mode)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.StringVar(&csvDir, "csv", "", "directory to write plot-ready CSV data files (optional)")
+	flag.StringVar(&benchJSON, "json", "", "file for the bench experiment's JSON summary (e.g. BENCH_sim.json)")
+	flag.StringVar(&benchTrace, "trace", "", "file for the bench experiment's worst-attack-1 JSONL protocol trace")
 	flag.Parse()
 
 	if err := run(*exp, harness.Options{Quick: *quick, Seed: *seed}); err != nil {
@@ -47,6 +61,7 @@ func run(exp string, o harness.Options) error {
 		{"fig11", runFig11},
 		{"fig12", runFig12},
 		{"ablation", runAblation},
+		{"bench", runBench},
 	}
 	if exp == "all" {
 		for _, e := range experiments {
@@ -162,6 +177,49 @@ func runFig12(o harness.Options) {
 			i, rec.Client, float64(rec.Latency)/1e6)
 	}
 	fmt.Println("  (paper fig 12: 0.8ms fair, 1.3ms unfair, instance change at the 1.6ms request)")
+}
+
+func runBench(o harness.Options) {
+	fmt.Println("Bench: scenario suite (f=1, 8B requests)")
+	var results []harness.BenchResult
+	for _, sc := range harness.BenchScenarios(o) {
+		if benchTrace != "" && sc.Name == "worst-attack-1" {
+			f, err := os.Create(benchTrace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w := obs.NewJSONLWriter(f)
+			sc.Config.Trace = w
+			results = append(results, harness.RunBench(sc))
+			if err := w.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "writing trace:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %s (inspect with rbft-trace explain)\n", benchTrace)
+		} else {
+			results = append(results, harness.RunBench(sc))
+		}
+		r := results[len(results)-1]
+		fmt.Printf("  %-16s %8.0f req/s  p50 %7.3f ms  p99 %7.3f ms  instance changes %d\n",
+			r.Scenario, r.Throughput, r.P50LatencyMS, r.P99LatencyMS, r.InstanceChanges)
+	}
+	if benchJSON != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(benchJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", benchJSON)
+	}
 }
 
 func runAblation(o harness.Options) {

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -26,6 +27,7 @@ import (
 	"rbft/internal/core"
 	"rbft/internal/crypto"
 	"rbft/internal/monitor"
+	"rbft/internal/obs"
 	"rbft/internal/runtime"
 	"rbft/internal/transport"
 	"rbft/internal/transport/tcpnet"
@@ -51,6 +53,8 @@ func run() error {
 		maxClients = flag.Int("max-clients", 64, "client id space")
 		delta      = flag.Float64("delta", 0.9, "monitoring Delta threshold")
 		period     = flag.Duration("period", 250*time.Millisecond, "monitoring period")
+		obsAddr    = flag.String("obs-addr", "", "observability HTTP listen address serving /metrics and /debug/events (empty = disabled)")
+		recorder   = flag.Int("recorder", obs.DefaultRecorderSize, "flight-recorder capacity in events (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -85,13 +89,33 @@ func run() error {
 		_ = n
 	}
 
+	// Observability: a metrics registry plus an in-memory flight recorder,
+	// both exposed over HTTP when -obs-addr is set. The registry also feeds
+	// the transport drop/close counters.
+	reg := obs.NewRegistry()
+	var fr *obs.FlightRecorder
+	sinks := []obs.Tracer{obs.NewMetricsTracer(reg)}
+	if *recorder > 0 {
+		fr = obs.NewFlightRecorder(*recorder)
+		sinks = append(sinks, fr)
+	}
+	tracer := obs.Multi(sinks...)
+
 	var tr transport.Transport
 	var err error
 	name := runtime.NodeName(types.NodeID(*id))
 	if *udp {
-		tr, err = udpnet.Listen(name, *listen, peerMap)
+		ep, uerr := udpnet.Listen(name, *listen, peerMap)
+		if uerr == nil {
+			ep.SetMetrics(transport.NewMetrics(reg, "udp"))
+		}
+		tr, err = ep, uerr
 	} else {
-		tr, err = tcpnet.Listen(name, *listen, peerMap)
+		ep, terr := tcpnet.Listen(name, *listen, peerMap)
+		if terr == nil {
+			ep.SetMetrics(transport.NewMetrics(reg, "tcp"))
+		}
+		tr, err = ep, terr
 	}
 	if err != nil {
 		return err
@@ -109,9 +133,22 @@ func run() error {
 		BatchTimeout: 2 * time.Millisecond,
 	}
 	node := core.New(cfg, ks.NodeRing(types.NodeID(*id)))
+	node.SetTracer(tracer)
+	node.SetRegistry(reg)
 	nr := runtime.StartNode(node, tr, cluster)
 	log.Printf("rbft-node %d/%d listening on %s (f=%d, %d instances, transport=%s)",
 		*id, cluster.N, *listen, *f, cluster.Instances(), transportName(*udp))
+
+	if *obsAddr != "" {
+		srv := &http.Server{Addr: *obsAddr, Handler: obs.HTTPHandler(reg, fr)}
+		go func() {
+			log.Printf("observability on http://%s (/metrics, /debug/events)", *obsAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("observability server: %v", err)
+			}
+		}()
+		defer srv.Close()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

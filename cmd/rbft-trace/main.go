@@ -1,0 +1,198 @@
+// Command rbft-trace inspects JSONL protocol traces produced by the
+// simulator (sim.Config.Trace) or by a node's flight recorder.
+//
+//	rbft-trace summary trace.jsonl             # event counts
+//	rbft-trace timeline -node 0 trace.jsonl    # one node's event stream
+//	rbft-trace explain trace.jsonl             # instance-change forensics
+//
+// "explain" reconstructs the monitor's decision behind every instance
+// change: which Δ/Λ/Ω test fired, the measured value, the node's Δ-ratio
+// history leading up to the change, and the voters observed for the round.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"rbft/internal/obs"
+	"rbft/internal/types"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rbft-trace: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "summary":
+		err = runSummary(args)
+	case "timeline":
+		err = runTimeline(args)
+	case "explain":
+		err = runExplain(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rbft-trace summary  <trace.jsonl>
+  rbft-trace timeline [-node N] [-instance I] <trace.jsonl>
+  rbft-trace explain  <trace.jsonl>
+
+Pass "-" to read the trace from stdin.`)
+}
+
+// load reads the trace named by the sole positional argument of fs.
+func load(fs *flag.FlagSet) ([]obs.Event, error) {
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("expected exactly one trace file, got %d arguments", fs.NArg())
+	}
+	path := fs.Arg(0)
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return obs.ReadTrace(r)
+}
+
+func runSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	events, err := load(fs)
+	if err != nil {
+		return err
+	}
+	s := obs.Summarize(events)
+	fmt.Printf("%d events\n", s.Total)
+	for _, tc := range s.ByType {
+		fmt.Printf("  %-24s %d\n", tc.Type, tc.Count)
+	}
+	if len(events) > 0 {
+		first, last := events[0].At, events[len(events)-1].At
+		fmt.Printf("span: %s .. %s (%s)\n",
+			stamp(first), stamp(last), last.Sub(first))
+	}
+	return nil
+}
+
+func runTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	node := fs.Int("node", -1, "restrict to one node id (-1 = all)")
+	inst := fs.Int("instance", -1, "restrict to one protocol instance's ordering events (-1 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	events, err := load(fs)
+	if err != nil {
+		return err
+	}
+	for _, ev := range obs.Timeline(events, types.NodeID(*node), types.InstanceID(*inst)) {
+		fmt.Println(formatEvent(ev))
+	}
+	return nil
+}
+
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	tail := fs.Int("tail", 5, "ratio-history points to show per change")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	events, err := load(fs)
+	if err != nil {
+		return err
+	}
+	expl := obs.ExplainInstanceChanges(events)
+	if len(expl) == 0 {
+		fmt.Println("no instance changes in trace")
+		return nil
+	}
+	for i, e := range expl {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("instance change #%d at %s: node %d -> view %d (cpi %d)\n",
+			i+1, stamp(e.At), e.Node, e.NewView, e.CPI)
+		fmt.Printf("  reason: %s\n", e.Reason)
+		switch e.Reason {
+		case "throughput-delta":
+			fmt.Printf("  measured ratio: %.4f (master/best-backup throughput)\n", e.Ratio)
+		case "latency-lambda":
+			fmt.Printf("  offending latency: %.4fs (client %d)\n", e.Value, e.Client)
+		case "fairness-omega":
+			fmt.Printf("  offending latency gap: %.4fs (client %d)\n", e.Value, e.Client)
+		}
+		if len(e.Voters) > 0 {
+			fmt.Printf("  voters: %v\n", e.Voters)
+		}
+		if n := len(e.RatioSeries); n > 0 {
+			start := n - *tail
+			if start < 0 {
+				start = 0
+			}
+			fmt.Printf("  ratio history (last %d of %d):\n", n-start, n)
+			for _, p := range e.RatioSeries[start:] {
+				mark := " "
+				if p.Suspicious {
+					mark = "!"
+				}
+				fmt.Printf("   %s %s ratio=%.4f throughput=%v\n", mark, stamp(p.At), p.Ratio, p.Throughput)
+			}
+		}
+	}
+	return nil
+}
+
+func formatEvent(ev obs.Event) string {
+	s := fmt.Sprintf("%s node=%d %s", stamp(ev.At), ev.Node, ev.Type)
+	switch ev.Type {
+	case obs.EvPrePrepare, obs.EvPrepare, obs.EvCommit, obs.EvOrdered:
+		s += fmt.Sprintf(" inst=%d seq=%d view=%d", ev.Instance, ev.Seq, ev.View)
+		if ev.Count > 0 {
+			s += fmt.Sprintf(" batch=%d", ev.Count)
+		}
+	case obs.EvRequestReceived, obs.EvRequestDispatched, obs.EvExecuted:
+		s += fmt.Sprintf(" client=%d req=%d", ev.Client, ev.Req)
+	case obs.EvVerdict:
+		s += fmt.Sprintf(" reason=%s value=%.4f", ev.Reason, ev.Value)
+	case obs.EvInstanceChangeStart, obs.EvInstanceChangeComplete:
+		s += fmt.Sprintf(" cpi=%d reason=%s", ev.CPI, ev.Reason)
+	case obs.EvNICClose, obs.EvMsgDrop:
+		s += fmt.Sprintf(" peer=%d", ev.Peer)
+	}
+	return s
+}
+
+// stamp renders a trace timestamp. Simulator traces use virtual time near
+// the epoch, where an offset reads better than a calendar date.
+func stamp(t time.Time) string {
+	if t.Year() < 2000 {
+		return t.Sub(time.Unix(0, 0)).String()
+	}
+	return t.Format("15:04:05.000")
+}

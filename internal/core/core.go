@@ -16,6 +16,7 @@ import (
 	"rbft/internal/crypto"
 	"rbft/internal/message"
 	"rbft/internal/monitor"
+	"rbft/internal/obs"
 	"rbft/internal/pbft"
 	"rbft/internal/types"
 )
@@ -195,6 +196,14 @@ type Node struct {
 	floodCounts map[types.NodeID]int
 	floodStart  time.Time
 	closedUntil map[types.NodeID]time.Time
+
+	// Observability. tr is node-stamped; the message counters index by
+	// message.Type and stay nil (no-op) until SetRegistry wires them.
+	tr        obs.Tracer
+	metricsOn bool
+	msgsIn    [64]*obs.Counter
+	msgsOut   [64]*obs.Counter
+	clientOut *obs.Counter
 }
 
 // New creates an RBFT node. keys must be the node's own key ring.
@@ -213,6 +222,7 @@ func New(cfg Config, keys *crypto.KeyRing) *Node {
 		icVotes:     make(map[uint64]map[types.NodeID]bool),
 		floodCounts: make(map[types.NodeID]int),
 		closedUntil: make(map[types.NodeID]time.Time),
+		tr:          obs.Nop{},
 	}
 	for i := 0; i < c.Cluster.Instances(); i++ {
 		pc := pbft.Config{
@@ -227,6 +237,66 @@ func New(cfg Config, keys *crypto.KeyRing) *Node {
 		n.replicas = append(n.replicas, pbft.New(pc, keys))
 	}
 	return n
+}
+
+// SetTracer installs an event sink on the node and propagates it (node-
+// stamped) to the replicas and the monitor. Install before driving the
+// node; a nil tracer restores the no-op default.
+func (n *Node) SetTracer(t obs.Tracer) {
+	n.tr = obs.WithNode(t, n.cfg.Node)
+	for _, r := range n.replicas {
+		r.SetTracer(n.tr)
+	}
+	n.mon.SetTracer(n.tr)
+}
+
+// SetRegistry wires the node's metrics: messages in/out by type, replies to
+// clients, and the monitor's ordering-latency histogram. Counter pointers
+// are resolved once here so increments on the hot path are a nil check and
+// an atomic add.
+func (n *Node) SetRegistry(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	n.metricsOn = true
+	for _, t := range countedMsgTypes {
+		n.msgsIn[t] = reg.Counter(obs.LabeledName("rbft_messages_in_total", "type", t.String()))
+		n.msgsOut[t] = reg.Counter(obs.LabeledName("rbft_messages_out_total", "type", t.String()))
+	}
+	n.clientOut = reg.Counter("rbft_client_messages_out_total")
+	n.mon.SetRegistry(reg)
+}
+
+// countedMsgTypes enumerates every wire message type for the per-type
+// counters. All values fit the msgsIn/msgsOut arrays (max is 33).
+var countedMsgTypes = []message.Type{
+	message.TypeRequest, message.TypePropagate, message.TypePrePrepare,
+	message.TypePrepare, message.TypeCommit, message.TypeReply,
+	message.TypeInstanceChange, message.TypeViewChange, message.TypeNewView,
+	message.TypeCheckpoint, message.TypeInvalid, message.TypeFetch,
+	message.TypeFetchResp,
+}
+
+// observeIO counts one handled input message and the node's emissions.
+// Multicasts (NodeSend with nil To) count once: the counter tracks protocol
+// emissions, not per-link transmissions (the transport counts bytes).
+func (n *Node) observeIO(in message.Message, out *Output) {
+	if !n.metricsOn {
+		return
+	}
+	if in != nil {
+		if t := in.MsgType(); int(t) < len(n.msgsIn) {
+			n.msgsIn[t].Inc()
+		}
+	}
+	for _, nm := range out.NodeMsgs {
+		if t := nm.Msg.MsgType(); int(t) < len(n.msgsOut) {
+			n.msgsOut[t].Inc()
+		}
+	}
+	if len(out.ClientMsgs) > 0 {
+		n.clientOut.Add(uint64(len(out.ClientMsgs)))
+	}
 }
 
 // SetBehavior installs Byzantine behaviour (attack experiments only).
@@ -284,6 +354,12 @@ func (n *Node) NextWake() time.Time {
 
 // Tick fires due timers: replica batch timers and the monitoring period.
 func (n *Node) Tick(now time.Time) Output {
+	out := n.tick(now)
+	n.observeIO(nil, &out)
+	return out
+}
+
+func (n *Node) tick(now time.Time) Output {
 	var out Output
 	if n.behavior.Silent {
 		return out
@@ -308,6 +384,12 @@ func (n *Node) Tick(now time.Time) Output {
 // OnClientRequest is the Verification module's entry point for a REQUEST
 // received directly from a client.
 func (n *Node) OnClientRequest(req *message.Request, now time.Time) Output {
+	out := n.onClientRequest(req, now)
+	n.observeIO(req, &out)
+	return out
+}
+
+func (n *Node) onClientRequest(req *message.Request, now time.Time) Output {
 	var out Output
 	if n.behavior.Silent {
 		return out
@@ -319,6 +401,11 @@ func (n *Node) OnClientRequest(req *message.Request, now time.Time) Output {
 	// MAC first: cheap rejection of garbage.
 	if err := n.keys.VerifyClientAuthenticatorEntry(req.Client, n.cfg.Node, req.Body(), req.Auth); err != nil {
 		return out
+	}
+	if n.tr.Enabled() {
+		n.tr.Trace(obs.Event{
+			At: now, Type: obs.EvRequestReceived, Client: req.Client, Req: req.ID,
+		})
 	}
 	// Retransmission of an executed request: resend the cached reply.
 	if result, ok := n.cachedReply(cs, req.ID); ok {
@@ -380,6 +467,12 @@ const maxPendingBodiesPerClient = 4096
 // OnNodeMessage handles a message from another node: PROPAGATE, the
 // per-instance protocol messages, and INSTANCE-CHANGE.
 func (n *Node) OnNodeMessage(msg message.Message, from types.NodeID, now time.Time) Output {
+	out := n.onNodeMessage(msg, from, now)
+	n.observeIO(msg, &out)
+	return out
+}
+
+func (n *Node) onNodeMessage(msg message.Message, from types.NodeID, now time.Time) Output {
 	var out Output
 	if n.behavior.Silent {
 		return out
@@ -472,6 +565,11 @@ func (n *Node) maybeDispatch(ref types.RequestRef, now time.Time) Output {
 	}
 	n.dispatched[ref] = true
 	n.mon.RequestDispatched(ref, now)
+	if n.tr.Enabled() {
+		n.tr.Trace(obs.Event{
+			At: now, Type: obs.EvRequestDispatched, Client: ref.Client, Req: ref.ID,
+		})
+	}
 	for i, r := range n.replicas {
 		out.merge(n.absorb(types.InstanceID(i), r.AddRequest(ref, now), now))
 	}
@@ -565,6 +663,12 @@ func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Out
 	}
 	for _, batch := range res.Delivered {
 		out.OrderedByInstance[inst] += len(batch.Refs)
+		if n.tr.Enabled() {
+			n.tr.Trace(obs.Event{
+				At: now, Type: obs.EvOrdered, Instance: inst,
+				Seq: batch.Seq, View: batch.View, Count: len(batch.Refs),
+			})
+		}
 		for _, ref := range batch.Refs {
 			verdict := n.mon.RequestOrdered(inst, ref, now)
 			if verdict.Suspicious {
@@ -572,7 +676,7 @@ func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Out
 				out.merge(n.voteInstanceChange(verdict.Reason, now))
 			}
 			if inst == types.MasterInstance {
-				out.merge(n.execute(ref))
+				out.merge(n.execute(ref, now))
 			}
 		}
 	}
@@ -584,7 +688,7 @@ func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Out
 // several bodies under one id, only the first master-ordered one executes —
 // and since the master order is identical everywhere, every correct node
 // picks the same body.
-func (n *Node) execute(ref types.RequestRef) Output {
+func (n *Node) execute(ref types.RequestRef, now time.Time) Output {
 	var out Output
 	key := ref.Key()
 	if n.executed[key] {
@@ -598,6 +702,11 @@ func (n *Node) execute(ref types.RequestRef) Output {
 	}
 	n.executed[key] = true
 	result := n.cfg.App.Execute(ref.Client, ref.ID, body.Op)
+	if n.tr.Enabled() {
+		n.tr.Trace(obs.Event{
+			At: now, Type: obs.EvExecuted, Client: ref.Client, Req: ref.ID,
+		})
+	}
 	cs := n.client(ref.Client)
 	cs.replies = append(cs.replies, cachedReply{id: ref.ID, result: result})
 	if len(cs.replies) > n.cfg.ReplyCacheSize {
@@ -662,6 +771,9 @@ func (n *Node) countInvalid(from types.NodeID, now time.Time) Output {
 		n.closedUntil[from] = until
 		out.NICCloses = append(out.NICCloses, NICClose{Peer: from, Until: until})
 		n.floodCounts[from] = 0
+		if n.tr.Enabled() {
+			n.tr.Trace(obs.Event{At: now, Type: obs.EvNICClose, Peer: from})
+		}
 	}
 	return out
 }

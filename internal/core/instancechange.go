@@ -5,6 +5,7 @@ import (
 
 	"rbft/internal/message"
 	"rbft/internal/monitor"
+	"rbft/internal/obs"
 	"rbft/internal/types"
 )
 
@@ -20,6 +21,12 @@ func (n *Node) voteInstanceChange(reason monitor.Reason, now time.Time) Output {
 	ic := &message.InstanceChange{CPI: n.cpi, Node: n.cfg.Node}
 	ic.Auth = n.keys.AuthenticatorForNodes(n.cfg.Cluster.N, ic.Body())
 	out.NodeMsgs = append(out.NodeMsgs, NodeSend{Msg: ic})
+	if n.tr.Enabled() {
+		n.tr.Trace(obs.Event{
+			At: now, Type: obs.EvInstanceChangeStart,
+			CPI: n.cpi, Reason: reason.String(),
+		})
+	}
 	out.merge(n.checkInstanceChangeQuorum(reason, now))
 	return out
 }
@@ -68,6 +75,12 @@ func (n *Node) checkInstanceChangeQuorum(reason monitor.Reason, now time.Time) O
 		NewView: n.view,
 		Reason:  reason,
 	})
+	if n.tr.Enabled() {
+		n.tr.Trace(obs.Event{
+			At: now, Type: obs.EvInstanceChangeComplete,
+			CPI: n.cpi, View: n.view, Reason: reason.String(),
+		})
+	}
 	// Every local replica view-changes at once, rotating all primaries.
 	for i, r := range n.replicas {
 		out.merge(n.absorb(types.InstanceID(i), r.StartViewChange(n.view, now), now))

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"time"
+
+	"rbft/internal/sim"
+)
+
+// BenchScenario is one named benchmark configuration, exposed (rather than
+// run internally) so callers can attach trace sinks to Config before
+// running — e.g. rbft-bench's -trace flag wires a JSONL writer here.
+type BenchScenario struct {
+	Name    string
+	Config  sim.Config
+	RunTime time.Duration
+}
+
+// BenchResult is the machine-readable summary of one scenario run; rbft-bench
+// serialises a slice of these into BENCH_sim.json for CI tracking.
+type BenchResult struct {
+	Scenario        string  `json:"scenario"`
+	Throughput      float64 `json:"throughput_req_s"`
+	P50LatencyMS    float64 `json:"p50_latency_ms"`
+	P99LatencyMS    float64 `json:"p99_latency_ms"`
+	InstanceChanges int     `json:"instance_changes"`
+}
+
+// BenchScenarios builds the standard benchmark suite: the fault-free
+// baseline and both worst attacks, all at f=1 with small requests so the
+// suite stays fast enough for a CI smoke step.
+func BenchScenarios(o Options) []BenchScenario {
+	o = o.withDefaults()
+	const size = 8
+	offered := loadFor(1, size)
+	build := func(name string, install func(cfg *sim.Config, offered float64)) BenchScenario {
+		cfg := rbftConfig(1, size, offered, o)
+		if install != nil {
+			install(&cfg, offered)
+		}
+		return BenchScenario{Name: name, Config: cfg, RunTime: o.RunTime}
+	}
+	return []BenchScenario{
+		build("fault-free", nil),
+		build("worst-attack-1", func(cfg *sim.Config, _ float64) { attack1Config(cfg) }),
+		build("worst-attack-2", attack2Config),
+	}
+}
+
+// RunBench executes one scenario and summarises it.
+func RunBench(sc BenchScenario) BenchResult {
+	res := sim.New(sc.Config).Run(sc.RunTime)
+	return BenchResult{
+		Scenario:        sc.Name,
+		Throughput:      res.Throughput,
+		P50LatencyMS:    float64(res.P50Latency) / 1e6,
+		P99LatencyMS:    float64(res.P99Latency) / 1e6,
+		InstanceChanges: len(res.InstanceChanges),
+	}
+}

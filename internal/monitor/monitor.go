@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"rbft/internal/obs"
 	"rbft/internal/types"
 )
 
@@ -42,6 +43,18 @@ func (r Reason) String() string {
 	default:
 		return fmt.Sprintf("reason(%d)", int(r))
 	}
+}
+
+// ParseReason maps a Reason.String() value back to the Reason. It is the
+// bridge from serialized traces (which carry the string form to keep the
+// obs package free of a monitor dependency) back to the typed enum.
+func ParseReason(s string) (Reason, bool) {
+	for _, r := range []Reason{ReasonNone, ReasonThroughput, ReasonLatency, ReasonFairness} {
+		if r.String() == s {
+			return r, true
+		}
+	}
+	return ReasonNone, false
 }
 
 // Config parameterises the monitor. The paper sets Δ, Λ and Ω from the
@@ -128,6 +141,11 @@ type Monitor struct {
 	clients  map[types.ClientID]*clientLat
 
 	latencyLog []LatencyRecord
+
+	// tr receives verdict events; latHist, when wired to a registry,
+	// accumulates master-ordering latencies.
+	tr      obs.Tracer
+	latHist *obs.Histogram
 }
 
 // New creates a monitor.
@@ -139,7 +157,20 @@ func New(cfg Config) *Monitor {
 		throughput: make([]float64, c.Instances),
 		dispatch:   make(map[types.RequestKey]time.Time),
 		clients:    make(map[types.ClientID]*clientLat),
+		tr:         obs.Nop{},
 	}
+}
+
+// SetTracer installs an event sink. The monitor emits an EvVerdict for
+// every closed Δ period (reason "none" when passing, with the measured
+// ratio and per-instance throughput) and for every Λ/Ω violation (with the
+// offending measurement in seconds). Callers pass a node-stamped tracer.
+func (m *Monitor) SetTracer(t obs.Tracer) { m.tr = obs.OrNop(t) }
+
+// SetRegistry wires the monitor's metrics: the ordering-latency histogram
+// over master-ordered requests.
+func (m *Monitor) SetRegistry(reg *obs.Registry) {
+	m.latHist = reg.Histogram("rbft_ordering_latency_seconds", obs.LatencyBuckets)
 }
 
 // Config returns the monitor's effective configuration.
@@ -194,12 +225,27 @@ func (m *Monitor) RequestOrdered(inst types.InstanceID, ref types.RequestRef, no
 			Client: ref.Client, ID: ref.ID, Latency: lat,
 		})
 	}
+	m.latHist.Observe(lat.Seconds())
 
 	if m.cfg.Lambda > 0 && lat > m.cfg.Lambda {
+		if m.tr.Enabled() {
+			m.tr.Trace(obs.Event{
+				At: now, Type: obs.EvVerdict, Instance: inst,
+				Client: ref.Client, Req: ref.ID,
+				Reason: ReasonLatency.String(), Value: lat.Seconds(),
+			})
+		}
 		return Verdict{Suspicious: true, Reason: ReasonLatency}
 	}
 	if m.cfg.Omega > 0 {
-		if v := m.checkFairness(cl); v.Suspicious {
+		if v, gap := m.checkFairness(cl); v.Suspicious {
+			if m.tr.Enabled() {
+				m.tr.Trace(obs.Event{
+					At: now, Type: obs.EvVerdict, Instance: inst,
+					Client: ref.Client, Req: ref.ID,
+					Reason: ReasonFairness.String(), Value: gap.Seconds(),
+				})
+			}
 			return v
 		}
 	}
@@ -207,11 +253,12 @@ func (m *Monitor) RequestOrdered(inst types.InstanceID, ref types.RequestRef, no
 }
 
 // checkFairness compares the client's average master latency against its
-// average latency across backup instances (Ω test).
-func (m *Monitor) checkFairness(cl *clientLat) Verdict {
+// average latency across backup instances (Ω test), returning the verdict
+// and the measured master-over-backup gap.
+func (m *Monitor) checkFairness(cl *clientLat) (Verdict, time.Duration) {
 	master := types.MasterInstance
 	if cl.count[master] == 0 {
-		return Verdict{}
+		return Verdict{}, 0
 	}
 	masterAvg := cl.sum[master] / time.Duration(cl.count[master])
 	var backupSum time.Duration
@@ -224,13 +271,14 @@ func (m *Monitor) checkFairness(cl *clientLat) Verdict {
 		backupCount += cl.count[i]
 	}
 	if backupCount == 0 {
-		return Verdict{}
+		return Verdict{}, 0
 	}
 	backupAvg := backupSum / time.Duration(backupCount)
-	if masterAvg-backupAvg > m.cfg.Omega {
-		return Verdict{Suspicious: true, Reason: ReasonFairness}
+	gap := masterAvg - backupAvg
+	if gap > m.cfg.Omega {
+		return Verdict{Suspicious: true, Reason: ReasonFairness}, gap
 	}
-	return Verdict{}
+	return Verdict{}, gap
 }
 
 // NextWake returns when the current measurement period ends (zero before the
@@ -265,6 +313,13 @@ func (m *Monitor) Tick(now time.Time) Verdict {
 			verdict.Suspicious = true
 			verdict.Reason = ReasonThroughput
 		}
+	}
+	if m.tr.Enabled() {
+		m.tr.Trace(obs.Event{
+			At: now, Type: obs.EvVerdict,
+			Reason: verdict.Reason.String(), Value: verdict.Ratio,
+			Values: m.Throughput(),
+		})
 	}
 
 	for i := range m.counts {

@@ -170,6 +170,52 @@ func TestReasonString(t *testing.T) {
 	}
 }
 
+func TestParseReasonRoundTrip(t *testing.T) {
+	for _, r := range []Reason{ReasonNone, ReasonThroughput, ReasonLatency, ReasonFairness} {
+		got, ok := ParseReason(r.String())
+		if !ok || got != r {
+			t.Errorf("ParseReason(%q) = (%v, %v), want (%v, true)", r.String(), got, ok, r)
+		}
+	}
+	if got, ok := ParseReason("not-a-reason"); ok {
+		t.Errorf("ParseReason accepted unknown string as %v", got)
+	}
+	if got, ok := ParseReason(""); ok {
+		t.Errorf("ParseReason accepted empty string as %v", got)
+	}
+}
+
+func TestRecordLatenciesAccumulates(t *testing.T) {
+	m := New(Config{Instances: 2, Period: time.Second, RecordLatencies: true})
+	now := time.Unix(0, 0)
+	want := []time.Duration{time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
+	for i, lat := range want {
+		r := ref(1, types.RequestID(i+1))
+		m.RequestDispatched(r, now)
+		// A backup ordering must not enter the log; only the master's does.
+		m.RequestOrdered(1, r, now.Add(lat/2))
+		m.RequestOrdered(0, r, now.Add(lat))
+	}
+	log := m.LatencyLog()
+	if len(log) != len(want) {
+		t.Fatalf("latency log has %d records, want %d", len(log), len(want))
+	}
+	for i, rec := range log {
+		if rec.Latency != want[i] || rec.Client != 1 || rec.ID != types.RequestID(i+1) {
+			t.Fatalf("record %d = %+v, want latency %v client 1 id %d", i, rec, want[i], i+1)
+		}
+	}
+
+	// With recording off the log stays empty under the same traffic.
+	m = New(Config{Instances: 2, Period: time.Second})
+	r := ref(1, 1)
+	m.RequestDispatched(r, now)
+	m.RequestOrdered(0, r, now.Add(time.Millisecond))
+	if got := m.LatencyLog(); len(got) != 0 {
+		t.Fatalf("latency log populated without RecordLatencies: %+v", got)
+	}
+}
+
 func TestMasterSilentRatioZero(t *testing.T) {
 	m := New(Config{Instances: 3, Period: 100 * time.Millisecond, Delta: 0.9, MinRequests: 5})
 	now := time.Unix(0, 0)

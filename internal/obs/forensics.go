@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rbft/internal/types"
+)
+
+// ReadTrace parses a JSONL trace (as produced by JSONLWriter) back into
+// events, preserving order. Lines with an unknown event name are skipped so
+// traces from newer builds stay partially readable.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ej eventJSON
+		if err := json.Unmarshal(raw, &ej); err != nil {
+			return events, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		ev, ok := decodeEvent(ej)
+		if !ok {
+			continue
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return events, fmt.Errorf("reading trace: %w", err)
+	}
+	return events, nil
+}
+
+// RatioPoint is one Δ-test evaluation: the master/best-backup throughput
+// ratio a node's monitor measured when closing a period.
+type RatioPoint struct {
+	At    time.Time
+	Ratio float64
+	// Suspicious marks the period whose ratio fell below Δ.
+	Suspicious bool
+	// Throughput is the per-instance req/s snapshot of the period.
+	Throughput []float64
+}
+
+// ICExplanation reconstructs why one node completed an instance change:
+// the verdict that triggered it, the measured value behind the verdict, and
+// the node's Δ-ratio history leading up to the decision.
+type ICExplanation struct {
+	Node    types.NodeID
+	At      time.Time
+	CPI     uint64 // post-change instance-change counter
+	NewView types.View
+	Reason  string
+
+	// Ratio is the measured Δ ratio at the deciding verdict (throughput
+	// reason), or the last ratio the node observed before the change.
+	Ratio float64
+	// Value is the offending measurement for Λ/Ω reasons: the request
+	// latency (Λ) or the master-vs-backup latency gap (Ω), in seconds.
+	Value float64
+	// Client is the client whose request triggered a Λ/Ω verdict.
+	Client types.ClientID
+
+	// RatioSeries is this node's Δ-test history up to and including the
+	// change (at most the trace's full history).
+	RatioSeries []RatioPoint
+	// Voters are the nodes observed broadcasting INSTANCE-CHANGE for this
+	// round (a per-node trace shows only the local vote; a merged cluster
+	// trace shows the full quorum).
+	Voters []types.NodeID
+}
+
+// ExplainInstanceChanges reconstructs every instance change completion in
+// the trace from the verdict and vote events preceding it. Events must be
+// in trace order.
+func ExplainInstanceChanges(events []Event) []ICExplanation {
+	type nodeState struct {
+		ratios      []RatioPoint
+		lastLatency Event // last suspicious Λ/Ω verdict
+		haveLatency bool
+	}
+	states := make(map[types.NodeID]*nodeState)
+	state := func(n types.NodeID) *nodeState {
+		st := states[n]
+		if st == nil {
+			st = &nodeState{}
+			states[n] = st
+		}
+		return st
+	}
+	// votes[cpi] accumulates voters for the round voting at counter cpi;
+	// the completion event carries cpi+1.
+	votes := make(map[uint64][]types.NodeID)
+
+	var out []ICExplanation
+	for _, ev := range events {
+		switch ev.Type {
+		case EvVerdict:
+			st := state(ev.Node)
+			switch ev.Reason {
+			case "latency-lambda", "fairness-omega":
+				st.lastLatency = ev
+				st.haveLatency = true
+			default:
+				// Δ-period verdict ("none" or "throughput-delta").
+				st.ratios = append(st.ratios, RatioPoint{
+					At:         ev.At,
+					Ratio:      ev.Value,
+					Suspicious: ev.Reason == "throughput-delta",
+					Throughput: ev.Values,
+				})
+			}
+		case EvInstanceChangeStart:
+			seen := false
+			for _, v := range votes[ev.CPI] {
+				if v == ev.Node {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				votes[ev.CPI] = append(votes[ev.CPI], ev.Node)
+			}
+		case EvInstanceChangeComplete:
+			st := state(ev.Node)
+			exp := ICExplanation{
+				Node:    ev.Node,
+				At:      ev.At,
+				CPI:     ev.CPI,
+				NewView: ev.View,
+				Reason:  ev.Reason,
+			}
+			if n := len(st.ratios); n > 0 {
+				exp.Ratio = st.ratios[n-1].Ratio
+				exp.RatioSeries = append([]RatioPoint(nil), st.ratios...)
+			}
+			if st.haveLatency {
+				exp.Value = st.lastLatency.Value
+				exp.Client = st.lastLatency.Client
+			}
+			if ev.CPI > 0 {
+				exp.Voters = append([]types.NodeID(nil), votes[ev.CPI-1]...)
+			}
+			out = append(out, exp)
+		}
+	}
+	return out
+}
+
+// Timeline filters a trace down to one node (or all nodes when node < 0)
+// and, when inst >= 0, to events carrying that instance. Order-preserving.
+func Timeline(events []Event, node types.NodeID, inst types.InstanceID) []Event {
+	var out []Event
+	for _, ev := range events {
+		if node >= 0 && ev.Node != node {
+			continue
+		}
+		if inst >= 0 {
+			switch ev.Type {
+			case EvPrePrepare, EvPrepare, EvCommit, EvOrdered:
+				if ev.Instance != inst {
+					continue
+				}
+			default:
+				continue
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Summary counts events by type, deterministically ordered by event kind.
+type Summary struct {
+	Total  int
+	ByType []TypeCount
+}
+
+// TypeCount is one event type's occurrence count.
+type TypeCount struct {
+	Type  EventType
+	Count int
+}
+
+// Summarize tallies a trace.
+func Summarize(events []Event) Summary {
+	counts := make(map[EventType]int)
+	for _, ev := range events {
+		counts[ev.Type]++
+	}
+	s := Summary{Total: len(events)}
+	for t := EvRequestReceived; t <= EvMsgDrop; t++ {
+		if c := counts[t]; c > 0 {
+			s.ByType = append(s.ByType, TypeCount{Type: t, Count: c})
+		}
+	}
+	return s
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// HTTPHandler serves the observability endpoints:
+//
+//	GET /metrics       — registry snapshot in Prometheus text format
+//	GET /debug/events  — flight-recorder contents as a JSON array
+//
+// Either argument may be nil, in which case its endpoint reports 404. The
+// handler only reads; serving it (goroutines, listeners) is the caller's
+// business — cmd/rbft-node starts the listener, keeping this package free
+// of concurrency primitives the simdeterminism analyzer forbids.
+func HTTPHandler(reg *Registry, fr *FlightRecorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeMetricsText(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if fr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		events := fr.Events()
+		wire := make([]eventJSON, len(events))
+		for i, ev := range events {
+			wire[i] = encodeEvent(ev)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(wire)
+	})
+	return mux
+}
+
+// writeMetricsText renders a snapshot in the Prometheus exposition format.
+func writeMetricsText(w http.ResponseWriter, snap []Metric) {
+	for _, m := range snap {
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(w, "%s %s\n", m.Name, formatFloat(m.Value))
+		case KindHistogram:
+			for _, b := range m.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.Le, 1) {
+					le = formatFloat(b.Le)
+				}
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, le, b.Count)
+			}
+			fmt.Fprintf(w, "%s_sum %s\n", m.Name, formatFloat(m.Sum))
+			fmt.Fprintf(w, "%s_count %d\n", m.Name, m.Count)
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"rbft/internal/types"
+)
+
+// eventJSON is the JSONL wire form of an Event. Timestamps are UnixNano so
+// the simulator's virtual times serialize exactly; numeric fields use
+// omitempty, which is lossless because an omitted field decodes back to the
+// zero value it encoded from. Field order is fixed by the struct, and
+// encoding/json is deterministic over it, so same-seed sim runs produce
+// byte-identical trace files.
+type eventJSON struct {
+	T      int64     `json:"t"`
+	Ev     string    `json:"ev"`
+	Node   int       `json:"node"`
+	Inst   int       `json:"inst,omitempty"`
+	Client int       `json:"client,omitempty"`
+	Peer   int       `json:"peer,omitempty"`
+	Req    uint64    `json:"req,omitempty"`
+	Seq    uint64    `json:"seq,omitempty"`
+	View   uint64    `json:"view,omitempty"`
+	CPI    uint64    `json:"cpi,omitempty"`
+	Count  int       `json:"n,omitempty"`
+	Reason string    `json:"reason,omitempty"`
+	Value  float64   `json:"value,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+func encodeEvent(ev Event) eventJSON {
+	return eventJSON{
+		T:      ev.At.UnixNano(),
+		Ev:     ev.Type.String(),
+		Node:   int(ev.Node),
+		Inst:   int(ev.Instance),
+		Client: int(ev.Client),
+		Peer:   int(ev.Peer),
+		Req:    uint64(ev.Req),
+		Seq:    uint64(ev.Seq),
+		View:   uint64(ev.View),
+		CPI:    ev.CPI,
+		Count:  ev.Count,
+		Reason: ev.Reason,
+		Value:  ev.Value,
+		Values: ev.Values,
+	}
+}
+
+func decodeEvent(ej eventJSON) (Event, bool) {
+	t, ok := ParseEventType(ej.Ev)
+	if !ok {
+		return Event{}, false
+	}
+	return Event{
+		At:       time.Unix(0, ej.T),
+		Type:     t,
+		Node:     types.NodeID(ej.Node),
+		Instance: types.InstanceID(ej.Inst),
+		Client:   types.ClientID(ej.Client),
+		Peer:     types.NodeID(ej.Peer),
+		Req:      types.RequestID(ej.Req),
+		Seq:      types.SeqNum(ej.Seq),
+		View:     types.View(ej.View),
+		CPI:      ej.CPI,
+		Count:    ej.Count,
+		Reason:   ej.Reason,
+		Value:    ej.Value,
+		Values:   ej.Values,
+	}, true
+}
+
+// JSONLWriter streams events as one JSON object per line. It is safe for
+// concurrent use; under the single-threaded simulator the lock is
+// uncontended. Encoding errors are sticky and surfaced via Err.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder // guarded by mu
+	err error         // guarded by mu
+}
+
+// NewJSONLWriter creates a writer emitting to w. The caller owns w's
+// lifecycle (flushing and closing).
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// Enabled implements Tracer.
+func (jw *JSONLWriter) Enabled() bool { return true }
+
+// Trace implements Tracer.
+func (jw *JSONLWriter) Trace(ev Event) {
+	jw.mu.Lock()
+	if jw.err == nil {
+		jw.err = jw.enc.Encode(encodeEvent(ev))
+	}
+	jw.mu.Unlock()
+}
+
+// Err returns the first encoding or write error, if any.
+func (jw *JSONLWriter) Err() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.err
+}

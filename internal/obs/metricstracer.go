@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+
+	"rbft/internal/types"
+)
+
+// MetricsTracer derives registry metrics from the event stream, so a
+// deployment gets per-instance ordered counts, batch-size distribution,
+// instance-change counts by reason, NIC closures and message drops from the
+// same instrumentation points that feed the trace sinks.
+type MetricsTracer struct {
+	reg *Registry
+
+	executed  *Counter
+	nicCloses *Counter
+	msgDrops  *Counter
+	icStarts  *Counter
+	batchSize *Histogram
+
+	mu        sync.Mutex
+	ordered   map[types.InstanceID]*Counter // guarded by mu
+	icReasons map[string]*Counter           // guarded by mu
+}
+
+// NewMetricsTracer creates a tracer deriving metrics into reg.
+func NewMetricsTracer(reg *Registry) *MetricsTracer {
+	return &MetricsTracer{
+		reg:       reg,
+		executed:  reg.Counter("rbft_executed_total"),
+		nicCloses: reg.Counter("rbft_nic_closures_total"),
+		msgDrops:  reg.Counter("rbft_messages_dropped_total"),
+		icStarts:  reg.Counter("rbft_instance_change_votes_total"),
+		batchSize: reg.Histogram("rbft_batch_size", BatchSizeBuckets),
+		ordered:   make(map[types.InstanceID]*Counter),
+		icReasons: make(map[string]*Counter),
+	}
+}
+
+// Enabled implements Tracer.
+func (mt *MetricsTracer) Enabled() bool { return true }
+
+// Trace implements Tracer.
+func (mt *MetricsTracer) Trace(ev Event) {
+	switch ev.Type {
+	case EvOrdered:
+		mt.orderedCounter(ev.Instance).Add(uint64(ev.Count))
+		mt.batchSize.Observe(float64(ev.Count))
+	case EvExecuted:
+		mt.executed.Inc()
+	case EvInstanceChangeStart:
+		mt.icStarts.Inc()
+	case EvInstanceChangeComplete:
+		mt.icReason(ev.Reason).Inc()
+	case EvNICClose:
+		mt.nicCloses.Inc()
+	case EvMsgDrop:
+		mt.msgDrops.Inc()
+	}
+}
+
+// orderedCounter resolves rbft_ordered_total{instance="i"} once per
+// instance, caching so the steady state is one map read per event.
+func (mt *MetricsTracer) orderedCounter(inst types.InstanceID) *Counter {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	c := mt.ordered[inst]
+	if c == nil {
+		c = mt.reg.Counter(LabeledName("rbft_ordered_total", "instance", strconv.Itoa(int(inst))))
+		mt.ordered[inst] = c
+	}
+	return c
+}
+
+func (mt *MetricsTracer) icReason(reason string) *Counter {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	c := mt.icReasons[reason]
+	if c == nil {
+		c = mt.reg.Counter(LabeledName("rbft_instance_changes_total", "reason", reason))
+		mt.icReasons[reason] = c
+	}
+	return c
+}

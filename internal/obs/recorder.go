@@ -1,0 +1,67 @@
+package obs
+
+import "sync"
+
+// FlightRecorder is a bounded in-memory event sink: a ring buffer holding
+// the most recent events, cheap enough to leave always-on in a deployed
+// node and dump post-incident via /debug/events. One Event is ~200 bytes,
+// so the default 4096-slot recorder costs under a megabyte.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	buf     []Event // guarded by mu
+	next    int     // guarded by mu; next write position
+	wrapped bool    // guarded by mu; buffer has been filled at least once
+	dropped uint64  // guarded by mu; events overwritten so far
+}
+
+// DefaultRecorderSize is the flight-recorder capacity used by cmd/rbft-node
+// unless overridden.
+const DefaultRecorderSize = 4096
+
+// NewFlightRecorder creates a recorder holding the last n events (n <= 0
+// uses DefaultRecorderSize).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultRecorderSize
+	}
+	return &FlightRecorder{buf: make([]Event, n)}
+}
+
+// Enabled implements Tracer.
+func (r *FlightRecorder) Enabled() bool { return true }
+
+// Trace implements Tracer.
+func (r *FlightRecorder) Trace(ev Event) {
+	r.mu.Lock()
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first. The slice is a copy.
+func (r *FlightRecorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped returns how many events have been overwritten since creation;
+// a post-incident dump with Dropped() > 0 is missing its oldest history.
+func (r *FlightRecorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

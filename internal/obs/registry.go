@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. All methods are safe on a
+// nil receiver (no-ops), so code can hold unresolved metrics without
+// branching at every increment site.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram. Bounds are upper bucket edges in
+// ascending order; observations above the last bound land in the implicit
+// +Inf bucket. Nil-safe like Counter.
+type Histogram struct {
+	bounds []float64 // immutable after construction
+
+	mu     sync.Mutex
+	counts []uint64 // guarded by mu; len(bounds)+1, last is +Inf
+	sum    float64  // guarded by mu
+	count  uint64   // guarded by mu
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// LatencyBuckets are the default upper bounds (seconds) for ordering- and
+// request-latency histograms, spanning sub-millisecond crypto costs to
+// multi-second attack-induced stalls.
+var LatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// BatchSizeBuckets are the default upper bounds for batch-size histograms.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// MetricKind discriminates Snapshot entries.
+type MetricKind uint8
+
+// Snapshot entry kinds.
+const (
+	KindCounter MetricKind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	Le    float64 // upper bound; +Inf for the overflow bucket
+	Count uint64  // cumulative count of observations <= Le
+}
+
+// Metric is one snapshotted metric.
+type Metric struct {
+	Name  string
+	Kind  MetricKind
+	Value float64 // counter or gauge value
+	// Histogram fields.
+	Sum     float64
+	Count   uint64
+	Buckets []Bucket
+}
+
+// Registry is a named collection of metrics. Lookup methods get-or-create;
+// on a nil registry they return nil metrics whose methods no-op, so wiring
+// is optional everywhere.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds if needed (bounds are ignored on later lookups).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric's current state, sorted by name so the
+// output is deterministic regardless of registration or map order.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: float64(g.Value())})
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	for name, h := range hists {
+		h.mu.Lock()
+		m := Metric{Name: name, Kind: KindHistogram, Sum: h.sum, Count: h.count}
+		var cum uint64
+		for i, c := range h.counts {
+			cum += c
+			le := math.Inf(1)
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			m.Buckets = append(m.Buckets, Bucket{Le: le, Count: cum})
+		}
+		h.mu.Unlock()
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LabeledName renders name{label="value"}; the registry treats the result
+// as an opaque name, which keeps labels deterministic and allocation-free
+// at increment time (resolve once, increment many).
+func LabeledName(name, label, value string) string {
+	return name + "{" + label + "=" + strconv.Quote(value) + "}"
+}

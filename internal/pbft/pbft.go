@@ -28,6 +28,7 @@ import (
 
 	"rbft/internal/crypto"
 	"rbft/internal/message"
+	"rbft/internal/obs"
 	"rbft/internal/types"
 )
 
@@ -181,6 +182,10 @@ type Instance struct {
 
 	// Statistics.
 	stats Stats
+
+	// tr receives phase-transition events (pre-prepare proposed, prepared,
+	// committed). Node identity is stamped by the installer's wrapper.
+	tr obs.Tracer
 }
 
 type delayedSend struct {
@@ -212,11 +217,16 @@ func New(cfg Config, keys *crypto.KeyRing) *Instance {
 		checkpoints:       make(map[types.SeqNum]map[types.NodeID]types.Digest),
 		viewChanges:       make(map[types.View]map[types.NodeID]*message.ViewChange),
 		recentDelivered:   make(map[types.SeqNum]deliveredBatch),
+		tr:                obs.Nop{},
 	}
 }
 
 // SetBehavior installs Byzantine behaviour (attack experiments only).
 func (in *Instance) SetBehavior(b Behavior) { in.behavior = b }
+
+// SetTracer installs an event sink for phase transitions. core.Node passes
+// its node-stamped tracer down; the replica adds the instance id.
+func (in *Instance) SetTracer(t obs.Tracer) { in.tr = obs.OrNop(t) }
 
 // View returns the current view.
 func (in *Instance) View() types.View { return in.view }
@@ -444,6 +454,12 @@ func (in *Instance) emitPrePrepare(pp *message.PrePrepare, now time.Time) Output
 		pp.Auth = in.keys.AuthenticatorForNodes(in.cfg.Cluster.N, pp.Body())
 		out.send(nil, pp)
 	}
+	if in.tr.Enabled() {
+		in.tr.Trace(obs.Event{
+			At: now, Type: obs.EvPrePrepare, Instance: in.cfg.Instance,
+			Seq: pp.Seq, View: pp.View, Count: len(pp.Batch),
+		})
+	}
 	out.merge(in.acceptPrePrepare(pp, now))
 	return out
 }
@@ -600,6 +616,12 @@ func (in *Instance) checkPrepared(seq types.SeqNum, e *entry, now time.Time) Out
 		return out
 	}
 	e.sentComm = true
+	if in.tr.Enabled() {
+		in.tr.Trace(obs.Event{
+			At: now, Type: obs.EvPrepare, Instance: in.cfg.Instance,
+			Seq: seq, View: e.view,
+		})
+	}
 	if !in.behavior.Silent {
 		c := &message.Commit{
 			Instance: in.cfg.Instance,
@@ -649,6 +671,12 @@ func (in *Instance) checkCommitted(seq types.SeqNum, e *entry, now time.Time) Ou
 		return out
 	}
 	e.delivered = true
+	if in.tr.Enabled() {
+		in.tr.Trace(obs.Event{
+			At: now, Type: obs.EvCommit, Instance: in.cfg.Instance,
+			Seq: seq, View: e.view,
+		})
+	}
 	out.merge(in.deliverReady(now))
 	return out
 }

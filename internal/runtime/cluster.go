@@ -9,6 +9,7 @@ import (
 	"rbft/internal/core"
 	"rbft/internal/crypto"
 	"rbft/internal/monitor"
+	"rbft/internal/obs"
 	"rbft/internal/transport"
 	"rbft/internal/transport/memnet"
 	"rbft/internal/transport/tcpnet"
@@ -45,6 +46,12 @@ type ClusterOptions struct {
 	MaxClients int
 	// RetransmitTimeout configures client retransmission (default 500ms).
 	RetransmitTimeout time.Duration
+	// Metrics, when set, receives node and transport counters (message
+	// volumes, ordering latency, transport drops).
+	Metrics *obs.Registry
+	// Tracer, when set, receives every node's protocol events (e.g. an
+	// obs.FlightRecorder for post-mortem inspection).
+	Tracer obs.Tracer
 }
 
 // LocalCluster is a full RBFT cluster running inside one process, over
@@ -119,6 +126,12 @@ func StartLocalCluster(opts ClusterOptions) (*LocalCluster, error) {
 			opts.Tune(&cfg)
 		}
 		node := core.New(cfg, lc.ks.NodeRing(id))
+		if opts.Tracer != nil {
+			node.SetTracer(opts.Tracer)
+		}
+		if opts.Metrics != nil {
+			node.SetRegistry(opts.Metrics)
+		}
 		lc.nodes = append(lc.nodes, StartNode(node, transports[i], cluster))
 	}
 	return lc, nil
@@ -128,12 +141,15 @@ func StartLocalCluster(opts ClusterOptions) (*LocalCluster, error) {
 func (lc *LocalCluster) listen(name string) (transport.Transport, error) {
 	switch lc.opts.Transport {
 	case Mem:
-		return lc.net.Endpoint(name), nil
+		ep := lc.net.Endpoint(name)
+		ep.SetMetrics(transport.NewMetrics(lc.opts.Metrics, "mem"))
+		return ep, nil
 	case TCP:
 		ep, err := tcpnet.Listen(name, "127.0.0.1:0", nil)
 		if err != nil {
 			return nil, err
 		}
+		ep.SetMetrics(transport.NewMetrics(lc.opts.Metrics, "tcp"))
 		lc.addrs[name] = ep.Addr()
 		return ep, nil
 	case UDP:
@@ -141,6 +157,7 @@ func (lc *LocalCluster) listen(name string) (transport.Transport, error) {
 		if err != nil {
 			return nil, err
 		}
+		ep.SetMetrics(transport.NewMetrics(lc.opts.Metrics, "udp"))
 		lc.addrs[name] = ep.Addr()
 		return ep, nil
 	default:

@@ -168,6 +168,13 @@ func (nr *NodeRuntime) emit(out core.Output) {
 	nr.mu.Lock()
 	self := nr.node.ID()
 	nr.mu.Unlock()
+	// Enforce flood-defence NIC closures at the transport so frames from the
+	// offending peer are discarded before they cost any protocol processing.
+	if pc, ok := nr.tr.(transport.PeerCloser); ok {
+		for _, nc := range out.NICCloses {
+			pc.ClosePeer(NodeName(nc.Peer), nc.Until)
+		}
+	}
 	for _, nm := range out.NodeMsgs {
 		data := nm.Msg.Marshal(nil)
 		targets := nm.To

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rbft/internal/core"
+	"rbft/internal/obs"
 	"rbft/internal/pbft"
 	"rbft/internal/types"
 )
@@ -80,5 +81,84 @@ func TestSimulationSeedChangesTrace(t *testing.T) {
 	c := serialize(t, New(determinismScenario(8)).Run(2*time.Second))
 	if bytes.Equal(a, c) {
 		t.Fatal("different seeds produced byte-identical traces; the determinism check is vacuous")
+	}
+}
+
+// runWithJSONL runs the determinism scenario with a JSONL trace sink
+// attached and returns the raw trace bytes alongside the summary result.
+func runWithJSONL(t *testing.T, seed int64) ([]byte, *Result) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := obs.NewJSONLWriter(&buf)
+	cfg := determinismScenario(seed)
+	cfg.Trace = w
+	res := New(cfg).Run(2 * time.Second)
+	if err := w.Err(); err != nil {
+		t.Fatalf("trace writer: %v", err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestJSONLTraceByteIdenticalAcrossRuns extends the determinism gate to the
+// event trace itself: two same-seed attacked runs must emit byte-identical
+// JSONL, because events are stamped with virtual time and serialized with a
+// fixed field order.
+func TestJSONLTraceByteIdenticalAcrossRuns(t *testing.T) {
+	a, _ := runWithJSONL(t, 7)
+	b, _ := runWithJSONL(t, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different JSONL traces")
+	}
+	if len(a) == 0 {
+		t.Fatal("scenario emitted no trace events")
+	}
+	c, _ := runWithJSONL(t, 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced byte-identical JSONL traces; the check is vacuous")
+	}
+}
+
+// TestTraceForensicsMatchesResult is the end-to-end acceptance check for the
+// forensics pipeline: the explanations reconstructed from the JSONL trace
+// must name the same monitor.Reason for every instance change the simulator
+// recorded, and a throughput-delta change must carry a measured ratio below
+// the configured Delta threshold.
+func TestTraceForensicsMatchesResult(t *testing.T) {
+	raw, res := runWithJSONL(t, 7)
+	events, err := obs.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("reading trace back: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace round-tripped to zero events")
+	}
+	expl := obs.ExplainInstanceChanges(events)
+	if len(expl) != len(res.InstanceChanges) {
+		t.Fatalf("forensics found %d instance changes, result recorded %d",
+			len(expl), len(res.InstanceChanges))
+	}
+	if len(expl) == 0 {
+		t.Fatal("throttling attack produced no instance changes to explain")
+	}
+	delta := determinismScenario(7).Monitoring.Delta
+	for i, e := range expl {
+		ic := res.InstanceChanges[i]
+		if e.Node != ic.Node || e.CPI != ic.CPI || e.NewView != ic.NewView {
+			t.Fatalf("explanation %d = %+v does not match record %+v", i, e, ic)
+		}
+		if e.Reason != ic.Reason.String() {
+			t.Fatalf("explanation %d reason %q, result recorded %q", i, e.Reason, ic.Reason)
+		}
+		if e.Reason == "throughput-delta" {
+			if e.Ratio <= 0 || e.Ratio >= delta {
+				t.Fatalf("explanation %d: measured ratio %.3f not in (0, %.2f)", i, e.Ratio, delta)
+			}
+			if len(e.RatioSeries) == 0 {
+				t.Fatalf("explanation %d has no ratio series", i)
+			}
+		}
+		if len(e.Voters) == 0 {
+			t.Fatalf("explanation %d reconstructed no voters", i)
+		}
 	}
 }

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"math"
 	"sort"
 	"time"
 
 	"rbft/internal/client"
 	"rbft/internal/monitor"
+	"rbft/internal/obs"
 	"rbft/internal/types"
 )
 
@@ -35,7 +37,11 @@ type LatencyPoint struct {
 	Latency time.Duration
 }
 
-// Metrics accumulates raw observations during a run.
+// Metrics accumulates raw observations during a run. It aggregates the
+// node-side series from the protocol event trace — Metrics is an obs.Tracer
+// installed on every simulated node — while client-side completions are
+// recorded directly by the simulated clients (they sit outside the traced
+// node stack).
 type Metrics struct {
 	cluster types.Config
 
@@ -50,6 +56,39 @@ type Metrics struct {
 	icEvents       []ICRecord
 	nicCloses      int
 	monitorSamples []MonitorSample
+}
+
+var _ obs.Tracer = (*Metrics)(nil)
+
+// Enabled implements obs.Tracer.
+func (m *Metrics) Enabled() bool { return true }
+
+// Trace implements obs.Tracer: trace events are folded into the run's
+// aggregate series. Unhandled event types (phase transitions, verdicts,
+// request lifecycle) pass through untouched — they exist for the JSONL
+// trace sinks.
+func (m *Metrics) Trace(ev obs.Event) {
+	switch ev.Type {
+	case obs.EvExecuted:
+		if m.inWindow(ev.At) && int(ev.Node) < len(m.executed) {
+			m.executed[ev.Node]++
+		}
+	case obs.EvOrdered:
+		if int(ev.Node) < len(m.orderedByInst) && int(ev.Instance) < len(m.orderedByInst[ev.Node]) {
+			m.orderedByInst[ev.Node][ev.Instance] += ev.Count
+		}
+	case obs.EvInstanceChangeComplete:
+		reason, _ := monitor.ParseReason(ev.Reason)
+		m.icEvents = append(m.icEvents, ICRecord{
+			At: ev.At, Node: ev.Node, CPI: ev.CPI, NewView: ev.View, Reason: reason,
+		})
+	case obs.EvNICClose:
+		m.nicCloses++
+	case obs.EvMonitorSample:
+		m.monitorSamples = append(m.monitorSamples, MonitorSample{
+			At: ev.At, Node: ev.Node, Throughput: ev.Values,
+		})
+	}
 }
 
 func newMetrics(cluster types.Config) *Metrics {
@@ -68,20 +107,6 @@ func (m *Metrics) inWindow(now time.Time) bool {
 	return !now.Before(m.start) && !now.After(m.end)
 }
 
-func (m *Metrics) recordExecution(node types.NodeID, _ types.RequestRef, now time.Time) {
-	if m.inWindow(now) {
-		m.executed[node]++
-	}
-}
-
-func (m *Metrics) recordOrdered(node types.NodeID, counts []int) {
-	for i, c := range counts {
-		if i < len(m.orderedByInst[node]) {
-			m.orderedByInst[node][i] += c
-		}
-	}
-}
-
 func (m *Metrics) recordCompletion(id types.ClientID, done client.Completed, now time.Time, trackSeries bool) {
 	if trackSeries {
 		m.clientSeries = append(m.clientSeries, LatencyPoint{
@@ -94,10 +119,6 @@ func (m *Metrics) recordCompletion(id types.ClientID, done client.Completed, now
 	m.completions++
 	m.latencySum += done.Latency
 	m.latencies = append(m.latencies, done.Latency)
-}
-
-func (m *Metrics) recordMonitorSample(node types.NodeID, now time.Time, tp []float64) {
-	m.monitorSamples = append(m.monitorSamples, MonitorSample{At: now, Node: node, Throughput: tp})
 }
 
 // Result is the summary of one simulation run.
@@ -148,10 +169,24 @@ func (m *Metrics) result(cfg Config) *Result {
 		r.AvgLatency = m.latencySum / time.Duration(len(m.latencies))
 		sorted := append([]time.Duration(nil), m.latencies...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		r.P50Latency = sorted[len(sorted)/2]
-		r.P99Latency = sorted[len(sorted)*99/100]
+		r.P50Latency = sorted[nearestRank(0.50, len(sorted))]
+		r.P99Latency = sorted[nearestRank(0.99, len(sorted))]
 	}
 	return r
+}
+
+// nearestRank returns the zero-based index of the p-th percentile under the
+// nearest-rank definition: the smallest value such that at least p·n of the
+// observations are <= it, i.e. index ceil(p·n)-1 of the sorted sample.
+func nearestRank(p float64, n int) int {
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
 }
 
 // ViewChanged reports whether any node completed an instance change.

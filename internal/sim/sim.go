@@ -9,6 +9,7 @@ import (
 	"rbft/internal/crypto"
 	"rbft/internal/message"
 	"rbft/internal/monitor"
+	"rbft/internal/obs"
 	"rbft/internal/types"
 )
 
@@ -78,6 +79,12 @@ type Config struct {
 	// attacker's behaviour).
 	Script []Action
 
+	// Trace is an optional additional event sink (e.g. an obs.JSONLWriter)
+	// receiving the full protocol event trace alongside the run's metrics.
+	// Events carry virtual-time timestamps, so same-seed runs produce
+	// byte-identical JSONL traces.
+	Trace obs.Tracer
+
 	// Warmup excludes the initial interval from summary metrics.
 	Warmup time.Duration
 	// TrackClientLatency records a per-request latency series per client
@@ -133,6 +140,9 @@ type simNode struct {
 	sigSeen map[types.RequestKey]bool
 	// timerAt is the currently scheduled wake-up (zero if none).
 	timerAt time.Time
+	// trace is the node-stamped event sink for events the simulator itself
+	// emits on this node's behalf (monitor samples, NIC-closure drops).
+	trace obs.Tracer
 }
 
 // Sim is one simulation run.
@@ -167,6 +177,9 @@ func New(cfg Config) *Sim {
 		now:     time.Unix(0, 0),
 		metrics: newMetrics(cluster),
 	}
+	// Every node's events feed the metrics aggregator, and additionally the
+	// configured trace sink (JSONL etc.) when one is installed.
+	sink := obs.Multi(s.metrics, cfg.Trace)
 	for i := 0; i < cluster.N; i++ {
 		id := types.NodeID(i)
 		nodeCfg := core.Config{
@@ -188,7 +201,9 @@ func New(cfg Config) *Sim {
 			peerTx:  make([]link, cluster.N),
 			closed:  make(map[types.NodeID]time.Time),
 			sigSeen: make(map[types.RequestKey]bool),
+			trace:   obs.WithNode(sink, id),
 		}
+		sn.node.SetTracer(sink)
 		if b, ok := cfg.NodeBehavior[id]; ok {
 			sn.node.SetBehavior(b)
 		}
@@ -371,23 +386,12 @@ func (s *Sim) outputCost(out core.Output) time.Duration {
 	return cost
 }
 
-// emitOutputs transmits a node output over the modelled network and records
-// metrics.
+// emitOutputs transmits a node output over the modelled network. Metric
+// recording happens via the event trace at node-processing time; here the
+// simulator only applies the network-level effects.
 func (s *Sim) emitOutputs(sn *simNode, out core.Output) {
 	for _, nc := range out.NICCloses {
 		sn.closed[nc.Peer] = nc.Until
-		s.metrics.nicCloses++
-	}
-	for _, ic := range out.InstanceChanges {
-		s.metrics.icEvents = append(s.metrics.icEvents, ICRecord{
-			At: s.now, Node: sn.id, CPI: ic.CPI, NewView: ic.NewView, Reason: ic.Reason,
-		})
-	}
-	for _, ex := range out.Executions {
-		s.metrics.recordExecution(sn.id, ex.Ref, s.now)
-	}
-	if out.OrderedByInstance != nil {
-		s.metrics.recordOrdered(sn.id, out.OrderedByInstance)
 	}
 	for _, nm := range out.NodeMsgs {
 		size := s.cfg.Cost.wireSize(nm.Msg)
@@ -436,6 +440,9 @@ func (s *Sim) deliverToNode(sn *simNode, msg message.Message, from types.NodeID,
 	if !isClient {
 		if until, closed := sn.closed[from]; closed {
 			if s.now.Before(until) {
+				if sn.trace.Enabled() {
+					sn.trace.Trace(obs.Event{At: s.now, Type: obs.EvMsgDrop, Peer: from})
+				}
 				return
 			}
 			delete(sn.closed, from)
@@ -496,10 +503,14 @@ func (s *Sim) fireNodeTimer(sn *simNode) {
 	s.enqueueTask(sn, 0, cpuTask{isTick: true})
 }
 
-// sampleMonitors records every node's per-instance monitor throughput.
+// sampleMonitors records every node's per-instance monitor throughput as
+// EvMonitorSample events (aggregated by Metrics, serialized by trace sinks).
 func (s *Sim) sampleMonitors() {
 	for _, sn := range s.nodes {
-		s.metrics.recordMonitorSample(sn.id, s.now, sn.node.Monitor().Throughput())
+		sn.trace.Trace(obs.Event{
+			At: s.now, Type: obs.EvMonitorSample,
+			Values: sn.node.Monitor().Throughput(),
+		})
 	}
 	s.schedule(s.now.Add(s.cfg.MonitorSampleEvery), s.sampleMonitors)
 }

@@ -7,6 +7,7 @@ package memnet
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"rbft/internal/transport"
 )
@@ -56,11 +57,34 @@ type Endpoint struct {
 	name   string
 	recv   chan transport.Packet
 	closed sync.Once
-	done   bool // guarded by mu
-	mu     sync.Mutex
+	done   bool                 // guarded by mu
+	barred map[string]time.Time // guarded by mu; peer -> drop-inbound-until deadline
+	// metrics is set once before the endpoint carries traffic; the counters
+	// themselves are internally atomic.
+	metrics transport.Metrics
+	mu      sync.Mutex
 }
 
-var _ transport.Transport = (*Endpoint)(nil)
+var (
+	_ transport.Transport  = (*Endpoint)(nil)
+	_ transport.PeerCloser = (*Endpoint)(nil)
+)
+
+// SetMetrics installs transport counters. Call before the endpoint carries
+// traffic.
+func (e *Endpoint) SetMetrics(m transport.Metrics) { e.metrics = m }
+
+// ClosePeer implements transport.PeerCloser: inbound frames from peer are
+// discarded until the deadline (RBFT flood defence).
+func (e *Endpoint) ClosePeer(peer string, until time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.barred == nil {
+		e.barred = make(map[string]time.Time)
+	}
+	e.barred[peer] = until
+	e.metrics.PeerClosures.Inc()
+}
 
 // Name implements transport.Transport.
 func (e *Endpoint) Name() string { return e.name }
@@ -81,8 +105,10 @@ func (e *Endpoint) Send(to string, data []byte) error {
 		return fmt.Errorf("%w: %q", transport.ErrUnknownPeer, to)
 	}
 	if drop != nil && drop(e.name, to, data) {
+		dst.metrics.Dropped.Inc()
 		return nil // silently dropped (fault injection)
 	}
+	e.metrics.BytesOut.Add(uint64(len(data)))
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	dst.mu.Lock()
@@ -90,10 +116,19 @@ func (e *Endpoint) Send(to string, data []byte) error {
 	if dst.done {
 		return transport.ErrClosed
 	}
+	if until, ok := dst.barred[e.name]; ok {
+		if time.Now().Before(until) {
+			dst.metrics.Dropped.Inc()
+			return nil // receiver's NIC is closed toward us
+		}
+		delete(dst.barred, e.name)
+	}
 	select {
 	case dst.recv <- transport.Packet{From: e.name, Data: buf}:
+		dst.metrics.BytesIn.Add(uint64(len(buf)))
 	default:
 		// Receiver overloaded: drop, like a saturated NIC.
+		dst.metrics.Dropped.Inc()
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"rbft/internal/transport"
 )
@@ -28,14 +29,19 @@ type Endpoint struct {
 	peers    map[string]string      // guarded by mu; name -> dial address
 	conns    map[string]*lockedConn // guarded by mu; name -> established outbound connection
 	accepted map[net.Conn]bool      // guarded by mu; inbound connections, closed on shutdown
+	barred   map[string]time.Time   // guarded by mu; peer -> drop-inbound-until deadline
 	done     bool                   // guarded by mu
+
+	// metrics is set once before the endpoint carries traffic; the counters
+	// themselves are internally atomic.
+	metrics transport.Metrics
 
 	wg sync.WaitGroup
 }
 
 // lockedConn serialises concurrent frame writes on one connection.
 type lockedConn struct {
-	mu   sync.Mutex
+	mu sync.Mutex
 	// conn deliberately carries no guard annotation: the mutex only
 	// serialises frame writes, while Close is called lock-free to unblock
 	// stuck writers (net.Conn is safe for concurrent use).
@@ -48,7 +54,10 @@ func (lc *lockedConn) writeFrame(data []byte) error {
 	return writeFrame(lc.conn, data)
 }
 
-var _ transport.Transport = (*Endpoint)(nil)
+var (
+	_ transport.Transport  = (*Endpoint)(nil)
+	_ transport.PeerCloser = (*Endpoint)(nil)
+)
 
 // Listen creates an endpoint named name listening on addr (e.g.
 // "127.0.0.1:0"). peers maps every peer name to its dial address; it may be
@@ -65,6 +74,7 @@ func Listen(name, addr string, peers map[string]string) (*Endpoint, error) {
 		peers:    make(map[string]string, len(peers)),
 		conns:    make(map[string]*lockedConn),
 		accepted: make(map[net.Conn]bool),
+		barred:   make(map[string]time.Time),
 	}
 	for k, v := range peers {
 		e.peers[k] = v
@@ -89,6 +99,19 @@ func (e *Endpoint) Name() string { return e.name }
 
 // Packets implements transport.Transport.
 func (e *Endpoint) Packets() <-chan transport.Packet { return e.recv }
+
+// SetMetrics installs transport counters. Call before the endpoint carries
+// traffic.
+func (e *Endpoint) SetMetrics(m transport.Metrics) { e.metrics = m }
+
+// ClosePeer implements transport.PeerCloser: inbound frames claiming to be
+// from peer are discarded until the deadline (RBFT flood defence).
+func (e *Endpoint) ClosePeer(peer string, until time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.barred[peer] = until
+	e.metrics.PeerClosures.Inc()
+}
 
 func (e *Endpoint) acceptLoop() {
 	defer e.wg.Done()
@@ -131,15 +154,27 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 		}
 		e.mu.Lock()
 		closed := e.done
+		until, blocked := e.barred[from]
 		e.mu.Unlock()
 		if closed {
 			return
 		}
+		if blocked {
+			if time.Now().Before(until) {
+				e.metrics.Dropped.Inc()
+				continue // NIC closed toward this peer
+			}
+			e.mu.Lock()
+			delete(e.barred, from)
+			e.mu.Unlock()
+		}
 		select {
 		case e.recv <- transport.Packet{From: from, Data: data}:
+			e.metrics.BytesIn.Add(uint64(len(data)))
 		default:
 			// Receiver overloaded: drop rather than stall the socket and
 			// back-pressure the whole cluster.
+			e.metrics.Dropped.Inc()
 		}
 	}
 }
@@ -165,6 +200,7 @@ func (e *Endpoint) Send(to string, data []byte) error {
 			return fmt.Errorf("tcpnet send to %q: %w", to, err)
 		}
 	}
+	e.metrics.BytesOut.Add(uint64(len(data)))
 	return nil
 }
 

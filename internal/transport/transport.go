@@ -9,7 +9,12 @@
 // variant).
 package transport
 
-import "errors"
+import (
+	"errors"
+	"time"
+
+	"rbft/internal/obs"
+)
 
 // Packet is one received frame.
 type Packet struct {
@@ -31,6 +36,42 @@ type Transport interface {
 	Name() string
 	// Close releases resources and closes the Packets channel.
 	Close() error
+}
+
+// PeerCloser is implemented by transports that can enforce a NIC closure:
+// frames received from the named peer are discarded until the deadline
+// passes. The RBFT flood defence (core.Output.NICCloses) is enforced here,
+// at the receive path, so a flooding peer cannot even cost protocol-level
+// processing.
+type PeerCloser interface {
+	// ClosePeer discards inbound frames from peer until the given time.
+	ClosePeer(peer string, until time.Time)
+}
+
+// Metrics bundles the per-endpoint transport counters. The zero value is
+// valid and counts nothing (obs counters are nil-safe), so endpoints carry
+// it unconditionally and instrumentation is pay-for-use.
+type Metrics struct {
+	// Dropped counts inbound frames discarded: receiver overflow, frames
+	// from a closed peer, or fault-injection rules.
+	Dropped *obs.Counter
+	// PeerClosures counts ClosePeer invocations (flood defence activations).
+	PeerClosures *obs.Counter
+	// BytesIn and BytesOut count payload bytes received and sent.
+	BytesIn  *obs.Counter
+	BytesOut *obs.Counter
+}
+
+// NewMetrics resolves the transport counter set from reg, labelled with the
+// transport kind ("mem", "tcp", "udp"). A nil registry yields the zero
+// Metrics, which counts nothing.
+func NewMetrics(reg *obs.Registry, kind string) Metrics {
+	return Metrics{
+		Dropped:      reg.Counter(obs.LabeledName("rbft_transport_dropped_total", "transport", kind)),
+		PeerClosures: reg.Counter(obs.LabeledName("rbft_transport_peer_closures_total", "transport", kind)),
+		BytesIn:      reg.Counter(obs.LabeledName("rbft_transport_bytes_in_total", "transport", kind)),
+		BytesOut:     reg.Counter(obs.LabeledName("rbft_transport_bytes_out_total", "transport", kind)),
+	}
 }
 
 // Errors shared by implementations.

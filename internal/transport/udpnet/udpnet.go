@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"rbft/internal/transport"
 )
@@ -24,14 +25,22 @@ type Endpoint struct {
 	conn *net.UDPConn
 	recv chan transport.Packet
 
-	mu    sync.RWMutex
-	peers map[string]*net.UDPAddr // guarded by mu
-	done  bool                    // guarded by mu
+	mu     sync.RWMutex
+	peers  map[string]*net.UDPAddr // guarded by mu
+	barred map[string]time.Time    // guarded by mu; peer -> drop-inbound-until deadline
+	done   bool                    // guarded by mu
+
+	// metrics is set once before the endpoint carries traffic; the counters
+	// themselves are internally atomic.
+	metrics transport.Metrics
 
 	wg sync.WaitGroup
 }
 
-var _ transport.Transport = (*Endpoint)(nil)
+var (
+	_ transport.Transport  = (*Endpoint)(nil)
+	_ transport.PeerCloser = (*Endpoint)(nil)
+)
 
 // Listen creates an endpoint named name bound to addr. peers maps peer
 // names to their UDP addresses.
@@ -45,10 +54,11 @@ func Listen(name, addr string, peers map[string]string) (*Endpoint, error) {
 		return nil, fmt.Errorf("udpnet listen: %w", err)
 	}
 	e := &Endpoint{
-		name:  name,
-		conn:  conn,
-		recv:  make(chan transport.Packet, 4096),
-		peers: make(map[string]*net.UDPAddr, len(peers)),
+		name:   name,
+		conn:   conn,
+		recv:   make(chan transport.Packet, 4096),
+		peers:  make(map[string]*net.UDPAddr, len(peers)),
+		barred: make(map[string]time.Time),
 	}
 	for k, v := range peers {
 		if err := e.AddPeer(k, v); err != nil {
@@ -82,6 +92,19 @@ func (e *Endpoint) Name() string { return e.name }
 // Packets implements transport.Transport.
 func (e *Endpoint) Packets() <-chan transport.Packet { return e.recv }
 
+// SetMetrics installs transport counters. Call before the endpoint carries
+// traffic.
+func (e *Endpoint) SetMetrics(m transport.Metrics) { e.metrics = m }
+
+// ClosePeer implements transport.PeerCloser: datagrams claiming to be from
+// peer are discarded until the deadline (RBFT flood defence).
+func (e *Endpoint) ClosePeer(peer string, until time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.barred[peer] = until
+	e.metrics.PeerClosures.Inc()
+}
+
 func (e *Endpoint) readLoop() {
 	defer e.wg.Done()
 	buf := make([]byte, MaxDatagram+4)
@@ -102,14 +125,26 @@ func (e *Endpoint) readLoop() {
 		copy(data, buf[2+nameLen:n])
 		e.mu.RLock()
 		closed := e.done
+		until, blocked := e.barred[from]
 		e.mu.RUnlock()
 		if closed {
 			return
 		}
+		if blocked {
+			if time.Now().Before(until) {
+				e.metrics.Dropped.Inc()
+				continue // NIC closed toward this peer
+			}
+			e.mu.Lock()
+			delete(e.barred, from)
+			e.mu.Unlock()
+		}
 		select {
 		case e.recv <- transport.Packet{From: from, Data: data}:
+			e.metrics.BytesIn.Add(uint64(len(data)))
 		default:
 			// Drop on overload: UDP semantics.
+			e.metrics.Dropped.Inc()
 		}
 	}
 }
@@ -134,6 +169,9 @@ func (e *Endpoint) Send(to string, data []byte) error {
 	copy(frame[2:], e.name)
 	copy(frame[2+len(e.name):], data)
 	_, err := e.conn.WriteToUDP(frame, addr)
+	if err == nil {
+		e.metrics.BytesOut.Add(uint64(len(data)))
+	}
 	return err
 }
 

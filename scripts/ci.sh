@@ -18,6 +18,9 @@ echo "== go test ./... =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/runtime/... ./internal/transport/... ./internal/client/...
+go test -race ./internal/runtime/... ./internal/transport/... ./internal/client/... ./internal/obs/...
+
+echo "== bench smoke (BENCH_sim.json) =="
+go run ./cmd/rbft-bench -exp bench -quick -json BENCH_sim.json
 
 echo "CI gate passed."

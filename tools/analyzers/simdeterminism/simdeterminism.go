@@ -43,6 +43,7 @@ var simPackages = []string{
 	"rbft/internal/baseline",
 	"rbft/internal/monitor",
 	"rbft/internal/message",
+	"rbft/internal/obs",
 }
 
 func inScope(pkgPath string) bool {
