@@ -44,6 +44,10 @@ type Config struct {
 	// ReplyCacheSize bounds the per-client reply cache.
 	ReplyCacheSize int
 
+	// VerifyCacheSize bounds the request-signature verification cache of the
+	// preverify stage (0 means message.DefaultVerifyCacheSize).
+	VerifyCacheSize int
+
 	// FloodThreshold is the number of invalid messages from one peer within
 	// FloodWindow that triggers closing that peer's NIC for NICClosePeriod.
 	FloodThreshold int
@@ -162,12 +166,15 @@ type clientState struct {
 	pendingBodies int
 }
 
-// Node is one RBFT node. Not safe for concurrent use; drivers serialise
-// access.
+// Node is one RBFT node: the deterministic apply stage of the ingress
+// pipeline. Not safe for concurrent use; drivers serialise access. The
+// node's Preverifier is the stateless stage in front of it and IS safe for
+// concurrent use (see docs/PIPELINE.md).
 type Node struct {
 	cfg      Config
 	behavior Behavior
 	keys     *crypto.KeyRing
+	pre      *message.Preverifier
 
 	replicas []*pbft.Instance
 	mon      *monitor.Monitor
@@ -224,6 +231,7 @@ func New(cfg Config, keys *crypto.KeyRing) *Node {
 		closedUntil: make(map[types.NodeID]time.Time),
 		tr:          obs.Nop{},
 	}
+	n.pre = message.NewPreverifier(keys, c.Node, c.Cluster, message.NewVerifyCache(c.VerifyCacheSize))
 	for i := 0; i < c.Cluster.Instances(); i++ {
 		pc := pbft.Config{
 			Cluster:            c.Cluster,
@@ -233,11 +241,21 @@ func New(cfg Config, keys *crypto.KeyRing) *Node {
 			BatchTimeout:       c.BatchTimeout,
 			CheckpointInterval: c.CheckpointInterval,
 			WatermarkWindow:    c.WatermarkWindow,
+			// The node's preverify stage checks VIEW-CHANGE signatures
+			// (including the copies embedded in NEW-VIEW) before the replica
+			// ever sees them; don't pay for them twice.
+			SigPreverified: true,
 		}
 		n.replicas = append(n.replicas, pbft.New(pc, keys))
 	}
 	return n
 }
+
+// Preverifier returns the stateless ingress verification stage paired with
+// this node. Drivers run it on any number of goroutines (or charge it on
+// parallel simulated cores) and feed the results to OnVerified /
+// OnIngressFailure in arrival order.
+func (n *Node) Preverifier() *message.Preverifier { return n.pre }
 
 // SetTracer installs an event sink on the node and propagates it (node-
 // stamped) to the replicas and the monitor. Install before driving the
@@ -264,6 +282,10 @@ func (n *Node) SetRegistry(reg *obs.Registry) {
 		n.msgsOut[t] = reg.Counter(obs.LabeledName("rbft_messages_out_total", "type", t.String()))
 	}
 	n.clientOut = reg.Counter("rbft_client_messages_out_total")
+	n.pre.Cache().SetCounters(
+		reg.Counter("rbft_sigcache_hits_total"),
+		reg.Counter("rbft_sigcache_misses_total"),
+	)
 	n.mon.SetRegistry(reg)
 }
 
@@ -381,25 +403,97 @@ func (n *Node) tick(now time.Time) Output {
 	return out
 }
 
-// OnClientRequest is the Verification module's entry point for a REQUEST
-// received directly from a client.
+// OnClientRequest is the single-caller convenience entry point for a REQUEST
+// received directly from a client: it runs the node's own preverify stage
+// inline and then applies the result. Pipelined drivers call the
+// Preverifier and OnVerified / OnIngressFailure separately instead.
 func (n *Node) OnClientRequest(req *message.Request, now time.Time) Output {
-	out := n.onClientRequest(req, now)
-	n.observeIO(req, &out)
+	v, err := n.pre.PreverifyClient(req, req.Client)
+	if err != nil {
+		return n.OnIngressFailure(IngressFailure{
+			FromClient: true, Client: req.Client,
+			Kind: message.FailKindOf(err), Msg: req,
+		}, now)
+	}
+	return n.OnVerified(v, now)
+}
+
+// OnNodeMessage is the single-caller convenience entry point for a message
+// from another node: preverify inline, then apply.
+func (n *Node) OnNodeMessage(msg message.Message, from types.NodeID, now time.Time) Output {
+	v, err := n.pre.PreverifyNode(msg, from)
+	if err != nil {
+		return n.OnIngressFailure(IngressFailure{
+			From: from, Kind: message.FailKindOf(err), Msg: msg,
+		}, now)
+	}
+	return n.OnVerified(v, now)
+}
+
+// OnVerified is the apply stage: it consumes a preverified message and runs
+// the deterministic protocol logic. No crypto happens past this point — the
+// Verified value's authentication material is trusted unconditionally.
+func (n *Node) OnVerified(v *message.Verified, now time.Time) Output {
+	var out Output
+	if v.FromClient {
+		req, ok := v.Msg.(*message.Request)
+		if !ok {
+			return out // forged Verified; preverify never builds this
+		}
+		out = n.applyClientRequest(req, now)
+	} else {
+		out = n.applyNodeMessage(v.Msg, v.From, now)
+	}
+	n.observeIO(v.Msg, &out)
 	return out
 }
 
-func (n *Node) onClientRequest(req *message.Request, now time.Time) Output {
+// IngressFailure describes a frame the preverify stage rejected. Msg is the
+// decoded message when decoding succeeded (metrics only; may be nil).
+type IngressFailure struct {
+	FromClient bool
+	Client     types.ClientID
+	From       types.NodeID
+	Kind       message.FailKind
+	Msg        message.Message
+}
+
+// OnIngressFailure applies the node-state reaction to a preverification
+// failure: flood accounting and NIC closures for node traffic, blacklisting
+// for client signature failures. Keeping these decisions in the apply stage
+// (rather than in the concurrent verifiers) keeps flood state deterministic.
+func (n *Node) OnIngressFailure(f IngressFailure, now time.Time) Output {
+	var out Output
+	if n.behavior.Silent {
+		return out
+	}
+	if f.FromClient {
+		// An invalid signature blacklists the client: it proves the client
+		// is faulty (MACs passed, so nobody else forged the frame). Bad MACs
+		// and malformed frames are dropped without reaction — they carry no
+		// proof of origin.
+		if f.Kind == message.FailBadSig {
+			n.client(f.Client).blacklisted = true
+		}
+		n.observeIO(f.Msg, &out)
+		return out
+	}
+	if n.nicClosed(f.From, now) {
+		return out
+	}
+	out = n.countInvalid(f.From, now)
+	n.observeIO(f.Msg, &out)
+	return out
+}
+
+// applyClientRequest processes a preverified client REQUEST.
+func (n *Node) applyClientRequest(req *message.Request, now time.Time) Output {
 	var out Output
 	if n.behavior.Silent {
 		return out
 	}
 	cs := n.client(req.Client)
 	if cs.blacklisted {
-		return out
-	}
-	// MAC first: cheap rejection of garbage.
-	if err := n.keys.VerifyClientAuthenticatorEntry(req.Client, n.cfg.Node, req.Body(), req.Auth); err != nil {
 		return out
 	}
 	if n.tr.Enabled() {
@@ -410,12 +504,6 @@ func (n *Node) onClientRequest(req *message.Request, now time.Time) Output {
 	// Retransmission of an executed request: resend the cached reply.
 	if result, ok := n.cachedReply(cs, req.ID); ok {
 		out.ClientMsgs = append(out.ClientMsgs, n.replyTo(req.Client, req.ID, result))
-		return out
-	}
-	// Signature verification is expensive but required for non-repudiation
-	// during propagation. An invalid signature blacklists the client.
-	if err := n.keys.VerifyClientSignature(req.Client, req.SignedBody(), req.Sig); err != nil {
-		cs.blacklisted = true
 		return out
 	}
 	out.merge(n.propagateOwn(req, now))
@@ -464,55 +552,46 @@ func (n *Node) storeBody(ref types.RequestRef, req *message.Request) bool {
 // equivocating) client can keep resident per node.
 const maxPendingBodiesPerClient = 4096
 
-// OnNodeMessage handles a message from another node: PROPAGATE, the
-// per-instance protocol messages, and INSTANCE-CHANGE.
-func (n *Node) OnNodeMessage(msg message.Message, from types.NodeID, now time.Time) Output {
-	out := n.onNodeMessage(msg, from, now)
-	n.observeIO(msg, &out)
-	return out
+// nicClosed reports whether traffic from a peer is currently dropped due to
+// a flood closure, expiring the closure once its deadline passes.
+func (n *Node) nicClosed(from types.NodeID, now time.Time) bool {
+	until, closed := n.closedUntil[from]
+	if !closed {
+		return false
+	}
+	if now.Before(until) {
+		return true
+	}
+	delete(n.closedUntil, from)
+	return false
 }
 
-func (n *Node) onNodeMessage(msg message.Message, from types.NodeID, now time.Time) Output {
+// applyNodeMessage processes a preverified message from another node:
+// PROPAGATE, the per-instance protocol messages, and INSTANCE-CHANGE.
+func (n *Node) applyNodeMessage(msg message.Message, from types.NodeID, now time.Time) Output {
 	var out Output
 	if n.behavior.Silent {
 		return out
 	}
-	if until, closed := n.closedUntil[from]; closed {
-		if now.Before(until) {
-			return out
-		}
-		delete(n.closedUntil, from)
+	if n.nicClosed(from, now) {
+		return out
 	}
 
 	switch m := msg.(type) {
 	case *message.Propagate:
-		if m.Node != from {
-			return n.countInvalid(from, now)
-		}
-		if err := n.keys.VerifyAuthenticatorEntry(from, n.cfg.Node, m.Body(), m.Auth); err != nil {
-			return n.countInvalid(from, now)
-		}
-		return n.onPropagate(m, from, now)
+		return n.applyPropagate(m, from, now)
 
 	case *message.InstanceChange:
-		if m.Node != from {
-			return n.countInvalid(from, now)
-		}
-		if err := n.keys.VerifyAuthenticatorEntry(from, n.cfg.Node, m.Body(), m.Auth); err != nil {
-			return n.countInvalid(from, now)
-		}
 		return n.onInstanceChange(m, now)
 
-	case *message.Invalid:
-		return n.countInvalid(from, now)
-
 	default:
-		return n.onInstanceMessage(msg, from, now)
+		return n.applyInstanceMessage(msg, from, now)
 	}
 }
 
-// onPropagate processes a MAC-verified PROPAGATE.
-func (n *Node) onPropagate(p *message.Propagate, from types.NodeID, now time.Time) Output {
+// applyPropagate processes a preverified PROPAGATE (MAC and the embedded
+// request's client signature both already checked).
+func (n *Node) applyPropagate(p *message.Propagate, from types.NodeID, now time.Time) Output {
 	var out Output
 	ref := p.Req.Ref()
 	cs := n.client(p.Req.Client)
@@ -520,11 +599,6 @@ func (n *Node) onPropagate(p *message.Propagate, from types.NodeID, now time.Tim
 		return out
 	}
 	if _, seen := n.bodies[ref]; !seen {
-		// First sight of this exact request body: verify the client
-		// signature before adopting it.
-		if err := n.keys.VerifyClientSignature(p.Req.Client, p.Req.SignedBody(), p.Req.Sig); err != nil {
-			return n.countInvalid(from, now)
-		}
 		if !n.storeBody(ref, &p.Req) {
 			return out
 		}
@@ -576,78 +650,21 @@ func (n *Node) maybeDispatch(ref types.RequestRef, now time.Time) Output {
 	return out
 }
 
-// onInstanceMessage routes a protocol message to the right local replica
-// after MAC verification.
-func (n *Node) onInstanceMessage(msg message.Message, from types.NodeID, now time.Time) Output {
-	inst, claimed, ok := instanceAndSender(msg)
-	if !ok || claimed != from || int(inst) >= len(n.replicas) || inst < 0 {
+// applyInstanceMessage routes a preverified protocol message to the right
+// local replica. Sender attribution, instance bounds and MACs/signatures
+// were all checked by the preverify stage; the bounds recheck below only
+// guards against a forged Verified value. A replica-level rejection
+// (semantically invalid message) still feeds flood accounting.
+func (n *Node) applyInstanceMessage(msg message.Message, from types.NodeID, now time.Time) Output {
+	inst, _, ok := message.InstanceAndSender(msg)
+	if !ok || int(inst) >= len(n.replicas) || inst < 0 {
 		return n.countInvalid(from, now)
-	}
-	// VIEW-CHANGE carries a signature verified inside the instance; all
-	// other instance messages carry MAC authenticators verified here.
-	if _, isVC := msg.(*message.ViewChange); !isVC {
-		if err := n.keys.VerifyAuthenticatorEntry(from, n.cfg.Node, msg.Body(), authOf(msg)); err != nil {
-			return n.countInvalid(from, now)
-		}
 	}
 	res, err := n.replicas[inst].OnMessage(msg, now)
 	if err != nil {
 		return n.countInvalid(from, now)
 	}
 	return n.absorb(inst, res, now)
-}
-
-// instanceAndSender extracts the instance id and claimed sender of a
-// protocol message.
-func instanceAndSender(msg message.Message) (types.InstanceID, types.NodeID, bool) {
-	// Node-level messages carry no instance id; OnNodeMessage handles them
-	// before delegating here, and the default arm rejects them as invalid.
-	//rbft:dispatch ignore=Request,Propagate,Reply,InstanceChange,Invalid
-	switch m := msg.(type) {
-	case *message.PrePrepare:
-		return m.Instance, m.Node, true
-	case *message.Prepare:
-		return m.Instance, m.Node, true
-	case *message.Commit:
-		return m.Instance, m.Node, true
-	case *message.Checkpoint:
-		return m.Instance, m.Node, true
-	case *message.ViewChange:
-		return m.Instance, m.Node, true
-	case *message.NewView:
-		return m.Instance, m.Node, true
-	case *message.Fetch:
-		return m.Instance, m.Node, true
-	case *message.FetchResp:
-		return m.Instance, m.Node, true
-	default:
-		return 0, 0, false
-	}
-}
-
-// authOf returns the MAC authenticator of an instance message.
-func authOf(msg message.Message) crypto.Authenticator {
-	// ViewChange is signed, not MAC'd (verified inside the instance); the
-	// remaining ignored types never reach the instance path.
-	//rbft:dispatch ignore=Request,Propagate,Reply,InstanceChange,Invalid,ViewChange
-	switch m := msg.(type) {
-	case *message.PrePrepare:
-		return m.Auth
-	case *message.Prepare:
-		return m.Auth
-	case *message.Commit:
-		return m.Auth
-	case *message.Checkpoint:
-		return m.Auth
-	case *message.NewView:
-		return m.Auth
-	case *message.Fetch:
-		return m.Auth
-	case *message.FetchResp:
-		return m.Auth
-	default:
-		return nil
-	}
 }
 
 // absorb converts a replica's output into node output: forwards its

@@ -1,0 +1,88 @@
+package crypto
+
+import (
+	"sync"
+
+	"rbft/internal/types"
+)
+
+// pairRef identifies one (a, b) principal pair in normalised order (a <= b).
+type pairRef struct{ a, b principal }
+
+// keyCache memoises derived pairwise MAC keys. Deriving a pair key costs one
+// HMAC invocation; on the ingress hot path every MAC verification would pay
+// it again, so the preverify pipeline caches the derived keys per ring. The
+// cache is concurrency-safe because verifier worker goroutines share one
+// ring.
+type keyCache struct {
+	mu   sync.RWMutex
+	keys map[pairRef][]byte
+}
+
+func (c *keyCache) get(ref pairRef) []byte {
+	c.mu.RLock()
+	k := c.keys[ref]
+	c.mu.RUnlock()
+	return k
+}
+
+func (c *keyCache) put(ref pairRef, k []byte) {
+	c.mu.Lock()
+	if c.keys == nil {
+		c.keys = make(map[pairRef][]byte)
+	}
+	c.keys[ref] = k
+	c.mu.Unlock()
+}
+
+// pairKeyCached returns the symmetric key for the (a, b) pair, deriving and
+// caching it on first use. Arguments may be passed in either order.
+func (r *KeyRing) pairKeyCached(a, b principal) []byte {
+	if a > b {
+		a, b = b, a
+	}
+	ref := pairRef{a, b}
+	if k := r.cache.get(ref); k != nil {
+		return k
+	}
+	k := pairKey(r.secret, a, b)
+	r.cache.put(ref, k)
+	return k
+}
+
+// WarmPairKeys derives and caches this ring's pairwise keys with the n nodes
+// and maxClients clients of the cluster, so the ingress pipeline never pays
+// key derivation under load. Safe to call concurrently and more than once.
+func (r *KeyRing) WarmPairKeys(n, maxClients int) {
+	if r.fast {
+		return // fast mode derives nothing per pair
+	}
+	for i := 0; i < n; i++ {
+		r.pairKeyCached(r.self, nodePrincipal(types.NodeID(i)))
+	}
+	for i := 0; i < maxClients; i++ {
+		r.pairKeyCached(r.self, clientPrincipal(types.ClientID(i)))
+	}
+}
+
+// SigJob is one node-signature verification in a batch.
+type SigJob struct {
+	Node types.NodeID // claimed signer
+	Data []byte       // signed bytes
+	Sig  []byte
+}
+
+// VerifyNodeSignatureBatch verifies a batch of independent node signatures
+// and returns the first failure (nil if all verify). It is the batch entry
+// point the preverify stage uses for aggregate messages (a NEW-VIEW embeds
+// 2f+1 signed VIEW-CHANGEs); verifying them together keeps the whole batch
+// on one verifier core and leaves room for an amortised multi-signature
+// verification backend without touching callers.
+func (r *KeyRing) VerifyNodeSignatureBatch(jobs []SigJob) error {
+	for i := range jobs {
+		if err := r.VerifyNodeSignature(jobs[i].Node, jobs[i].Data, jobs[i].Sig); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -58,6 +58,9 @@ type KeyRing struct {
 	pubKeys map[principal]ed25519.PublicKey
 	secret  []byte
 	fast    bool
+	// cache memoises derived pair keys (see batch.go); verifier goroutines
+	// share the ring, so the cache carries its own lock.
+	cache keyCache
 }
 
 // KeyStore derives key rings for a cluster from a master secret. It is the
@@ -192,7 +195,7 @@ func (r *KeyRing) pairMAC(a, b principal, data []byte) MAC {
 		}
 		return MAC(fastMix(fastSum(r.secret, data), uint64(a)<<20^uint64(b)))
 	}
-	return computeMAC(pairKey(r.secret, a, b), data)
+	return computeMAC(r.pairKeyCached(a, b), data)
 }
 
 // MACForNode authenticates data for a single receiving node.

@@ -43,7 +43,32 @@ func BenchScenarios(o Options) []BenchScenario {
 		build("fault-free", nil),
 		build("worst-attack-1", func(cfg *sim.Config, _ float64) { attack1Config(cfg) }),
 		build("worst-attack-2", attack2Config),
+		pipelineScenario("pipeline-serial", 1, o),
+		pipelineScenario("pipeline-parallel", pipelineParallelCores, o),
 	}
+}
+
+// pipelineParallelCores is the verify-core count of the pipeline-parallel
+// scenario, mirroring the paper's testbed where each node kept several cores
+// free beyond the f+1 instance replicas.
+const pipelineParallelCores = 4
+
+// pipelineOfferedLoad saturates the single-core verify stage several times
+// over (a signature verification per request bounds one core near 45 kreq/s)
+// so the serial/parallel comparison measures verification capacity, not
+// offered load.
+const pipelineOfferedLoad = 100_000
+
+// pipelineScenario builds a preverify-bound scenario: small requests at a
+// load far beyond one verify core's signature-check capacity, so throughput
+// scales with verify cores until the apply stage binds. The pair of
+// scenarios (1 core vs pipelineParallelCores) quantifies what hoisting
+// verification out of the state machine buys.
+func pipelineScenario(name string, cores int, o Options) BenchScenario {
+	o = o.withDefaults()
+	cfg := rbftConfig(1, 8, pipelineOfferedLoad, o)
+	cfg.VerifyCores = cores
+	return BenchScenario{Name: name, Config: cfg, RunTime: o.RunTime}
 }
 
 // RunBench executes one scenario and summarises it.

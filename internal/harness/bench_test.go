@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestBenchPipelineSpeedup pins the headline claim of the staged ingress
+// pipeline: under a preverify-bound load, parallelizing the verify stage
+// must buy at least 1.5x throughput over a single verify core. The
+// simulation is deterministic, so this is a stable bound, not a flaky
+// wall-clock benchmark.
+func TestBenchPipelineSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	o := Options{Quick: true}
+	serial := RunBench(pipelineScenario("pipeline-serial", 1, o))
+	parallel := RunBench(pipelineScenario("pipeline-parallel", pipelineParallelCores, o))
+	if serial.Throughput <= 0 {
+		t.Fatalf("serial scenario completed no requests: %+v", serial)
+	}
+	ratio := parallel.Throughput / serial.Throughput
+	t.Logf("pipeline-serial %.0f req/s, pipeline-parallel %.0f req/s, speedup %.2fx",
+		serial.Throughput, parallel.Throughput, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("pipeline-parallel/%d-core speedup %.2fx, want >= 1.5x (serial %.0f, parallel %.0f req/s)",
+			pipelineParallelCores, ratio, serial.Throughput, parallel.Throughput)
+	}
+}
+
+// TestBenchScenariosIncludePipeline keeps the BENCH_sim.json suite honest:
+// both pipeline scenarios must be part of the standard bench set.
+func TestBenchScenariosIncludePipeline(t *testing.T) {
+	names := make(map[string]bool)
+	for _, sc := range BenchScenarios(Options{Quick: true}) {
+		names[sc.Name] = true
+	}
+	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel"} {
+		if !names[want] {
+			t.Errorf("bench suite is missing scenario %q", want)
+		}
+	}
+}

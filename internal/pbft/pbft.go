@@ -50,6 +50,12 @@ type Config struct {
 	// WatermarkWindow is the width of the sequence window above the last
 	// stable checkpoint within which ordering may proceed.
 	WatermarkWindow types.SeqNum
+	// SigPreverified declares that the driver's ingress pipeline already
+	// verified VIEW-CHANGE signatures (including the copies embedded in
+	// NEW-VIEW) before handing messages to this replica, so the replica
+	// skips re-verifying them. core.Node sets this; replicas driven
+	// directly off the wire must leave it false.
+	SigPreverified bool
 }
 
 func (c *Config) withDefaults() Config {

@@ -70,7 +70,7 @@ func (in *Instance) onViewChange(vc *message.ViewChange) (Output, error) {
 	if vc.NewView < in.view {
 		return out, nil // stale
 	}
-	if vc.Node != in.cfg.Node {
+	if vc.Node != in.cfg.Node && !in.cfg.SigPreverified {
 		if err := in.keys.VerifyNodeSignature(vc.Node, vc.Body(), vc.Sig); err != nil {
 			return out, fmt.Errorf("pbft: VIEW-CHANGE signature from node %d: %w", vc.Node, err)
 		}
@@ -178,8 +178,10 @@ func (in *Instance) onNewView(nv *message.NewView, now time.Time) (Output, error
 		if vc.Instance != in.cfg.Instance || vc.NewView != nv.View {
 			return out, fmt.Errorf("pbft: NEW-VIEW embeds mismatched VIEW-CHANGE (instance %d, view %d)", vc.Instance, vc.NewView)
 		}
-		if err := in.keys.VerifyNodeSignature(vc.Node, vc.Body(), vc.Sig); err != nil {
-			return out, fmt.Errorf("pbft: NEW-VIEW embedded signature from node %d: %w", vc.Node, err)
+		if !in.cfg.SigPreverified {
+			if err := in.keys.VerifyNodeSignature(vc.Node, vc.Body(), vc.Sig); err != nil {
+				return out, fmt.Errorf("pbft: NEW-VIEW embedded signature from node %d: %w", vc.Node, err)
+			}
 		}
 		seen[vc.Node] = true
 	}

@@ -52,6 +52,9 @@ type ClusterOptions struct {
 	// Tracer, when set, receives every node's protocol events (e.g. an
 	// obs.FlightRecorder for post-mortem inspection).
 	Tracer obs.Tracer
+	// IngressWorkers sets each node's preverify worker-pool size (0 means
+	// DefaultIngressWorkers()).
+	IngressWorkers int
 }
 
 // LocalCluster is a full RBFT cluster running inside one process, over
@@ -125,14 +128,19 @@ func StartLocalCluster(opts ClusterOptions) (*LocalCluster, error) {
 		if opts.Tune != nil {
 			opts.Tune(&cfg)
 		}
-		node := core.New(cfg, lc.ks.NodeRing(id))
+		ring := lc.ks.NodeRing(id)
+		// Derive the pairwise MAC keys up front so the ingress pipeline
+		// never pays key derivation under load.
+		ring.WarmPairKeys(cluster.N, opts.MaxClients)
+		node := core.New(cfg, ring)
 		if opts.Tracer != nil {
 			node.SetTracer(opts.Tracer)
 		}
 		if opts.Metrics != nil {
 			node.SetRegistry(opts.Metrics)
 		}
-		lc.nodes = append(lc.nodes, StartNode(node, transports[i], cluster))
+		lc.nodes = append(lc.nodes, StartNodeOpts(node, transports[i], cluster,
+			NodeOptions{IngressWorkers: opts.IngressWorkers}))
 	}
 	return lc, nil
 }

@@ -81,12 +81,19 @@ func TestDuplicateAndReplayedTraffic(t *testing.T) {
 	if done.ID != 1 {
 		t.Fatalf("request id = %d", done.ID)
 	}
-	// Re-submit the identical request id via a raw retransmission: the
-	// client runtime resends on timeout; emulate by submitting and waiting.
-	before := apps[0].Total(1)
-	// Give any stray duplicates time to (incorrectly) execute.
+	// Invoke returns on f+1 matching replies, which does not imply node 0
+	// has executed yet; wait until it has before asserting stability.
+	deadline := time.Now().Add(5 * time.Second)
+	for apps[0].Total(1) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 0 never executed the request: total %d", apps[0].Total(1))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Give any stray duplicates (client retransmissions, PROPAGATE echoes)
+	// time to (incorrectly) execute a second time.
 	time.Sleep(200 * time.Millisecond)
-	if after := apps[0].Total(1); after != before {
-		t.Fatalf("counter moved from %d to %d without new requests", before, after)
+	if after := apps[0].Total(1); after != 1 {
+		t.Fatalf("counter moved from 1 to %d without new requests", after)
 	}
 }

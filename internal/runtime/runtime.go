@@ -7,6 +7,7 @@ package runtime
 
 import (
 	"fmt"
+	stdruntime "runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -38,29 +39,97 @@ func parseName(name string) (kind string, id int, err error) {
 	return k, id, nil
 }
 
-// NodeRuntime runs one RBFT node over a transport.
+// NodeOptions tunes a node runtime.
+type NodeOptions struct {
+	// IngressWorkers is the number of verifier goroutines in the preverify
+	// stage (0 means DefaultIngressWorkers()).
+	IngressWorkers int
+}
+
+// DefaultIngressWorkers is the default preverify worker-pool size: one per
+// CPU, capped — past a handful of workers the serial apply stage is the
+// bottleneck and more verifiers only add scheduling noise.
+func DefaultIngressWorkers() int {
+	n := stdruntime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ingressQueueDepth bounds the in-flight ingress items between the reader,
+// the verifier pool and the apply loop. Beyond it the reader blocks and the
+// transport's own backpressure/drop policy takes over.
+const ingressQueueDepth = 1024
+
+// ingressItem is one raw frame travelling through the two-stage pipeline.
+// ready is closed by the verifier worker once v/err are populated; the
+// apply loop consumes items in arrival order and waits on ready, so apply
+// order is ingress order regardless of which worker finishes first.
+type ingressItem struct {
+	data       []byte
+	fromClient bool
+	client     types.ClientID
+	from       types.NodeID
+
+	ready chan struct{}
+	v     *message.Verified
+	err   error
+}
+
+// NodeRuntime runs one RBFT node over a transport using the two-stage
+// ingress pipeline (docs/PIPELINE.md): a reader goroutine classifies frames
+// and enqueues them, a pool of verifier goroutines runs the stateless
+// preverify stage concurrently, and the apply loop consumes verified items
+// in arrival order, feeding the node state machine under the mutex. Crypto
+// never runs under mu.
 type NodeRuntime struct {
 	cluster types.Config
 	tr      transport.Transport
+	pre     *message.Preverifier // stateless; shared by the verifier pool
 
 	mu   sync.Mutex
 	node *core.Node // guarded by mu
 
-	stop chan struct{}
-	done chan struct{}
+	work    chan *ingressItem // reader -> verifier pool
+	pending chan *ingressItem // reader -> apply loop, arrival-ordered
+	stop    chan struct{}
+	done    chan struct{} // apply loop exited
+	wg      sync.WaitGroup
 }
 
-// StartNode launches the event loop for node over tr. The caller retains no
-// right to touch node concurrently; use WithNode for synchronised access.
+// StartNode launches the pipeline for node over tr with default options.
+// The caller retains no right to touch node concurrently; use WithNode for
+// synchronised access.
 func StartNode(node *core.Node, tr transport.Transport, cluster types.Config) *NodeRuntime {
+	return StartNodeOpts(node, tr, cluster, NodeOptions{})
+}
+
+// StartNodeOpts launches the pipeline for node over tr.
+func StartNodeOpts(node *core.Node, tr transport.Transport, cluster types.Config, opts NodeOptions) *NodeRuntime {
+	workers := opts.IngressWorkers
+	if workers <= 0 {
+		workers = DefaultIngressWorkers()
+	}
 	nr := &NodeRuntime{
 		cluster: cluster,
 		tr:      tr,
+		pre:     node.Preverifier(),
 		node:    node,
+		work:    make(chan *ingressItem, ingressQueueDepth),
+		pending: make(chan *ingressItem, ingressQueueDepth),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	go nr.loop()
+	nr.wg.Add(1 + workers)
+	for i := 0; i < workers; i++ {
+		go nr.verifyLoop()
+	}
+	go nr.readLoop()
+	go nr.applyLoop()
 	return nr
 }
 
@@ -73,8 +142,8 @@ func (nr *NodeRuntime) WithNode(fn func(n *core.Node) core.Output) {
 	nr.emit(out)
 }
 
-// Stop terminates the event loop and waits for it to exit. The transport is
-// closed as part of shutdown.
+// Stop terminates the pipeline and waits for every stage to exit. The
+// transport is closed as part of shutdown.
 func (nr *NodeRuntime) Stop() {
 	select {
 	case <-nr.stop:
@@ -83,9 +152,80 @@ func (nr *NodeRuntime) Stop() {
 	}
 	nr.tr.Close()
 	<-nr.done
+	nr.wg.Wait()
 }
 
-func (nr *NodeRuntime) loop() {
+// readLoop classifies raw frames and enqueues them: into work first (so the
+// verifier pool can start, and so every item the apply loop ever sees is
+// guaranteed to become ready), then into pending to fix the apply order.
+func (nr *NodeRuntime) readLoop() {
+	defer nr.wg.Done()
+	defer close(nr.work)
+	defer close(nr.pending)
+	for p := range nr.tr.Packets() {
+		it := nr.classify(p)
+		if it == nil {
+			continue
+		}
+		select {
+		case nr.work <- it:
+		case <-nr.stop:
+			return
+		}
+		select {
+		case nr.pending <- it:
+		case <-nr.stop:
+			return
+		}
+	}
+}
+
+// classify parses the frame's origin; nil means an unattributable frame
+// (unknown endpoint name), dropped before it costs anything.
+func (nr *NodeRuntime) classify(p transport.Packet) *ingressItem {
+	kind, id, err := parseName(p.From)
+	if err != nil {
+		return nil
+	}
+	it := &ingressItem{data: p.Data, ready: make(chan struct{})}
+	switch kind {
+	case "client":
+		it.fromClient = true
+		it.client = types.ClientID(id)
+	case "node":
+		if id < 0 || id >= nr.cluster.N {
+			return nil
+		}
+		it.from = types.NodeID(id)
+	default:
+		return nil
+	}
+	return it
+}
+
+// verifyLoop is one verifier worker: it runs the stateless preverify stage
+// (decode + MAC/signature checks) with no access to node state, so any
+// number of workers can run concurrently while the apply loop holds mu.
+//
+//rbft:verifier
+func (nr *NodeRuntime) verifyLoop() {
+	defer nr.wg.Done()
+	for it := range nr.work {
+		if it.fromClient {
+			it.v, it.err = nr.pre.PreverifyClientFrame(it.data, it.client)
+		} else {
+			it.v, it.err = nr.pre.PreverifyNodeFrame(it.data, it.from)
+		}
+		close(it.ready)
+	}
+}
+
+// applyLoop consumes preverified items in arrival order and drives the node
+// state machine. Protocol timers are deadline-checked before every apply:
+// a saturated ingress queue must not starve batch deadlines or the
+// monitoring period, so overdue ticks fire ahead of the next message
+// rather than relying on select fairness.
+func (nr *NodeRuntime) applyLoop() {
 	defer close(nr.done)
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
@@ -94,11 +234,16 @@ func (nr *NodeRuntime) loop() {
 		select {
 		case <-nr.stop:
 			return
-		case p, ok := <-nr.tr.Packets():
+		case it, ok := <-nr.pending:
 			if !ok {
 				return
 			}
-			nr.handlePacket(p)
+			select {
+			case <-it.ready:
+			case <-nr.stop:
+				return
+			}
+			nr.apply(it)
 		case now := <-timer.C:
 			nr.mu.Lock()
 			out := nr.node.Tick(now)
@@ -106,6 +251,30 @@ func (nr *NodeRuntime) loop() {
 			nr.emit(out)
 		}
 	}
+}
+
+// apply feeds one verified (or rejected) item to the node, firing any
+// overdue timer first.
+func (nr *NodeRuntime) apply(it *ingressItem) {
+	now := time.Now()
+	var tickOut, out core.Output
+	nr.mu.Lock()
+	if wake := nr.node.NextWake(); !wake.IsZero() && !now.Before(wake) {
+		tickOut = nr.node.Tick(now)
+	}
+	if it.err != nil {
+		out = nr.node.OnIngressFailure(core.IngressFailure{
+			FromClient: it.fromClient,
+			Client:     it.client,
+			From:       it.from,
+			Kind:       message.FailKindOf(it.err),
+		}, now)
+	} else {
+		out = nr.node.OnVerified(it.v, now)
+	}
+	nr.mu.Unlock()
+	nr.emit(tickOut)
+	nr.emit(out)
 }
 
 // rearm points the timer at the node's next wake-up.
@@ -128,39 +297,6 @@ func (nr *NodeRuntime) rearm(timer *time.Timer) {
 		d = 0
 	}
 	timer.Reset(d)
-}
-
-func (nr *NodeRuntime) handlePacket(p transport.Packet) {
-	msg, err := message.Decode(p.Data)
-	if err != nil {
-		return // garbage frame
-	}
-	kind, id, err := parseName(p.From)
-	if err != nil {
-		return
-	}
-	now := time.Now()
-	var out core.Output
-	switch kind {
-	case "client":
-		req, ok := msg.(*message.Request)
-		if !ok || int(req.Client) != id {
-			return
-		}
-		nr.mu.Lock()
-		out = nr.node.OnClientRequest(req, now)
-		nr.mu.Unlock()
-	case "node":
-		if id < 0 || id >= nr.cluster.N {
-			return
-		}
-		nr.mu.Lock()
-		out = nr.node.OnNodeMessage(msg, types.NodeID(id), now)
-		nr.mu.Unlock()
-	default:
-		return
-	}
-	nr.emit(out)
 }
 
 // emit transmits a node output over the wire.

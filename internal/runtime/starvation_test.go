@@ -1,0 +1,64 @@
+package runtime
+
+import (
+	"bytes"
+	stdruntime "runtime"
+	"testing"
+	"time"
+
+	"rbft/internal/core"
+	"rbft/internal/types"
+)
+
+// TestTimerNotStarvedByIngressFlood pins the deadline-based timer fix in the
+// apply loop: protocol ticks must fire even when the ingress queue never
+// drains. The batch size is set far above the offered load, so the single
+// client request can only be ordered when the primary's BatchTimeout tick
+// fires — under a strict-FIFO apply loop a sustained garbage flood keeps the
+// pending queue non-empty and can postpone that tick indefinitely; with the
+// fix, any overdue tick runs ahead of the next queued frame.
+func TestTimerNotStarvedByIngressFlood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained-flood test")
+	}
+	lc, _ := startCluster(t, Mem, func(c *core.Config) {
+		// A batch never fills; ordering depends entirely on BatchTimeout.
+		c.BatchSize = 10000
+		c.BatchTimeout = 5 * time.Millisecond
+	})
+
+	// Flood every node with malformed frames from a fake client endpoint.
+	// The frames fail preverify (decode error), so they are cheap — the
+	// pressure is on the ingress queue, not the verifiers. memnet drops on
+	// overflow, so the flooder can spin without blocking; it yields each
+	// burst so single-CPU runs still schedule the pipelines it is flooding.
+	flood := lc.net.Endpoint(ClientName(60))
+	garbage := bytes.Repeat([]byte{0x7f}, 48)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for burst := 0; burst < 8; burst++ {
+					for i := 0; i < lc.Cluster.N; i++ {
+						_ = flood.Send(NodeName(types.NodeID(i)), garbage)
+					}
+				}
+				stdruntime.Gosched()
+			}
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	cr, err := lc.NewClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cr.Invoke([]byte("under-flood"), 15*time.Second); err != nil {
+		t.Fatalf("request starved under ingress flood: %v", err)
+	}
+}

@@ -115,11 +115,21 @@ func (c CostModel) Serialization(size int) time.Duration {
 
 func (c CostModel) serialization(size int) time.Duration { return c.Serialization(size) }
 
-// inCost models the CPU cost of receiving and verifying msg at a node.
-// firstSight reports whether this node sees the request body for the first
-// time (signature verification is charged once per request per node).
+// inCost models the CPU cost of receiving and verifying msg at a node. It
+// is by construction the sum of the two pipeline stages, so the serial
+// (VerifyCores=0) and pipelined charging models account the same total CPU
+// per message. firstSight reports whether this node sees the request body
+// for the first time (signature verification is charged once per request
+// per node).
 func (c CostModel) inCost(msg message.Message, firstSight bool) time.Duration {
-	cost := c.BaseProcess
+	return c.preverifyCost(msg, firstSight) + c.applyCost(msg)
+}
+
+// preverifyCost models the stateless verification stage: MAC/authenticator
+// checks, payload digests and signature verification. This is the portion
+// the pipelined model charges on the parallel verify cores.
+func (c CostModel) preverifyCost(msg message.Message, firstSight bool) time.Duration {
+	var cost time.Duration
 	// Replies are consumed by clients, which the cost model charges on the
 	// outbound side only.
 	//rbft:dispatch ignore=Reply
@@ -135,18 +145,33 @@ func (c CostModel) inCost(msg message.Message, firstSight bool) time.Duration {
 			cost += c.SigVerify
 		}
 	case *message.PrePrepare:
-		cost += c.MACVerify + time.Duration(len(m.Batch))*c.PerRefProcess +
-			c.hash(orderedPayloadCostFactor*len(m.Batch)*c.OrderedPayloadBytes)
+		cost += c.MACVerify + c.hash(orderedPayloadCostFactor*len(m.Batch)*c.OrderedPayloadBytes)
 	case *message.Prepare, *message.Commit, *message.Checkpoint, *message.InstanceChange, *message.Fetch:
 		cost += c.MACVerify
 	case *message.FetchResp:
-		cost += c.MACVerify + time.Duration(len(m.Batch))*c.PerRefProcess
+		cost += c.MACVerify
 	case *message.ViewChange:
 		cost += c.SigVerify
 	case *message.NewView:
 		cost += c.MACVerify + time.Duration(len(m.ViewChanges))*c.SigVerify
 	case *message.Invalid:
 		cost += c.MACVerify // verification fails, but the attempt costs CPU
+	}
+	return cost
+}
+
+// applyCost models the deterministic apply stage: fixed handling overhead
+// plus per-reference ordering bookkeeping. Charged on the node-module or
+// instance core the message routes to.
+func (c CostModel) applyCost(msg message.Message) time.Duration {
+	cost := c.BaseProcess
+	// Only batch-carrying messages have per-reference apply work.
+	//rbft:dispatch ignore=Request,Propagate,Prepare,Commit,Checkpoint,InstanceChange,Fetch,ViewChange,NewView,Invalid,Reply
+	switch m := msg.(type) {
+	case *message.PrePrepare:
+		cost += time.Duration(len(m.Batch)) * c.PerRefProcess
+	case *message.FetchResp:
+		cost += time.Duration(len(m.Batch)) * c.PerRefProcess
 	}
 	return cost
 }

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"rbft/internal/message"
+	"rbft/internal/obs"
+	"rbft/internal/types"
+)
+
+// sampleMessages covers every wire message type with non-trivial payloads,
+// so the cost-identity check exercises the per-ref and per-VC terms.
+func sampleMessages() []message.Message {
+	refs := []types.RequestRef{
+		{Client: 1, ID: 1}, {Client: 2, ID: 7}, {Client: 1, ID: 2},
+	}
+	vcs := []message.ViewChange{
+		{Instance: 0, NewView: 1, Node: 1},
+		{Instance: 0, NewView: 1, Node: 2},
+		{Instance: 0, NewView: 1, Node: 3},
+	}
+	return []message.Message{
+		&message.Request{Client: 1, ID: 3, Op: make([]byte, 4096)},
+		&message.Propagate{Req: message.Request{Client: 1, ID: 3, Op: make([]byte, 4096)}, Node: 2},
+		&message.PrePrepare{Instance: 0, Seq: 5, Batch: refs, Node: 0},
+		&message.Prepare{Instance: 1, Seq: 5, Node: 1},
+		&message.Commit{Instance: 0, Seq: 5, Node: 2},
+		&message.Reply{Client: 1, ID: 3, Node: 0},
+		&message.InstanceChange{CPI: 1, Node: 3},
+		&message.ViewChange{Instance: 0, NewView: 1, Node: 1},
+		&message.NewView{Instance: 0, View: 1, ViewChanges: vcs, Node: 1},
+		&message.Checkpoint{Instance: 0, Seq: 128, Node: 0},
+		&message.Invalid{Node: 1, Padding: make([]byte, 64)},
+		&message.Fetch{Instance: 0, FromSeq: 1, ToSeq: 4, Node: 2},
+		&message.FetchResp{Instance: 0, Seq: 2, Batch: refs, Node: 0},
+	}
+}
+
+// pipelineScenario is the determinism scenario with the pipelined ingress
+// charging model enabled on cores verify cores.
+func pipelineScenario(seed int64, cores int) Config {
+	cfg := determinismScenario(seed)
+	cfg.VerifyCores = cores
+	return cfg
+}
+
+// TestPipelinedSimByteIdenticalAcrossRuns extends the determinism gate to
+// the pipelined ingress model: for every configured verify-core count, two
+// same-seed runs must produce byte-identical results and JSONL traces. The
+// reorder handoff, the earliest-free-core selection and the verify-stage
+// scheduling must therefore be fully deterministic.
+func TestPipelinedSimByteIdenticalAcrossRuns(t *testing.T) {
+	for _, cores := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("cores=%d", cores), func(t *testing.T) {
+			run := func() ([]byte, []byte) {
+				var buf bytes.Buffer
+				w := obs.NewJSONLWriter(&buf)
+				cfg := pipelineScenario(7, cores)
+				cfg.Trace = w
+				res := New(cfg).Run(2 * time.Second)
+				if err := w.Err(); err != nil {
+					t.Fatalf("trace writer: %v", err)
+				}
+				return serialize(t, res), buf.Bytes()
+			}
+			resA, traceA := run()
+			resB, traceB := run()
+			if !bytes.Equal(resA, resB) {
+				t.Fatalf("same seed produced different results with %d verify cores:\n run1: %s\n run2: %s",
+					cores, resA, resB)
+			}
+			if !bytes.Equal(traceA, traceB) {
+				t.Fatalf("same seed produced different JSONL traces with %d verify cores", cores)
+			}
+			if len(traceA) == 0 {
+				t.Fatal("scenario emitted no trace events")
+			}
+		})
+	}
+}
+
+// TestPipelinedSimStillOrders sanity-checks that the pipelined model runs
+// the protocol to completion: requests complete and the throttling attack
+// still triggers an instance change, for any core count.
+func TestPipelinedSimStillOrders(t *testing.T) {
+	for _, cores := range []int{1, 3} {
+		res := New(pipelineScenario(7, cores)).Run(2 * time.Second)
+		if res.Completed == 0 {
+			t.Fatalf("pipelined run with %d verify cores completed no requests", cores)
+		}
+		if len(res.InstanceChanges) == 0 {
+			t.Fatalf("pipelined run with %d verify cores triggered no instance change", cores)
+		}
+	}
+}
+
+// TestPipelineChargesSameTotalCPU pins the cost-model identity the two
+// charging models rely on: for every message shape, preverifyCost +
+// applyCost must equal inCost, so switching models never changes the total
+// CPU a message is charged — only where it queues.
+func TestPipelineChargesSameTotalCPU(t *testing.T) {
+	c := DefaultCostModel()
+	c.OrderedPayloadBytes = 32 // exercise the ordered-payload terms too
+	for _, msg := range sampleMessages() {
+		for _, first := range []bool{false, true} {
+			got := c.preverifyCost(msg, first) + c.applyCost(msg)
+			want := c.inCost(msg, first)
+			if got != want {
+				t.Errorf("%s (first=%v): preverify+apply = %v, inCost = %v",
+					msg.MsgType(), first, got, want)
+			}
+		}
+	}
+}

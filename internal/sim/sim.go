@@ -50,6 +50,14 @@ type Config struct {
 	UDP bool
 	// Seed feeds the deterministic jitter source.
 	Seed int64
+	// VerifyCores selects the ingress charging model. 0 (the default) is the
+	// serial model: each message's full inCost is charged on the CPU queue
+	// that processes it. k >= 1 models the two-stage pipeline of the live
+	// runtime: preverifyCost is charged on k parallel verify cores (with
+	// queueing) and only applyCost on the node-module/instance cores, with
+	// an order-preserving handoff between the stages. Either model is
+	// deterministic for a fixed seed.
+	VerifyCores int
 
 	// BatchSize and BatchTimeout configure the ordering instances.
 	BatchSize    int
@@ -101,12 +109,19 @@ type Action struct {
 	Do func(s *Sim)
 }
 
-// cpuTask is one unit of work waiting on a node CPU queue.
+// cpuTask is one unit of work waiting on a node CPU queue. In the pipelined
+// model (VerifyCores >= 1), piped marks a task that already went through the
+// verify stage: v/verr carry the preverification outcome and only the apply
+// cost remains to be charged.
 type cpuTask struct {
 	msg      message.Message
 	from     types.NodeID
 	isClient bool
 	isTick   bool
+
+	piped bool
+	v     *message.Verified
+	verr  error
 }
 
 // cpuQueue is a single-server FIFO CPU queue (one core).
@@ -138,6 +153,17 @@ type simNode struct {
 	// sigSeen tracks request keys whose signature this node has already
 	// verified (signature cost charged once).
 	sigSeen map[types.RequestKey]bool
+	// verify models the parallel preverify cores of the pipelined ingress
+	// (nil in the serial model). An arriving message is charged on the
+	// earliest-free core (lowest index on ties).
+	verify []time.Time // busy-until per verify core
+	// ingressSeq numbers arrivals; reorder holds verified tasks until every
+	// earlier arrival has been handed to the apply stage, and nextApply is
+	// the next sequence to release. This is the simulated counterpart of the
+	// runtime's order-preserving handoff.
+	ingressSeq uint64
+	nextApply  uint64
+	reorder    map[uint64]cpuTask
 	// timerAt is the currently scheduled wake-up (zero if none).
 	timerAt time.Time
 	// trace is the node-stamped event sink for events the simulator itself
@@ -203,6 +229,10 @@ func New(cfg Config) *Sim {
 			sigSeen: make(map[types.RequestKey]bool),
 			trace:   obs.WithNode(sink, id),
 		}
+		if cfg.VerifyCores > 0 {
+			sn.verify = make([]time.Time, cfg.VerifyCores)
+			sn.reorder = make(map[uint64]cpuTask)
+		}
 		sn.node.SetTracer(sink)
 		if b, ok := cfg.NodeBehavior[id]; ok {
 			sn.node.SetBehavior(b)
@@ -265,39 +295,15 @@ func (s *Sim) Run(d time.Duration) *Result {
 
 // ---- node task processing ----
 
-// queueFor routes a message to the CPU queue that processes it.
+// queueFor routes a message to the CPU queue that processes it: node-level
+// messages on queue 0, per-instance protocol messages on their instance
+// core.
 func queueFor(msg message.Message, instances int) int {
-	inst, _, ok := instanceOf(msg)
+	inst, _, ok := message.InstanceAndSender(msg)
 	if ok && int(inst) < instances {
 		return 1 + int(inst)
 	}
 	return 0
-}
-
-func instanceOf(msg message.Message) (types.InstanceID, types.NodeID, bool) {
-	// Node-level messages are processed on CPU queue 0; only per-instance
-	// protocol messages route to an instance core.
-	//rbft:dispatch ignore=Request,Propagate,Reply,InstanceChange,Invalid
-	switch m := msg.(type) {
-	case *message.PrePrepare:
-		return m.Instance, m.Node, true
-	case *message.Prepare:
-		return m.Instance, m.Node, true
-	case *message.Commit:
-		return m.Instance, m.Node, true
-	case *message.Checkpoint:
-		return m.Instance, m.Node, true
-	case *message.ViewChange:
-		return m.Instance, m.Node, true
-	case *message.NewView:
-		return m.Instance, m.Node, true
-	case *message.Fetch:
-		return m.Instance, m.Node, true
-	case *message.FetchResp:
-		return m.Instance, m.Node, true
-	default:
-		return 0, 0, false
-	}
 }
 
 // enqueueTask appends a task to a node CPU queue, starting the queue if idle.
@@ -336,6 +342,9 @@ func (s *Sim) runTask(sn *simNode, task cpuTask) (time.Duration, core.Output) {
 		out := sn.node.Tick(s.now)
 		return s.outputCost(out), out
 	}
+	if task.piped {
+		return s.runApplyTask(sn, task)
+	}
 	first := s.chargeFirstSight(sn, task.msg)
 	cost := s.cfg.Cost.inCost(task.msg, first)
 	var out core.Output
@@ -349,6 +358,82 @@ func (s *Sim) runTask(sn *simNode, task cpuTask) (time.Duration, core.Output) {
 		out = sn.node.OnNodeMessage(task.msg, task.from, s.now)
 	}
 	return cost + s.outputCost(out), out
+}
+
+// runApplyTask invokes the apply stage for a task that already passed the
+// simulated verify cores; only the apply cost is charged here.
+func (s *Sim) runApplyTask(sn *simNode, task cpuTask) (time.Duration, core.Output) {
+	cost := s.cfg.Cost.applyCost(task.msg)
+	var out core.Output
+	if task.verr != nil {
+		f := core.IngressFailure{
+			FromClient: task.isClient,
+			From:       task.from,
+			Kind:       message.FailKindOf(task.verr),
+			Msg:        task.msg,
+		}
+		if req, ok := task.msg.(*message.Request); ok && task.isClient {
+			f.Client = req.Client
+		}
+		out = sn.node.OnIngressFailure(f, s.now)
+	} else {
+		out = sn.node.OnVerified(task.v, s.now)
+	}
+	return cost + s.outputCost(out), out
+}
+
+// ---- pipelined ingress (VerifyCores >= 1) ----
+
+// pipeIngress charges a message's stateless verification on the
+// earliest-free verify core and schedules the handoff to the apply stage.
+func (s *Sim) pipeIngress(sn *simNode, task cpuTask) {
+	seq := sn.ingressSeq
+	sn.ingressSeq++
+	first := s.chargeFirstSight(sn, task.msg)
+	cost := s.cfg.Cost.preverifyCost(task.msg, first)
+
+	// Earliest-free core, lowest index on ties: deterministic and
+	// work-conserving.
+	coreIdx := 0
+	for i := 1; i < len(sn.verify); i++ {
+		if sn.verify[i].Before(sn.verify[coreIdx]) {
+			coreIdx = i
+		}
+	}
+	start := s.now
+	if sn.verify[coreIdx].After(start) {
+		start = sn.verify[coreIdx]
+	}
+	done := start.Add(cost)
+	sn.verify[coreIdx] = done
+	s.schedule(done, func() { s.verifyDone(sn, seq, task) })
+}
+
+// verifyDone runs the actual (fast-mode) preverification for one message and
+// parks the outcome in the reorder buffer until every earlier arrival has
+// been released, preserving ingress order into the apply queues.
+func (s *Sim) verifyDone(sn *simNode, seq uint64, task cpuTask) {
+	pre := sn.node.Preverifier()
+	if task.isClient {
+		if req, ok := task.msg.(*message.Request); ok {
+			task.v, task.verr = pre.PreverifyClient(req, req.Client)
+		} else {
+			task.verr = &message.PreverifyError{Kind: message.FailMalformed}
+		}
+	} else {
+		task.v, task.verr = pre.PreverifyNode(task.msg, task.from)
+	}
+	task.piped = true
+	sn.reorder[seq] = task
+	for {
+		next, ok := sn.reorder[sn.nextApply]
+		if !ok {
+			return
+		}
+		delete(sn.reorder, sn.nextApply)
+		sn.nextApply++
+		s.enqueueTask(sn, queueFor(next.msg, s.cluster.Instances()), next)
+	}
 }
 
 // chargeFirstSight reports whether msg carries a request body this node has
@@ -448,8 +533,12 @@ func (s *Sim) deliverToNode(sn *simNode, msg message.Message, from types.NodeID,
 			delete(sn.closed, from)
 		}
 	}
-	q := queueFor(msg, s.cluster.Instances())
-	s.enqueueTask(sn, q, cpuTask{msg: msg, from: from, isClient: isClient})
+	task := cpuTask{msg: msg, from: from, isClient: isClient}
+	if sn.verify != nil {
+		s.pipeIngress(sn, task)
+		return
+	}
+	s.enqueueTask(sn, queueFor(msg, s.cluster.Instances()), task)
 }
 
 // sendNodeToClient transmits a reply over the node's client NIC.

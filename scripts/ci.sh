@@ -20,6 +20,10 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/runtime/... ./internal/transport/... ./internal/client/... ./internal/obs/...
 
+echo "== fuzz smoke (internal/message) =="
+go test ./internal/message -run '^$' -fuzz '^FuzzDecode$' -fuzztime 5s
+go test ./internal/message -run '^$' -fuzz '^FuzzPreverify$' -fuzztime 5s
+
 echo "== bench smoke (BENCH_sim.json) =="
 go run ./cmd/rbft-bench -exp bench -quick -json BENCH_sim.json
 

@@ -14,6 +14,13 @@
 //     composite literal (initialisation before publication);
 //   - explicit suppression: //rbft:ignore lockdiscipline -- <reason>.
 //
+// Functions annotated `//rbft:verifier` (the concurrent preverify stage of
+// the ingress pipeline, docs/PIPELINE.md) are held to a stricter rule: they
+// may not access any guarded field at all, and may not acquire or release a
+// mutex. The verify stage is stateless by contract — a verifier worker that
+// reaches for the node lock either reintroduces crypto-under-mutex or races
+// the apply loop.
+//
 // The copy check flags value parameters, value results, value receivers,
 // plain-assignment copies and range-value copies of any type that
 // transitively contains a sync.Mutex, sync.RWMutex, sync.WaitGroup,
@@ -69,6 +76,10 @@ func run(pass *framework.Pass) error {
 			}
 			checkCopiesInSignature(pass, fd)
 			if fd.Body == nil {
+				continue
+			}
+			if isVerifierFunc(fd) {
+				checkVerifierBody(pass, guards, fd)
 				continue
 			}
 			checkFuncBody(pass, guards, fd.Name.Name, fd.Body)
@@ -195,6 +206,62 @@ func checkFuncBody(pass *framework.Pass, guards map[*types.Named]map[string]guar
 		}
 		pass.Reportf(a.pos, "%s.%s is guarded by %s.%s, which this function never locks (suffix the name with Locked if the caller holds it)", a.base, a.field, a.base, a.mutex)
 	}
+}
+
+// ---- verifier-stage discipline ----
+
+// isVerifierFunc reports whether fd carries a //rbft:verifier annotation in
+// its doc comment. Directive-style comments are stripped by CommentGroup.Text,
+// so the raw comment list is scanned.
+func isVerifierFunc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "rbft:verifier") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkVerifierBody enforces the stateless-verify-stage contract: no access
+// to any guarded field (locked or not) and no mutex acquisition or release
+// anywhere in the function. There are no exemptions — a verifier worker that
+// needs node state belongs in the apply stage.
+func checkVerifierBody(pass *framework.Pass, guards map[*types.Named]map[string]guardedField, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if base, mu, kind := mutexCall(n); kind != "" {
+				pass.Reportf(n.Pos(), "verifier function %s calls %s.%s.%s; the preverify stage must run lock-free", name, base, mu, kind)
+			}
+		case *ast.SelectorExpr:
+			if a, ok := guardedAccess(pass, guards, n); ok {
+				pass.Reportf(a.pos, "verifier function %s accesses %s.%s (guarded by %s.%s); verifier goroutines must not touch guarded state", name, a.base, a.field, a.base, a.mutex)
+			}
+		}
+		return true
+	})
+}
+
+// mutexCall matches base.mu.{Lock,RLock,Unlock,RUnlock} calls.
+func mutexCall(call *ast.CallExpr) (base, mu, kind string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	return types.ExprString(inner.X), inner.Sel.Name, sel.Sel.Name
 }
 
 // guardedAccess reports whether sel is base.field where field is guarded in

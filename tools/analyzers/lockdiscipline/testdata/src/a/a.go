@@ -55,6 +55,29 @@ func (r *Registry) Racy() bool {
 	return r.done
 }
 
+// good: a verifier worker that only touches unguarded state.
+//
+//rbft:verifier
+func (r *Registry) verifyClean() int {
+	return r.hits
+}
+
+// bad: a verifier worker reaching into guarded state and taking the lock.
+//
+//rbft:verifier
+func (r *Registry) verifyDirty(k string) int {
+	r.mu.Lock()         // want `verifier function verifyDirty calls r\.mu\.Lock; the preverify stage must run lock-free`
+	defer r.mu.Unlock() // want `verifier function verifyDirty calls r\.mu\.Unlock; the preverify stage must run lock-free`
+	return r.entries[k] // want `verifier function verifyDirty accesses r\.entries \(guarded by r\.mu\); verifier goroutines must not touch guarded state`
+}
+
+// bad: holding no lock does not excuse a verifier touching guarded state.
+//
+//rbft:verifier
+func (r *Registry) verifySneaky() bool {
+	return r.done // want `verifier function verifySneaky accesses r\.done \(guarded by r\.mu\); verifier goroutines must not touch guarded state`
+}
+
 // bad: value receiver copies the mutex.
 func (r Registry) Copied() int { // want `value receiver copies a lock`
 	return r.hits
