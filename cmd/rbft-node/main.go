@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"rbft/internal/transport/tcpnet"
 	"rbft/internal/transport/udpnet"
 	"rbft/internal/types"
+	"rbft/internal/wal"
 )
 
 func main() {
@@ -55,6 +57,7 @@ func run() error {
 		period     = flag.Duration("period", 250*time.Millisecond, "monitoring period")
 		obsAddr    = flag.String("obs-addr", "", "observability HTTP listen address serving /metrics and /debug/events (empty = disabled)")
 		recorder   = flag.Int("recorder", obs.DefaultRecorderSize, "flight-recorder capacity in events (0 = disabled)")
+		dataDir    = flag.String("data-dir", "", "durable state directory; when set, protocol state is written to a WAL under it before any message is sent, and a restart recovers from it (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -131,11 +134,27 @@ func run() error {
 			Delta:  *delta,
 		},
 		BatchTimeout: 2 * time.Millisecond,
+		Durable:      *dataDir != "",
 	}
 	node := core.New(cfg, ks.NodeRing(types.NodeID(*id)))
 	node.SetTracer(tracer)
 	node.SetRegistry(reg)
-	nr := runtime.StartNode(node, tr, cluster)
+
+	// Durability: open (or recover) the WAL before the node says a word on
+	// the network. Everything the node has ever promised is replayed into it
+	// here, so a SIGKILL + restart cannot make it equivocate.
+	var w *wal.Log
+	if *dataDir != "" {
+		w, err = runtime.OpenNodeWAL(node, wal.Options{Dir: filepath.Join(*dataDir, "wal")}, reg)
+		if err != nil {
+			return err
+		}
+		if n := w.Replayed(); n > 0 {
+			log.Printf("recovered from %s: replayed %d WAL records", *dataDir, n)
+		}
+	}
+
+	nr := runtime.StartNodeOpts(node, tr, cluster, runtime.NodeOptions{WAL: w})
 	log.Printf("rbft-node %d/%d listening on %s (f=%d, %d instances, transport=%s)",
 		*id, cluster.N, *listen, *f, cluster.Instances(), transportName(*udp))
 
@@ -152,9 +171,48 @@ func run() error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Printf("shutting down")
+	s := <-sig
+	log.Printf("%s: shutting down", s)
+
+	// Graceful shutdown: stop the pipeline first (no new outputs), then make
+	// everything already appended durable and release the segment files, and
+	// finally preserve the flight recorder's tail for post-mortem reading.
 	nr.Stop()
+	if w != nil {
+		if err := w.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		} else {
+			log.Printf("wal flushed and closed")
+		}
+	}
+	if fr != nil && *dataDir != "" {
+		if err := dumpRecorder(fr, filepath.Join(*dataDir, "flight-recorder.jsonl")); err != nil {
+			log.Printf("flight recorder dump: %v", err)
+		}
+	}
+	return nil
+}
+
+// dumpRecorder writes the flight recorder's buffered events as JSONL so a
+// crash investigation can read the node's last moments after the process is
+// gone (the /debug/events endpoint dies with it).
+func dumpRecorder(fr *obs.FlightRecorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	jw := obs.NewJSONLWriter(f)
+	for _, ev := range fr.Events() {
+		jw.Trace(ev)
+	}
+	if err := jw.Err(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("flight recorder dumped to %s", path)
 	return nil
 }
 

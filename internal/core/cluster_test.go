@@ -10,6 +10,7 @@ import (
 	"rbft/internal/message"
 	"rbft/internal/pbft"
 	"rbft/internal/types"
+	"rbft/internal/wal"
 )
 
 // nodeCluster wires N core.Nodes and a set of clients through an in-memory
@@ -28,6 +29,9 @@ type nodeCluster struct {
 	completed map[types.ClientID][]client.Completed
 	executed  map[types.NodeID][]types.RequestRef
 	icEvents  []ICEvent
+	// records accumulates each node's durability log in emission order,
+	// playing the role of that node's WAL for restart tests.
+	records map[types.NodeID][]wal.Record
 	// linkDown[from][to] drops node-to-node traffic.
 	linkDown map[types.NodeID]map[types.NodeID]bool
 }
@@ -54,6 +58,7 @@ func newNodeCluster(t *testing.T, f int, tweak func(*Config)) *nodeCluster {
 		clients:   make(map[types.ClientID]*client.Client),
 		completed: make(map[types.ClientID][]client.Completed),
 		executed:  make(map[types.NodeID][]types.RequestRef),
+		records:   make(map[types.NodeID][]wal.Record),
 		linkDown:  make(map[types.NodeID]map[types.NodeID]bool),
 	}
 	for i := 0; i < cfg.N; i++ {
@@ -104,6 +109,7 @@ func (nc *nodeCluster) sendRequest(id types.ClientID, op []byte, onlyTo ...types
 
 func (nc *nodeCluster) collect(from types.NodeID, out Output) {
 	nc.icEvents = append(nc.icEvents, out.InstanceChanges...)
+	nc.records[from] = append(nc.records[from], out.Records...)
 	for _, ex := range out.Executions {
 		nc.executed[from] = append(nc.executed[from], ex.Ref)
 	}

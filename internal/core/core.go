@@ -19,6 +19,7 @@ import (
 	"rbft/internal/obs"
 	"rbft/internal/pbft"
 	"rbft/internal/types"
+	"rbft/internal/wal"
 )
 
 // Config parameterises an RBFT node.
@@ -55,6 +56,11 @@ type Config struct {
 	FloodWindow time.Duration
 	// NICClosePeriod is how long a flooding peer's NIC stays closed.
 	NICClosePeriod time.Duration
+
+	// Durable makes the node (and its replicas) attach wal.Records to
+	// Outputs for crash-survivable state; the driver must persist an
+	// output's records before transmitting its messages (see durability.go).
+	Durable bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -133,6 +139,9 @@ type Output struct {
 	// OrderedByInstance counts refs delivered per instance in this step
 	// (index = instance id); used by harnesses to sample monitoring data.
 	OrderedByInstance []int
+	// Records are durability records the driver must make crash-safe
+	// *before* transmitting NodeMsgs/ClientMsgs (only when Config.Durable).
+	Records []wal.Record
 }
 
 func (o *Output) merge(other Output) {
@@ -141,6 +150,7 @@ func (o *Output) merge(other Output) {
 	o.Executions = append(o.Executions, other.Executions...)
 	o.InstanceChanges = append(o.InstanceChanges, other.InstanceChanges...)
 	o.NICCloses = append(o.NICCloses, other.NICCloses...)
+	o.Records = append(o.Records, other.Records...)
 	if other.OrderedByInstance != nil {
 		if o.OrderedByInstance == nil {
 			o.OrderedByInstance = make([]int, len(other.OrderedByInstance))
@@ -245,6 +255,7 @@ func New(cfg Config, keys *crypto.KeyRing) *Node {
 			// (including the copies embedded in NEW-VIEW) before the replica
 			// ever sees them; don't pay for them twice.
 			SigPreverified: true,
+			Durable:        c.Durable,
 		}
 		n.replicas = append(n.replicas, pbft.New(pc, keys))
 	}
@@ -672,6 +683,7 @@ func (n *Node) applyInstanceMessage(msg message.Message, from types.NodeID, now 
 // batches.
 func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Output {
 	var out Output
+	out.Records = append(out.Records, res.Records...)
 	for _, ob := range res.Msgs {
 		out.NodeMsgs = append(out.NodeMsgs, NodeSend{To: ob.To, Msg: ob.Msg})
 	}
@@ -718,6 +730,10 @@ func (n *Node) execute(ref types.RequestRef, now time.Time) Output {
 		return out
 	}
 	n.executed[key] = true
+	n.journal(&out, wal.Record{
+		Kind: wal.KindExecuted, Client: ref.Client, Req: ref.ID,
+		Digest: ref.Digest, Op: body.Op,
+	})
 	result := n.cfg.App.Execute(ref.Client, ref.ID, body.Op)
 	if n.tr.Enabled() {
 		n.tr.Trace(obs.Event{

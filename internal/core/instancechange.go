@@ -7,6 +7,7 @@ import (
 	"rbft/internal/monitor"
 	"rbft/internal/obs"
 	"rbft/internal/types"
+	"rbft/internal/wal"
 )
 
 // voteInstanceChange broadcasts this node's INSTANCE-CHANGE for the current
@@ -75,6 +76,9 @@ func (n *Node) checkInstanceChangeQuorum(reason monitor.Reason, now time.Time) O
 		NewView: n.view,
 		Reason:  reason,
 	})
+	// Journal before the replicas' view-change records so a replay sees the
+	// node-level transition first, exactly as it happened.
+	n.journal(&out, wal.Record{Kind: wal.KindInstanceChange, CPI: n.cpi, View: n.view})
 	if n.tr.Enabled() {
 		n.tr.Trace(obs.Event{
 			At: now, Type: obs.EvInstanceChangeComplete,

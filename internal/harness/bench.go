@@ -45,7 +45,36 @@ func BenchScenarios(o Options) []BenchScenario {
 		build("worst-attack-2", attack2Config),
 		pipelineScenario("pipeline-serial", 1, o),
 		pipelineScenario("pipeline-parallel", pipelineParallelCores, o),
+		walScenario("wal-serial-fsync", sim.DurabilitySerialFsync, o),
+		walScenario("wal-group-commit", sim.DurabilityGroupCommit, o),
 	}
+}
+
+// walFsyncLatency is the modelled device fsync latency of the WAL bench
+// pair. It is deliberately a slow commodity disk (SATA SSD / HDD class):
+// with one fsync per records-bearing output the device serializes the whole
+// ordering pipeline, which is exactly the pathology group commit exists to
+// remove.
+const walFsyncLatency = 2 * time.Millisecond
+
+// walDiskBandwidth is the WAL device's sequential write bandwidth; records
+// are small, so fsync latency dominates and this mostly guards the model
+// against free bulk writes.
+const walDiskBandwidth = 200e6
+
+// walScenario builds a durability-bound scenario: the standard fault-free
+// workload with the modelled WAL switched on. The pair (serial fsync vs
+// group commit) quantifies what batching fsyncs buys: serial fsync caps the
+// node at ~1/FsyncLatency records-bearing outputs per second, while group
+// commit amortises one fsync across every output of a flush interval.
+func walScenario(name string, mode sim.DurabilityMode, o Options) BenchScenario {
+	o = o.withDefaults()
+	const size = 8
+	cfg := rbftConfig(1, size, loadFor(1, size), o)
+	cfg.Durability = mode
+	cfg.Cost.FsyncLatency = walFsyncLatency
+	cfg.Cost.DiskBandwidth = walDiskBandwidth
+	return BenchScenario{Name: name, Config: cfg, RunTime: o.RunTime}
 }
 
 // pipelineParallelCores is the verify-core count of the pipeline-parallel

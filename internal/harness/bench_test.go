@@ -2,6 +2,8 @@ package harness
 
 import (
 	"testing"
+
+	"rbft/internal/sim"
 )
 
 // TestBenchPipelineSpeedup pins the headline claim of the staged ingress
@@ -35,9 +37,32 @@ func TestBenchScenariosIncludePipeline(t *testing.T) {
 	for _, sc := range BenchScenarios(Options{Quick: true}) {
 		names[sc.Name] = true
 	}
-	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel"} {
+	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel", "wal-serial-fsync", "wal-group-commit"} {
 		if !names[want] {
 			t.Errorf("bench suite is missing scenario %q", want)
 		}
+	}
+}
+
+// TestBenchWALGroupCommitSpeedup pins the headline claim of the WAL's group
+// commit: on a slow-fsync device, batching fsyncs must buy at least 2x
+// throughput over one fsync per records-bearing output. Deterministic
+// simulation makes this a stable bound.
+func TestBenchWALGroupCommitSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	o := Options{Quick: true}
+	serial := RunBench(walScenario("wal-serial-fsync", sim.DurabilitySerialFsync, o))
+	group := RunBench(walScenario("wal-group-commit", sim.DurabilityGroupCommit, o))
+	if serial.Throughput <= 0 {
+		t.Fatalf("serial-fsync scenario completed no requests: %+v", serial)
+	}
+	ratio := group.Throughput / serial.Throughput
+	t.Logf("wal-serial-fsync %.0f req/s, wal-group-commit %.0f req/s, speedup %.2fx",
+		serial.Throughput, group.Throughput, ratio)
+	if ratio < 2 {
+		t.Fatalf("group-commit/serial-fsync speedup %.2fx, want >= 2x (serial %.0f, group %.0f req/s)",
+			ratio, serial.Throughput, group.Throughput)
 	}
 }

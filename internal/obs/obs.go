@@ -56,6 +56,11 @@ const (
 	EvNICClose // nic-close
 	// EvMsgDrop: the driver or transport dropped a message from Peer.
 	EvMsgDrop // msg-drop
+	// EvNodeCrash: the node crashed, losing all non-durable state.
+	EvNodeCrash // node-crash
+	// EvNodeRestart: the node restarted and recovered from its WAL; Count
+	// carries the number of replayed records.
+	EvNodeRestart // node-restart
 )
 
 // String returns the stable wire name used in JSONL traces.
@@ -87,6 +92,10 @@ func (t EventType) String() string {
 		return "nic-close"
 	case EvMsgDrop:
 		return "msg-drop"
+	case EvNodeCrash:
+		return "node-crash"
+	case EvNodeRestart:
+		return "node-restart"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -94,7 +103,7 @@ func (t EventType) String() string {
 
 // ParseEventType maps a wire name back to its EventType.
 func ParseEventType(s string) (EventType, bool) {
-	for t := EvRequestReceived; t <= EvMsgDrop; t++ {
+	for t := EvRequestReceived; t <= EvNodeRestart; t++ {
 		if t.String() == s {
 			return t, true
 		}

@@ -23,7 +23,7 @@ func (c *capture) Trace(ev Event) { c.events = append(c.events, ev) }
 func (c *capture) last() Event    { return c.events[len(c.events)-1] }
 
 func TestEventTypeRoundTrip(t *testing.T) {
-	for typ := EvRequestReceived; typ <= EvMsgDrop; typ++ {
+	for typ := EvRequestReceived; typ <= EvNodeRestart; typ++ {
 		name := typ.String()
 		if strings.HasPrefix(name, "event(") {
 			t.Fatalf("event type %d has no wire name", typ)

@@ -30,6 +30,7 @@ import (
 	"rbft/internal/message"
 	"rbft/internal/obs"
 	"rbft/internal/types"
+	"rbft/internal/wal"
 )
 
 // Config parameterises one protocol instance replica.
@@ -56,6 +57,11 @@ type Config struct {
 	// skips re-verifying them. core.Node sets this; replicas driven
 	// directly off the wire must leave it false.
 	SigPreverified bool
+	// Durable makes the replica attach wal.Records to its Outputs for every
+	// state transition that must survive a crash (see durability.go). The
+	// driver must persist an output's records before transmitting its
+	// messages. Off by default: a diskless replica pays nothing.
+	Durable bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -119,6 +125,9 @@ type Output struct {
 	Msgs []Outbound
 	// Delivered are batches that became committed, in sequence order.
 	Delivered []Batch
+	// Records are durability records the driver must make crash-safe
+	// *before* transmitting Msgs (only populated when Config.Durable).
+	Records []wal.Record
 }
 
 func (o *Output) send(to []types.NodeID, m message.Message) {
@@ -128,6 +137,7 @@ func (o *Output) send(to []types.NodeID, m message.Message) {
 func (o *Output) merge(other Output) {
 	o.Msgs = append(o.Msgs, other.Msgs...)
 	o.Delivered = append(o.Delivered, other.Delivered...)
+	o.Records = append(o.Records, other.Records...)
 }
 
 // entry tracks the three-phase state of one sequence number.
@@ -180,6 +190,13 @@ type Instance struct {
 	recentDelivered map[types.SeqNum]deliveredBatch
 	fetch           *fetchState
 
+	// Crash-recovery state (see durability.go): promises replayed from the
+	// WAL that the live protocol must never contradict, and the transient
+	// accumulator used while a replay is in progress.
+	promisedPrepare map[types.SeqNum]promise
+	promisedCommit  map[types.SeqNum]promise
+	restore         *restoreState
+
 	// Delayed PRE-PREPAREs (malicious primary attack hook).
 	delayed     []delayedSend
 	lastPropose time.Time
@@ -223,6 +240,8 @@ func New(cfg Config, keys *crypto.KeyRing) *Instance {
 		checkpoints:       make(map[types.SeqNum]map[types.NodeID]types.Digest),
 		viewChanges:       make(map[types.View]map[types.NodeID]*message.ViewChange),
 		recentDelivered:   make(map[types.SeqNum]deliveredBatch),
+		promisedPrepare:   make(map[types.SeqNum]promise),
+		promisedCommit:    make(map[types.SeqNum]promise),
 		tr:                obs.Nop{},
 	}
 }
@@ -457,6 +476,7 @@ func (in *Instance) prePrepareDelayFor(batch []types.RequestRef) time.Duration {
 func (in *Instance) emitPrePrepare(pp *message.PrePrepare, now time.Time) Output {
 	var out Output
 	if !in.behavior.Silent {
+		in.journal(&out, wal.Record{Kind: wal.KindSentPrePrepare, View: pp.View, Seq: pp.Seq, Refs: pp.Batch})
 		pp.Auth = in.keys.AuthenticatorForNodes(in.cfg.Cluster.N, pp.Body())
 		out.send(nil, pp)
 	}
@@ -563,6 +583,11 @@ func (in *Instance) maybePrepare(seq types.SeqNum, e *entry, now time.Time) Outp
 	if !e.havePP || e.waiting > 0 {
 		return out
 	}
+	if conflicts(in.promisedPrepare, seq, e) {
+		// We already vouched for a different batch at this (view, seq)
+		// before the crash; preparing this one would be equivocation.
+		return out
+	}
 	if !in.IsPrimary() && !e.sentPrep {
 		e.sentPrep = true
 		// Our own PREPARE counts toward the 2f quorum (PBFT counts the
@@ -570,6 +595,7 @@ func (in *Instance) maybePrepare(seq types.SeqNum, e *entry, now time.Time) Outp
 		// progress with f silent faulty replicas.
 		e.prepares[in.cfg.Node] = e.digest
 		if !in.behavior.Silent {
+			in.journal(&out, wal.Record{Kind: wal.KindSentPrepare, View: e.view, Seq: seq, Digest: e.digest})
 			p := &message.Prepare{
 				Instance: in.cfg.Instance,
 				View:     e.view,
@@ -621,6 +647,11 @@ func (in *Instance) checkPrepared(seq types.SeqNum, e *entry, now time.Time) Out
 	if matching < in.cfg.Cluster.PrepareQuorum() {
 		return out
 	}
+	if conflicts(in.promisedCommit, seq, e) {
+		// A COMMIT for a different digest at this (view, seq) is already on
+		// the wire from before the crash; never contradict it.
+		return out
+	}
 	e.sentComm = true
 	if in.tr.Enabled() {
 		in.tr.Trace(obs.Event{
@@ -629,6 +660,7 @@ func (in *Instance) checkPrepared(seq types.SeqNum, e *entry, now time.Time) Out
 		})
 	}
 	if !in.behavior.Silent {
+		in.journal(&out, wal.Record{Kind: wal.KindSentCommit, View: e.view, Seq: seq, Digest: e.digest})
 		c := &message.Commit{
 			Instance: in.cfg.Instance,
 			View:     e.view,
@@ -735,6 +767,7 @@ func chainDigest(prev, batch types.Digest) types.Digest {
 func (in *Instance) emitCheckpoint(seq types.SeqNum, now time.Time) Output {
 	var out Output
 	in.checkpointDigests[seq] = in.logDigest
+	in.journal(&out, wal.Record{Kind: wal.KindCheckpoint, Seq: seq, Digest: in.logDigest})
 	if !in.behavior.Silent {
 		cp := &message.Checkpoint{
 			Instance: in.cfg.Instance,
@@ -783,6 +816,7 @@ func (in *Instance) recordCheckpoint(seq types.SeqNum, node types.NodeID, digest
 		}
 	}
 	if matching >= in.cfg.Cluster.Quorum() && seq > in.stableSeq {
+		in.journal(&out, wal.Record{Kind: wal.KindStable, Seq: seq, Digest: own})
 		in.stabilize(seq)
 		// Stabilising widens the watermark window; a primary stalled on the
 		// window can now cut its backlog.
@@ -812,6 +846,16 @@ func (in *Instance) stabilize(seq types.SeqNum) {
 	for s := range in.checkpointDigests {
 		if s < seq {
 			delete(in.checkpointDigests, s)
+		}
+	}
+	for s := range in.promisedPrepare {
+		if s <= seq {
+			delete(in.promisedPrepare, s)
+		}
+	}
+	for s := range in.promisedCommit {
+		if s <= seq {
+			delete(in.promisedCommit, s)
 		}
 	}
 	// Drop delivered-ref records old enough that no re-proposal can

@@ -7,6 +7,7 @@ import (
 
 	"rbft/internal/message"
 	"rbft/internal/types"
+	"rbft/internal/wal"
 )
 
 // StartViewChange moves the replica into view change toward newView. In RBFT
@@ -33,6 +34,7 @@ func (in *Instance) StartViewChange(newView types.View, now time.Time) Output {
 		Node:      in.cfg.Node,
 	}
 	vc.Sig = in.keys.Sign(vc.Body())
+	in.journal(&out, wal.Record{Kind: wal.KindViewChange, View: newView})
 	if !in.behavior.Silent {
 		out.send(nil, vc)
 	}
@@ -210,6 +212,7 @@ func (in *Instance) onNewView(nv *message.NewView, now time.Time) (Output, error
 // requests so nothing in flight is lost.
 func (in *Instance) installNewView(nv *message.NewView) Output {
 	var out Output
+	in.journal(&out, wal.Record{Kind: wal.KindNewView, View: nv.View})
 	in.view = nv.View
 	in.inViewChange = false
 	in.stats.ViewChanges++

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"rbft/internal/app"
@@ -15,6 +16,7 @@ import (
 	"rbft/internal/transport/tcpnet"
 	"rbft/internal/transport/udpnet"
 	"rbft/internal/types"
+	"rbft/internal/wal"
 )
 
 // TransportKind selects the wire for a local cluster.
@@ -55,6 +57,13 @@ type ClusterOptions struct {
 	// IngressWorkers sets each node's preverify worker-pool size (0 means
 	// DefaultIngressWorkers()).
 	IngressWorkers int
+	// DataDir, when set, turns on durability: each node keeps a WAL under
+	// DataDir/node-<i>, persists crash-survivable state before it becomes
+	// externally visible, and recovers from it on (re)start.
+	DataDir string
+	// WALTune adjusts each node's WAL options (group-commit interval and
+	// thresholds) before the log is opened. Only used with DataDir.
+	WALTune func(o *wal.Options)
 }
 
 // LocalCluster is a full RBFT cluster running inside one process, over
@@ -67,6 +76,7 @@ type LocalCluster struct {
 	ks    *crypto.KeyStore
 	net   *memnet.Network
 	nodes []*NodeRuntime
+	wals  []*wal.Log        // per node; nil entries without DataDir
 	addrs map[string]string // endpoint name -> dial address (tcp/udp)
 
 	clients []*ClientRuntime
@@ -110,39 +120,121 @@ func StartLocalCluster(opts ClusterOptions) (*LocalCluster, error) {
 	lc.connectPeers(transports)
 
 	// Second pass: start the nodes.
+	lc.nodes = make([]*NodeRuntime, cluster.N)
+	lc.wals = make([]*wal.Log, cluster.N)
 	for i := 0; i < cluster.N; i++ {
-		id := types.NodeID(i)
-		cfg := core.Config{
-			Cluster: cluster,
-			Node:    id,
-			Monitoring: monitor.Config{
-				Period:      250 * time.Millisecond,
-				Delta:       0.5,
-				MinRequests: 32,
-			},
-			BatchTimeout: 2 * time.Millisecond,
+		if err := lc.startNode(types.NodeID(i), transports[i]); err != nil {
+			lc.Stop()
+			return nil, err
 		}
-		if opts.NewApp != nil {
-			cfg.App = opts.NewApp(id)
-		}
-		if opts.Tune != nil {
-			opts.Tune(&cfg)
-		}
-		ring := lc.ks.NodeRing(id)
-		// Derive the pairwise MAC keys up front so the ingress pipeline
-		// never pays key derivation under load.
-		ring.WarmPairKeys(cluster.N, opts.MaxClients)
-		node := core.New(cfg, ring)
-		if opts.Tracer != nil {
-			node.SetTracer(opts.Tracer)
-		}
-		if opts.Metrics != nil {
-			node.SetRegistry(opts.Metrics)
-		}
-		lc.nodes = append(lc.nodes, StartNodeOpts(node, transports[i], cluster,
-			NodeOptions{IngressWorkers: opts.IngressWorkers}))
 	}
 	return lc, nil
+}
+
+// startNode builds node id (recovering it from its WAL when durability is
+// on) and launches its runtime over tr. Used both at boot and by
+// RestartNode.
+func (lc *LocalCluster) startNode(id types.NodeID, tr transport.Transport) error {
+	cfg := core.Config{
+		Cluster: lc.Cluster,
+		Node:    id,
+		Monitoring: monitor.Config{
+			Period:      250 * time.Millisecond,
+			Delta:       0.5,
+			MinRequests: 32,
+		},
+		BatchTimeout: 2 * time.Millisecond,
+		Durable:      lc.opts.DataDir != "",
+	}
+	if lc.opts.NewApp != nil {
+		cfg.App = lc.opts.NewApp(id)
+	}
+	if lc.opts.Tune != nil {
+		lc.opts.Tune(&cfg)
+	}
+	ring := lc.ks.NodeRing(id)
+	// Derive the pairwise MAC keys up front so the ingress pipeline
+	// never pays key derivation under load.
+	ring.WarmPairKeys(lc.Cluster.N, lc.opts.MaxClients)
+	node := core.New(cfg, ring)
+	if lc.opts.Tracer != nil {
+		node.SetTracer(lc.opts.Tracer)
+	}
+	if lc.opts.Metrics != nil {
+		node.SetRegistry(lc.opts.Metrics)
+	}
+
+	var w *wal.Log
+	if lc.opts.DataDir != "" {
+		wopts := wal.Options{Dir: filepath.Join(lc.opts.DataDir, fmt.Sprintf("node-%d", id))}
+		if lc.opts.WALTune != nil {
+			lc.opts.WALTune(&wopts)
+		}
+		var err error
+		w, err = OpenNodeWAL(node, wopts, lc.opts.Metrics)
+		if err != nil {
+			return fmt.Errorf("runtime: node %d: %w", id, err)
+		}
+	}
+	lc.wals[id] = w
+	lc.nodes[id] = StartNodeOpts(node, tr, lc.Cluster,
+		NodeOptions{IngressWorkers: lc.opts.IngressWorkers, WAL: w})
+	return nil
+}
+
+// OpenNodeWAL opens (or creates) a node's WAL and replays it into the
+// freshly constructed node, which must have been built with Durable set and
+// must not have processed any input yet. Recovery is instrumented on reg:
+// rbft_wal_recovery_us holds the last replay's duration and
+// rbft_wal_replayed_records how many records it carried.
+func OpenNodeWAL(node *core.Node, wopts wal.Options, reg *obs.Registry) (*wal.Log, error) {
+	start := time.Now()
+	w, err := wal.Open(wopts)
+	if err != nil {
+		return nil, fmt.Errorf("open wal: %w", err)
+	}
+	w.SetMetrics(reg)
+	if _, err := node.Restore(w.Replay); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("recover from wal: %w", err)
+	}
+	if reg != nil {
+		reg.Gauge("rbft_wal_recovery_us").Set(time.Since(start).Microseconds())
+		reg.Gauge("rbft_wal_replayed_records").Set(int64(w.Replayed()))
+	}
+	return w, nil
+}
+
+// RestartNode simulates a crash and recovery of node id: the runtime is
+// stopped and discarded, and a brand-new node (fresh application instance
+// included) is rebuilt purely from the WAL in the cluster's data directory,
+// rejoining on the same endpoint name. Requires DataDir.
+func (lc *LocalCluster) RestartNode(id types.NodeID) error {
+	if lc.opts.DataDir == "" {
+		return fmt.Errorf("runtime: RestartNode requires ClusterOptions.DataDir")
+	}
+	lc.nodes[id].Stop()
+	if w := lc.wals[id]; w != nil {
+		w.Close()
+		lc.wals[id] = nil
+	}
+	tr, err := lc.listen(NodeName(id))
+	if err != nil {
+		return err
+	}
+	if lc.opts.Transport != Mem {
+		// The reborn endpoint has a new port: refresh everyone's peer table.
+		lc.addPeersTo(tr)
+		for i, nr := range lc.nodes {
+			if types.NodeID(i) != id {
+				lc.addPeersTo(nr.tr)
+			}
+		}
+		for _, cr := range lc.clients {
+			lc.addPeersTo(cr.tr)
+		}
+	}
+	return lc.startNode(id, tr)
 }
 
 // listen creates one endpoint of the configured kind.
@@ -224,12 +316,20 @@ func (lc *LocalCluster) NewClient(id types.ClientID) (*ClientRuntime, error) {
 // Node returns the runtime of node i (fault injection in tests).
 func (lc *LocalCluster) Node(i types.NodeID) *NodeRuntime { return lc.nodes[i] }
 
-// Stop shuts down all clients and nodes.
+// Stop shuts down all clients and nodes, flushing and closing any WALs.
 func (lc *LocalCluster) Stop() {
 	for _, cr := range lc.clients {
 		cr.Stop()
 	}
 	for _, nr := range lc.nodes {
-		nr.Stop()
+		if nr != nil {
+			nr.Stop()
+		}
+	}
+	for i, w := range lc.wals {
+		if w != nil {
+			w.Close()
+			lc.wals[i] = nil
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"rbft/internal/message"
 	"rbft/internal/transport"
 	"rbft/internal/types"
+	"rbft/internal/wal"
 )
 
 // NodeName returns the canonical endpoint name of a node.
@@ -44,6 +45,12 @@ type NodeOptions struct {
 	// IngressWorkers is the number of verifier goroutines in the preverify
 	// stage (0 means DefaultIngressWorkers()).
 	IngressWorkers int
+	// WAL, when set, receives every durability record the node emits; an
+	// output's records are persisted (group-committed and fsynced) before
+	// any of its messages are transmitted. The node must have been built
+	// with core.Config.Durable, and restored from this log, by the caller.
+	// The caller keeps ownership: close it after Stop returns.
+	WAL *wal.Log
 }
 
 // DefaultIngressWorkers is the default preverify worker-pool size: one per
@@ -90,6 +97,7 @@ type NodeRuntime struct {
 	cluster types.Config
 	tr      transport.Transport
 	pre     *message.Preverifier // stateless; shared by the verifier pool
+	wal     *wal.Log             // nil unless durability is on
 
 	mu   sync.Mutex
 	node *core.Node // guarded by mu
@@ -118,6 +126,7 @@ func StartNodeOpts(node *core.Node, tr transport.Transport, cluster types.Config
 		cluster: cluster,
 		tr:      tr,
 		pre:     node.Preverifier(),
+		wal:     opts.WAL,
 		node:    node,
 		work:    make(chan *ingressItem, ingressQueueDepth),
 		pending: make(chan *ingressItem, ingressQueueDepth),
@@ -299,8 +308,24 @@ func (nr *NodeRuntime) rearm(timer *time.Timer) {
 	timer.Reset(d)
 }
 
-// emit transmits a node output over the wire.
+// emit transmits a node output over the wire, persisting its durability
+// records first. emit runs outside nr.mu: appends are cheap buffer copies,
+// but WaitDurable blocks for an fsync and must never stall ingress (the
+// //rbft:wal lock rule).
 func (nr *NodeRuntime) emit(out core.Output) {
+	if nr.wal != nil && len(out.Records) > 0 {
+		lsn, err := nr.wal.Append(out.Records...)
+		if err == nil {
+			err = nr.wal.WaitDurable(lsn)
+		}
+		if err != nil {
+			// A node that cannot persist must not speak: swallowing the
+			// output is indistinguishable from crashing here, and the
+			// protocol tolerates crashes. Sending anyway could equivocate
+			// after a restart.
+			return
+		}
+	}
 	nr.mu.Lock()
 	self := nr.node.ID()
 	nr.mu.Unlock()

@@ -52,6 +52,15 @@ type CostModel struct {
 	// paper measured UDP latency 18-22% below TCP.
 	TCPExtraLatency time.Duration
 
+	// FsyncLatency is the device latency of one fsync — the dominant cost
+	// of making a WAL batch durable. Zero (the default) models an
+	// infinitely fast disk; the durability scenarios set it explicitly.
+	FsyncLatency time.Duration
+	// DiskBandwidth is the sequential write bandwidth of the WAL device in
+	// bytes/second (zero means the write itself is free and only
+	// FsyncLatency is charged).
+	DiskBandwidth float64
+
 	// OrderedPayloadBytes models the ablation where protocol instances
 	// order whole requests instead of request identifiers (§VI-B: RBFT's
 	// 4kB peak drops from 5 to 1.8 kreq/s). Each PRE-PREPARE is charged
@@ -203,6 +212,16 @@ func (c CostModel) outCost(msg message.Message, n int) time.Duration {
 	default:
 		return 0
 	}
+}
+
+// DiskWrite returns the time to persist size bytes durably: a sequential
+// write at DiskBandwidth followed by one fsync.
+func (c CostModel) DiskWrite(size int) time.Duration {
+	d := c.FsyncLatency
+	if c.DiskBandwidth > 0 {
+		d += time.Duration(float64(size) / c.DiskBandwidth * float64(time.Second))
+	}
+	return d
 }
 
 // execCost models executing one request of the given operation size.

@@ -73,6 +73,20 @@ type Config struct {
 	FloodWindow    time.Duration
 	NICClosePeriod time.Duration
 
+	// Durability selects the modelled WAL mode (default none). With
+	// durability on, every node logs crash-survivable state and an output's
+	// messages are released only after its records' modelled flush
+	// completes (log before send, exactly as internal/runtime enforces).
+	Durability DurabilityMode
+	// GroupCommitInterval is the flush interval of the modelled group-commit
+	// WAL (default 2ms, matching wal.Options).
+	GroupCommitInterval time.Duration
+	// Crashes schedules deterministic node crash/restart events. A crashed
+	// node loses every non-durable structure — CPU queues, un-fsynced WAL
+	// batches, in-flight verification — and recovers from its durable log
+	// image when it restarts.
+	Crashes []Crash
+
 	// Workload drives the clients.
 	Workload Workload
 
@@ -169,6 +183,23 @@ type simNode struct {
 	// trace is the node-stamped event sink for events the simulator itself
 	// emits on this node's behalf (monitor samples, NIC-closure drops).
 	trace obs.Tracer
+
+	// ---- modelled durability and crash state (see durability.go) ----
+	// epoch invalidates scheduled events that captured a pre-crash node
+	// incarnation; crashed drops deliveries while the node is down.
+	epoch   int
+	crashed bool
+	// durable is the node's on-disk WAL image (encoded records); it is the
+	// ONLY state that survives a crash.
+	durable []byte
+	// diskBusyUntil serializes flushes on the node's single WAL device.
+	diskBusyUntil time.Time
+	// pendingFlush and flushWaiters hold the group-commit batch that has
+	// been appended but not yet fsynced, and the output emissions waiting
+	// on it; both are lost on crash.
+	pendingFlush []byte
+	flushWaiters []func()
+	flushArmed   bool
 }
 
 // Sim is one simulation run.
@@ -177,6 +208,7 @@ type Sim struct {
 	cluster types.Config
 	ks      *crypto.KeyStore
 	rng     *rand.Rand
+	sink    obs.Tracer // every node's event sink (metrics + optional trace)
 
 	events eventHeap
 	seq    uint64
@@ -205,42 +237,51 @@ func New(cfg Config) *Sim {
 	}
 	// Every node's events feed the metrics aggregator, and additionally the
 	// configured trace sink (JSONL etc.) when one is installed.
-	sink := obs.Multi(s.metrics, cfg.Trace)
+	s.sink = obs.Multi(s.metrics, cfg.Trace)
 	for i := 0; i < cluster.N; i++ {
 		id := types.NodeID(i)
-		nodeCfg := core.Config{
-			Cluster:            cluster,
-			Node:               id,
-			BatchSize:          cfg.BatchSize,
-			BatchTimeout:       cfg.BatchTimeout,
-			CheckpointInterval: cfg.CheckpointInterval,
-			WatermarkWindow:    cfg.WatermarkWindow,
-			Monitoring:         cfg.Monitoring,
-			FloodThreshold:     cfg.FloodThreshold,
-			FloodWindow:        cfg.FloodWindow,
-			NICClosePeriod:     cfg.NICClosePeriod,
-		}
 		sn := &simNode{
-			node:    core.New(nodeCfg, s.ks.NodeRing(id)),
+			node:    s.newCoreNode(id),
 			id:      id,
 			queues:  make([]cpuQueue, cluster.Instances()+1),
 			peerTx:  make([]link, cluster.N),
 			closed:  make(map[types.NodeID]time.Time),
 			sigSeen: make(map[types.RequestKey]bool),
-			trace:   obs.WithNode(sink, id),
+			trace:   obs.WithNode(s.sink, id),
 		}
 		if cfg.VerifyCores > 0 {
 			sn.verify = make([]time.Time, cfg.VerifyCores)
 			sn.reorder = make(map[uint64]cpuTask)
 		}
-		sn.node.SetTracer(sink)
-		if b, ok := cfg.NodeBehavior[id]; ok {
-			sn.node.SetBehavior(b)
-		}
 		s.nodes = append(s.nodes, sn)
 	}
 	s.setupClients()
 	return s
+}
+
+// newCoreNode builds a fresh node state machine for id — used at start-up
+// and again when a crashed node restarts (recovery then replays the durable
+// log into it).
+func (s *Sim) newCoreNode(id types.NodeID) *core.Node {
+	nodeCfg := core.Config{
+		Cluster:            s.cluster,
+		Node:               id,
+		BatchSize:          s.cfg.BatchSize,
+		BatchTimeout:       s.cfg.BatchTimeout,
+		CheckpointInterval: s.cfg.CheckpointInterval,
+		WatermarkWindow:    s.cfg.WatermarkWindow,
+		Monitoring:         s.cfg.Monitoring,
+		FloodThreshold:     s.cfg.FloodThreshold,
+		FloodWindow:        s.cfg.FloodWindow,
+		NICClosePeriod:     s.cfg.NICClosePeriod,
+		Durable:            s.cfg.Durability != DurabilityNone,
+	}
+	node := core.New(nodeCfg, s.ks.NodeRing(id))
+	node.SetTracer(s.sink)
+	if b, ok := s.cfg.NodeBehavior[id]; ok {
+		node.SetBehavior(b)
+	}
+	return node
 }
 
 // Cluster returns the cluster configuration of the run.
@@ -273,6 +314,11 @@ func (s *Sim) Run(d time.Duration) *Result {
 	for _, a := range s.cfg.Script {
 		act := a
 		s.schedule(act.At, func() { act.Do(s) })
+	}
+	for _, c := range s.cfg.Crashes {
+		cr := c
+		s.schedule(cr.At, func() { s.crashNode(cr.Node) })
+		s.schedule(cr.At.Add(cr.Down), func() { s.restartNode(cr.Node) })
 	}
 	if s.cfg.MonitorSampleEvery > 0 {
 		s.schedule(start.Add(s.cfg.MonitorSampleEvery), s.sampleMonitors)
@@ -328,8 +374,12 @@ func (s *Sim) startNextTask(sn *simNode, q int) {
 
 	cost, out := s.runTask(sn, task)
 	done := s.now.Add(cost)
+	ep := sn.epoch
 	s.schedule(done, func() {
-		s.emitOutputs(sn, out)
+		if sn.epoch != ep {
+			return // the node crashed while this task was "running"
+		}
+		s.persistThenEmit(sn, out)
 		s.armNodeTimer(sn)
 		s.startNextTask(sn, q)
 	})
@@ -406,7 +456,13 @@ func (s *Sim) pipeIngress(sn *simNode, task cpuTask) {
 	}
 	done := start.Add(cost)
 	sn.verify[coreIdx] = done
-	s.schedule(done, func() { s.verifyDone(sn, seq, task) })
+	ep := sn.epoch
+	s.schedule(done, func() {
+		if sn.epoch != ep {
+			return // crashed mid-verification; the frame is lost
+		}
+		s.verifyDone(sn, seq, task)
+	})
 }
 
 // verifyDone runs the actual (fast-mode) preverification for one message and
@@ -522,6 +578,9 @@ func (s *Sim) sendNodeToNodeSized(from *simNode, to types.NodeID, msg message.Me
 // deliverToNode enqueues an arrived message unless the sender's NIC is
 // closed (dropped at zero CPU cost).
 func (s *Sim) deliverToNode(sn *simNode, msg message.Message, from types.NodeID, isClient bool) {
+	if sn.crashed {
+		return // the host is down; frames on the wire are lost
+	}
 	if !isClient {
 		if until, closed := sn.closed[from]; closed {
 			if s.now.Before(until) {
@@ -581,6 +640,9 @@ func (s *Sim) armNodeTimer(sn *simNode) {
 
 func (s *Sim) fireNodeTimer(sn *simNode) {
 	sn.timerAt = time.Time{}
+	if sn.crashed {
+		return
+	}
 	wake := sn.node.NextWake()
 	if wake.IsZero() {
 		return

@@ -18,11 +18,12 @@ echo "== go test ./... =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/runtime/... ./internal/transport/... ./internal/client/... ./internal/obs/...
+go test -race ./internal/runtime/... ./internal/transport/... ./internal/client/... ./internal/obs/... ./internal/wal/...
 
-echo "== fuzz smoke (internal/message) =="
+echo "== fuzz smoke (internal/message, internal/wal) =="
 go test ./internal/message -run '^$' -fuzz '^FuzzDecode$' -fuzztime 5s
 go test ./internal/message -run '^$' -fuzz '^FuzzPreverify$' -fuzztime 5s
+go test ./internal/wal -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s
 
 echo "== bench smoke (BENCH_sim.json) =="
 go run ./cmd/rbft-bench -exp bench -quick -json BENCH_sim.json

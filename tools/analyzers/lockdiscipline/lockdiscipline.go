@@ -21,6 +21,13 @@
 // reaches for the node lock either reintroduces crypto-under-mutex or races
 // the apply loop.
 //
+// Functions annotated `//rbft:wal` (the fsync and segment-I/O path of the
+// write-ahead log, docs/DURABILITY.md) are held to the same lock-free rule:
+// no mutex acquisition or release and no guarded-field access. Disk I/O is
+// the slowest thing a node does — an fsync that runs under the log (or
+// node) mutex stalls every appender for milliseconds and re-serializes the
+// pipeline that group commit exists to keep full.
+//
 // The copy check flags value parameters, value results, value receivers,
 // plain-assignment copies and range-value copies of any type that
 // transitively contains a sync.Mutex, sync.RWMutex, sync.WaitGroup,
@@ -48,6 +55,7 @@ var Analyzer = &framework.Analyzer{
 var concurrentPackages = []string{
 	"rbft/internal/runtime",
 	"rbft/internal/transport",
+	"rbft/internal/wal",
 }
 
 func inScope(pkgPath string) bool {
@@ -79,7 +87,11 @@ func run(pass *framework.Pass) error {
 				continue
 			}
 			if isVerifierFunc(fd) {
-				checkVerifierBody(pass, guards, fd)
+				checkLockFreeBody(pass, guards, fd, "verifier", "the preverify stage must run lock-free", "verifier goroutines must not touch guarded state")
+				continue
+			}
+			if isWALFunc(fd) {
+				checkLockFreeBody(pass, guards, fd, "wal I/O", "fsync and segment I/O must not run under a mutex", "the WAL I/O path must not touch guarded state")
 				continue
 			}
 			checkFuncBody(pass, guards, fd.Name.Name, fd.Body)
@@ -208,38 +220,48 @@ func checkFuncBody(pass *framework.Pass, guards map[*types.Named]map[string]guar
 	}
 }
 
-// ---- verifier-stage discipline ----
+// ---- lock-free-stage discipline (//rbft:verifier, //rbft:wal) ----
 
-// isVerifierFunc reports whether fd carries a //rbft:verifier annotation in
-// its doc comment. Directive-style comments are stripped by CommentGroup.Text,
-// so the raw comment list is scanned.
-func isVerifierFunc(fd *ast.FuncDecl) bool {
+// hasDirective reports whether fd carries the given //rbft:<name> annotation
+// in its doc comment. Directive-style comments are stripped by
+// CommentGroup.Text, so the raw comment list is scanned.
+func hasDirective(fd *ast.FuncDecl, directive string) bool {
 	if fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
-		if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "rbft:verifier") {
+		if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), directive) {
 			return true
 		}
 	}
 	return false
 }
 
-// checkVerifierBody enforces the stateless-verify-stage contract: no access
-// to any guarded field (locked or not) and no mutex acquisition or release
-// anywhere in the function. There are no exemptions — a verifier worker that
-// needs node state belongs in the apply stage.
-func checkVerifierBody(pass *framework.Pass, guards map[*types.Named]map[string]guardedField, fd *ast.FuncDecl) {
+// isVerifierFunc matches the //rbft:verifier annotation: the stateless
+// preverify stage of the ingress pipeline.
+func isVerifierFunc(fd *ast.FuncDecl) bool { return hasDirective(fd, "rbft:verifier") }
+
+// isWALFunc matches the //rbft:wal annotation: the fsync/segment-I/O path of
+// the write-ahead log.
+func isWALFunc(fd *ast.FuncDecl) bool { return hasDirective(fd, "rbft:wal") }
+
+// checkLockFreeBody enforces the lock-free contract shared by the verifier
+// and WAL-I/O stages: no access to any guarded field (locked or not) and no
+// mutex acquisition or release anywhere in the function. There are no
+// exemptions — a verifier that needs node state belongs in the apply stage,
+// and an fsync that needs the log mutex belongs on the flusher's unlocked
+// side.
+func checkLockFreeBody(pass *framework.Pass, guards map[*types.Named]map[string]guardedField, fd *ast.FuncDecl, role, lockMsg, guardMsg string) {
 	name := fd.Name.Name
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			if base, mu, kind := mutexCall(n); kind != "" {
-				pass.Reportf(n.Pos(), "verifier function %s calls %s.%s.%s; the preverify stage must run lock-free", name, base, mu, kind)
+				pass.Reportf(n.Pos(), "%s function %s calls %s.%s.%s; %s", role, name, base, mu, kind, lockMsg)
 			}
 		case *ast.SelectorExpr:
 			if a, ok := guardedAccess(pass, guards, n); ok {
-				pass.Reportf(a.pos, "verifier function %s accesses %s.%s (guarded by %s.%s); verifier goroutines must not touch guarded state", name, a.base, a.field, a.base, a.mutex)
+				pass.Reportf(a.pos, "%s function %s accesses %s.%s (guarded by %s.%s); %s", role, name, a.base, a.field, a.base, a.mutex, guardMsg)
 			}
 		}
 		return true

@@ -17,6 +17,7 @@ func TestScope(t *testing.T) {
 		"rbft/internal/transport":        true,
 		"rbft/internal/transport/tcpnet": true,
 		"rbft/internal/transport/memnet": true,
+		"rbft/internal/wal":              true,
 		"rbft/internal/core":             false,
 		"rbft/internal/sim":              false,
 	} {

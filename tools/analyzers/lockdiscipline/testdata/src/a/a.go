@@ -95,3 +95,26 @@ func sweep(rs []Registry) {
 		_ = r
 	}
 }
+
+// good: a WAL I/O helper that works only on its arguments.
+//
+//rbft:wal
+func walWriteClean(data []byte) int {
+	return len(data)
+}
+
+// bad: WAL I/O running under the log mutex.
+//
+//rbft:wal
+func (r *Registry) walWriteDirty(k string) int {
+	r.mu.Lock()         // want `wal I/O function walWriteDirty calls r\.mu\.Lock; fsync and segment I/O must not run under a mutex`
+	defer r.mu.Unlock() // want `wal I/O function walWriteDirty calls r\.mu\.Unlock; fsync and segment I/O must not run under a mutex`
+	return r.entries[k] // want `wal I/O function walWriteDirty accesses r\.entries \(guarded by r\.mu\); the WAL I/O path must not touch guarded state`
+}
+
+// bad: holding no lock does not excuse the I/O path touching guarded state.
+//
+//rbft:wal
+func (r *Registry) walSneaky() bool {
+	return r.done // want `wal I/O function walSneaky accesses r\.done \(guarded by r\.mu\); the WAL I/O path must not touch guarded state`
+}
