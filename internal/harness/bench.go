@@ -47,7 +47,42 @@ func BenchScenarios(o Options) []BenchScenario {
 		pipelineScenario("pipeline-parallel", pipelineParallelCores, o),
 		walScenario("wal-serial-fsync", sim.DurabilitySerialFsync, o),
 		walScenario("wal-group-commit", sim.DurabilityGroupCommit, o),
+		egressScenario("egress-per-message", 0, o),
+		egressScenario("egress-coalesced", egressCoalesce, o),
 	}
+}
+
+// egressPacketOverheadBytes is the modelled per-physical-frame wire overhead
+// of the egress bench pair: Ethernet + IP + TCP headers plus the length
+// prefix, ~66 bytes — what every protocol message pays when it travels as
+// its own frame.
+const egressPacketOverheadBytes = 66
+
+// egressLinkBandwidth is the egress pair's link speed, ~16 Mbit/s. It is
+// deliberately slow enough that the wire (not crypto) is the bottleneck:
+// RBFT messages are ~100-200 bytes, so at this speed per-frame overhead is a
+// third of every transmission and framing policy decides throughput. On the
+// default Gigabit model the same workload is CPU-bound and the pair would
+// measure nothing.
+const egressLinkBandwidth = 2e6
+
+// egressCoalesce is the coalescing bound of the egress-coalesced scenario,
+// matching the runtime's egressMaxCoalesce.
+const egressCoalesce = 64
+
+// egressScenario builds a wire-bound scenario: the standard small-request
+// workload with per-packet overhead charged and the link slowed until it is
+// the bottleneck. The pair (per-message vs coalesced) quantifies what the
+// frame-coalescing batch writer buys: one packet overhead per flush instead
+// of one per protocol message.
+func egressScenario(name string, coalesce int, o Options) BenchScenario {
+	o = o.withDefaults()
+	const size = 8
+	cfg := rbftConfig(1, size, loadFor(1, size), o)
+	cfg.Cost.PacketOverheadBytes = egressPacketOverheadBytes
+	cfg.Cost.LinkBandwidth = egressLinkBandwidth
+	cfg.EgressCoalesce = coalesce
+	return BenchScenario{Name: name, Config: cfg, RunTime: o.RunTime}
 }
 
 // walFsyncLatency is the modelled device fsync latency of the WAL bench

@@ -37,10 +37,34 @@ func TestBenchScenariosIncludePipeline(t *testing.T) {
 	for _, sc := range BenchScenarios(Options{Quick: true}) {
 		names[sc.Name] = true
 	}
-	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel", "wal-serial-fsync", "wal-group-commit"} {
+	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel", "wal-serial-fsync", "wal-group-commit", "egress-per-message", "egress-coalesced"} {
 		if !names[want] {
 			t.Errorf("bench suite is missing scenario %q", want)
 		}
+	}
+}
+
+// TestBenchEgressCoalescingSpeedup pins the headline claim of the egress
+// pipeline's frame coalescing: on a wire-bound configuration with realistic
+// per-packet overhead, flushing queued messages as coalesced batch frames
+// must buy at least 1.3x throughput over one physical frame per message.
+// Deterministic simulation makes this a stable bound.
+func TestBenchEgressCoalescingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	o := Options{Quick: true}
+	perMessage := RunBench(egressScenario("egress-per-message", 0, o))
+	coalesced := RunBench(egressScenario("egress-coalesced", egressCoalesce, o))
+	if perMessage.Throughput <= 0 {
+		t.Fatalf("per-message scenario completed no requests: %+v", perMessage)
+	}
+	ratio := coalesced.Throughput / perMessage.Throughput
+	t.Logf("egress-per-message %.0f req/s, egress-coalesced %.0f req/s, speedup %.2fx",
+		perMessage.Throughput, coalesced.Throughput, ratio)
+	if ratio < 1.3 {
+		t.Fatalf("coalesced/per-message speedup %.2fx, want >= 1.3x (per-message %.0f, coalesced %.0f req/s)",
+			ratio, perMessage.Throughput, coalesced.Throughput)
 	}
 }
 

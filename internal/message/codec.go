@@ -22,43 +22,53 @@ const maxFieldLen = 16 << 20
 
 func putU64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
 
-// writer is an append-only encoding buffer.
-type writer struct{ b []byte }
+// Append-style encoding helpers. Each appends its encoding to b and returns
+// the result; with sufficient capacity in b none of them allocates, which is
+// what makes the EncodedSize-hinted Marshal path zero-allocation.
 
-func (w *writer) u8(v uint8) { w.b = append(w.b, v) }
-func (w *writer) u32(v uint32) {
-	var buf [4]byte
-	binary.BigEndian.PutUint32(buf[:], v)
-	w.b = append(w.b, buf[:]...)
+func appendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
-func (w *writer) u64(v uint64) {
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], v)
-	w.b = append(w.b, buf[:]...)
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
-func (w *writer) bytes(p []byte) {
-	w.u32(uint32(len(p)))
-	w.b = append(w.b, p...)
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
 }
 
-func (w *writer) digest(d types.Digest) { w.b = append(w.b, d[:]...) }
+func appendDigest(b []byte, d types.Digest) []byte { return append(b, d[:]...) }
 
-func (w *writer) refs(refs []types.RequestRef) {
-	w.u32(uint32(len(refs)))
-	for _, r := range refs {
-		w.u64(uint64(r.Client))
-		w.u64(uint64(r.ID))
-		w.digest(r.Digest)
+// refSize is the encoded length of one types.RequestRef.
+const refSize = 8 + 8 + types.DigestSize
+
+// refsSize is the encoded length of a request-reference list.
+func refsSize(refs []types.RequestRef) int { return 4 + len(refs)*refSize }
+
+func appendRefs(b []byte, refs []types.RequestRef) []byte {
+	b = appendU32(b, uint32(len(refs)))
+	for i := range refs {
+		b = appendU64(b, uint64(refs[i].Client))
+		b = appendU64(b, uint64(refs[i].ID))
+		b = appendDigest(b, refs[i].Digest)
 	}
+	return b
 }
 
-func (w *writer) auth(a crypto.Authenticator) {
-	w.u32(uint32(len(a)))
-	for _, m := range a {
-		w.b = append(w.b, m[:]...)
+// authSize is the encoded length of a MAC authenticator.
+func authSize(a crypto.Authenticator) int { return 4 + len(a)*crypto.MACSize }
+
+func appendAuth(b []byte, a crypto.Authenticator) []byte {
+	b = appendU32(b, uint32(len(a)))
+	for i := range a {
+		b = append(b, a[i][:]...)
 	}
+	return b
 }
 
 // reader decodes from a byte slice, latching the first error.

@@ -33,23 +33,26 @@ var _ Message = (*Fetch)(nil)
 // MsgType implements Message.
 func (m *Fetch) MsgType() Type { return TypeFetch }
 
-// Body implements Message.
-func (m *Fetch) Body() []byte {
-	var w writer
-	w.u8(uint8(TypeFetch))
-	w.u64(uint64(m.Instance))
-	w.u64(uint64(m.FromSeq))
-	w.u64(uint64(m.ToSeq))
-	w.u64(uint64(m.Node))
-	return w.b
+// fetchBodySize is the fixed body length of FETCH.
+const fetchBodySize = 1 + 8*4
+
+func (m *Fetch) appendBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypeFetch))
+	b = appendU64(b, uint64(m.Instance))
+	b = appendU64(b, uint64(m.FromSeq))
+	b = appendU64(b, uint64(m.ToSeq))
+	return appendU64(b, uint64(m.Node))
 }
+
+// Body implements Message.
+func (m *Fetch) Body() []byte { return m.appendBody(make([]byte, 0, fetchBodySize)) }
+
+// EncodedSize implements Message.
+func (m *Fetch) EncodedSize() int { return fetchBodySize + authSize(m.Auth) }
 
 // Marshal implements Message.
 func (m *Fetch) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.auth(m.Auth)
-	return w.b
+	return appendAuth(m.appendBody(dst), m.Auth)
 }
 
 // FetchResp returns one delivered batch.
@@ -67,23 +70,25 @@ var _ Message = (*FetchResp)(nil)
 // MsgType implements Message.
 func (m *FetchResp) MsgType() Type { return TypeFetchResp }
 
-// Body implements Message.
-func (m *FetchResp) Body() []byte {
-	var w writer
-	w.u8(uint8(TypeFetchResp))
-	w.u64(uint64(m.Instance))
-	w.u64(uint64(m.Seq))
-	w.u64(uint64(m.Node))
-	w.refs(m.Batch)
-	return w.b
+func (m *FetchResp) bodySize() int { return 1 + 8*3 + refsSize(m.Batch) }
+
+func (m *FetchResp) appendBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypeFetchResp))
+	b = appendU64(b, uint64(m.Instance))
+	b = appendU64(b, uint64(m.Seq))
+	b = appendU64(b, uint64(m.Node))
+	return appendRefs(b, m.Batch)
 }
+
+// Body implements Message.
+func (m *FetchResp) Body() []byte { return m.appendBody(make([]byte, 0, m.bodySize())) }
+
+// EncodedSize implements Message.
+func (m *FetchResp) EncodedSize() int { return m.bodySize() + authSize(m.Auth) }
 
 // Marshal implements Message.
 func (m *FetchResp) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.auth(m.Auth)
-	return w.b
+	return appendAuth(m.appendBody(dst), m.Auth)
 }
 
 func decodeFetch(r *reader) *Fetch {

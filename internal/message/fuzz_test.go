@@ -56,6 +56,9 @@ func FuzzDecode(f *testing.F) {
 		if msg2.MsgType() != msg.MsgType() {
 			t.Fatalf("round trip changed type %s -> %s", msg.MsgType(), msg2.MsgType())
 		}
+		if got := msg.EncodedSize(); got != len(re) {
+			t.Fatalf("%s: EncodedSize %d but marshaled %d bytes", msg.MsgType(), got, len(re))
+		}
 		if !bytes.Equal(msg2.Marshal(nil), re) {
 			t.Fatalf("marshaling %s is not a fixed point", msg.MsgType())
 		}

@@ -6,6 +6,11 @@
 // authentication material itself — which the Body method exposes so senders
 // can authenticate and receivers can verify without re-implementing the
 // codec.
+//
+// Encoding is allocation-disciplined: every message knows its exact encoded
+// length (EncodedSize) and Marshal appends in place, so marshalling into a
+// buffer with sufficient capacity performs zero allocations. The egress hot
+// path relies on this via the pooled buffers in encode.go.
 package message
 
 import (
@@ -65,6 +70,9 @@ type Message interface {
 	// Body returns the authenticated portion of the encoding: type tag and
 	// all fields except the authentication material.
 	Body() []byte
+	// EncodedSize returns the exact length Marshal will append: the size
+	// hint that lets callers marshal without growing the destination.
+	EncodedSize() int
 }
 
 // Request is the client's signed request: operation o, request id rid, client
@@ -101,32 +109,38 @@ func (m *Request) OpDigest() types.Digest {
 	return crypto.Digest(buf)
 }
 
+func (m *Request) signedBodySize() int { return 1 + 8 + 8 + 4 + len(m.Op) }
+
+func (m *Request) appendSignedBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypeRequest))
+	b = appendU64(b, uint64(m.Client))
+	b = appendU64(b, uint64(m.ID))
+	return appendBytes(b, m.Op)
+}
+
 // SignedBody returns the portion of the request covered by the client
 // signature (everything except signature and authenticator).
 func (m *Request) SignedBody() []byte {
-	var w writer
-	w.u8(uint8(TypeRequest))
-	w.u64(uint64(m.Client))
-	w.u64(uint64(m.ID))
-	w.bytes(m.Op)
-	return w.b
+	return m.appendSignedBody(make([]byte, 0, m.signedBodySize()))
+}
+
+func (m *Request) bodySize() int { return m.signedBodySize() + 4 + len(m.Sig) }
+
+func (m *Request) appendBody(b []byte) []byte {
+	b = m.appendSignedBody(b)
+	return appendBytes(b, m.Sig)
 }
 
 // Body implements Message. The MAC authenticator covers the signed body plus
 // the signature, so a tampered signature is caught at MAC cost.
-func (m *Request) Body() []byte {
-	var w writer
-	w.b = m.SignedBody()
-	w.bytes(m.Sig)
-	return w.b
-}
+func (m *Request) Body() []byte { return m.appendBody(make([]byte, 0, m.bodySize())) }
+
+// EncodedSize implements Message.
+func (m *Request) EncodedSize() int { return m.bodySize() + authSize(m.Auth) }
 
 // Marshal implements Message.
 func (m *Request) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.auth(m.Auth)
-	return w.b
+	return appendAuth(m.appendBody(dst), m.Auth)
 }
 
 // Propagate is a node's forwarding of a verified client request to all other
@@ -143,25 +157,29 @@ var _ Message = (*Propagate)(nil)
 // MsgType implements Message.
 func (m *Propagate) MsgType() Type { return TypePropagate }
 
-// Body implements Message.
-func (m *Propagate) Body() []byte {
-	var w writer
-	w.u8(uint8(TypePropagate))
-	w.u64(uint64(m.Node))
-	inner := m.Req.SignedBody()
-	var iw writer
-	iw.b = inner
-	iw.bytes(m.Req.Sig)
-	w.bytes(iw.b)
-	return w.b
+// innerSize is the length of the embedded request encoding (signed body plus
+// signature, no client authenticator).
+func (m *Propagate) innerSize() int { return m.Req.signedBodySize() + 4 + len(m.Req.Sig) }
+
+func (m *Propagate) bodySize() int { return 1 + 8 + 4 + m.innerSize() }
+
+func (m *Propagate) appendBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypePropagate))
+	b = appendU64(b, uint64(m.Node))
+	b = appendU32(b, uint32(m.innerSize()))
+	b = m.Req.appendSignedBody(b)
+	return appendBytes(b, m.Req.Sig)
 }
+
+// Body implements Message.
+func (m *Propagate) Body() []byte { return m.appendBody(make([]byte, 0, m.bodySize())) }
+
+// EncodedSize implements Message.
+func (m *Propagate) EncodedSize() int { return m.bodySize() + authSize(m.Auth) }
 
 // Marshal implements Message.
 func (m *Propagate) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.auth(m.Auth)
-	return w.b
+	return appendAuth(m.appendBody(dst), m.Auth)
 }
 
 // PrePrepare is the ordering proposal from an instance's primary. It assigns
@@ -184,32 +202,34 @@ func (m *PrePrepare) MsgType() Type { return TypePrePrepare }
 // BatchDigest hashes the batch contents, binding instance, view and sequence
 // number.
 func (m *PrePrepare) BatchDigest() types.Digest {
-	var w writer
-	w.u64(uint64(m.Instance))
-	w.u64(uint64(m.View))
-	w.u64(uint64(m.Seq))
-	w.refs(m.Batch)
-	return crypto.Digest(w.b)
+	b := make([]byte, 0, 8*3+refsSize(m.Batch))
+	b = appendU64(b, uint64(m.Instance))
+	b = appendU64(b, uint64(m.View))
+	b = appendU64(b, uint64(m.Seq))
+	b = appendRefs(b, m.Batch)
+	return crypto.Digest(b)
+}
+
+func (m *PrePrepare) bodySize() int { return 1 + 8*4 + refsSize(m.Batch) }
+
+func (m *PrePrepare) appendBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypePrePrepare))
+	b = appendU64(b, uint64(m.Instance))
+	b = appendU64(b, uint64(m.View))
+	b = appendU64(b, uint64(m.Seq))
+	b = appendU64(b, uint64(m.Node))
+	return appendRefs(b, m.Batch)
 }
 
 // Body implements Message.
-func (m *PrePrepare) Body() []byte {
-	var w writer
-	w.u8(uint8(TypePrePrepare))
-	w.u64(uint64(m.Instance))
-	w.u64(uint64(m.View))
-	w.u64(uint64(m.Seq))
-	w.u64(uint64(m.Node))
-	w.refs(m.Batch)
-	return w.b
-}
+func (m *PrePrepare) Body() []byte { return m.appendBody(make([]byte, 0, m.bodySize())) }
+
+// EncodedSize implements Message.
+func (m *PrePrepare) EncodedSize() int { return m.bodySize() + authSize(m.Auth) }
 
 // Marshal implements Message.
 func (m *PrePrepare) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.auth(m.Auth)
-	return w.b
+	return appendAuth(m.appendBody(dst), m.Auth)
 }
 
 // Prepare is a non-primary replica's echo of a PRE-PREPARE.
@@ -230,15 +250,16 @@ func (m *Prepare) MsgType() Type { return TypePrepare }
 
 // Body implements Message.
 func (m *Prepare) Body() []byte {
-	return phaseBody(TypePrepare, m.Instance, m.View, m.Seq, m.Digest, m.Node)
+	return appendPhaseBody(make([]byte, 0, phaseBodySize), TypePrepare, m.Instance, m.View, m.Seq, m.Digest, m.Node)
 }
+
+// EncodedSize implements Message.
+func (m *Prepare) EncodedSize() int { return phaseBodySize + authSize(m.Auth) }
 
 // Marshal implements Message.
 func (m *Prepare) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.auth(m.Auth)
-	return w.b
+	b := appendPhaseBody(dst, TypePrepare, m.Instance, m.View, m.Seq, m.Digest, m.Node)
+	return appendAuth(b, m.Auth)
 }
 
 // Commit is the third-phase message: the sender has collected a prepared
@@ -260,26 +281,28 @@ func (m *Commit) MsgType() Type { return TypeCommit }
 
 // Body implements Message.
 func (m *Commit) Body() []byte {
-	return phaseBody(TypeCommit, m.Instance, m.View, m.Seq, m.Digest, m.Node)
+	return appendPhaseBody(make([]byte, 0, phaseBodySize), TypeCommit, m.Instance, m.View, m.Seq, m.Digest, m.Node)
 }
+
+// EncodedSize implements Message.
+func (m *Commit) EncodedSize() int { return phaseBodySize + authSize(m.Auth) }
 
 // Marshal implements Message.
 func (m *Commit) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.auth(m.Auth)
-	return w.b
+	b := appendPhaseBody(dst, TypeCommit, m.Instance, m.View, m.Seq, m.Digest, m.Node)
+	return appendAuth(b, m.Auth)
 }
 
-func phaseBody(t Type, inst types.InstanceID, v types.View, n types.SeqNum, d types.Digest, node types.NodeID) []byte {
-	var w writer
-	w.u8(uint8(t))
-	w.u64(uint64(inst))
-	w.u64(uint64(v))
-	w.u64(uint64(n))
-	w.digest(d)
-	w.u64(uint64(node))
-	return w.b
+// phaseBodySize is the fixed body length of PREPARE and COMMIT.
+const phaseBodySize = 1 + 8 + 8 + 8 + types.DigestSize + 8
+
+func appendPhaseBody(b []byte, t Type, inst types.InstanceID, v types.View, n types.SeqNum, d types.Digest, node types.NodeID) []byte {
+	b = appendU8(b, uint8(t))
+	b = appendU64(b, uint64(inst))
+	b = appendU64(b, uint64(v))
+	b = appendU64(b, uint64(n))
+	b = appendDigest(b, d)
+	return appendU64(b, uint64(node))
 }
 
 // Reply carries the execution result back to the client, authenticated with a
@@ -298,23 +321,26 @@ var _ Message = (*Reply)(nil)
 // MsgType implements Message.
 func (m *Reply) MsgType() Type { return TypeReply }
 
-// Body implements Message.
-func (m *Reply) Body() []byte {
-	var w writer
-	w.u8(uint8(TypeReply))
-	w.u64(uint64(m.Client))
-	w.u64(uint64(m.ID))
-	w.u64(uint64(m.Node))
-	w.bytes(m.Result)
-	return w.b
+func (m *Reply) bodySize() int { return 1 + 8 + 8 + 8 + 4 + len(m.Result) }
+
+func (m *Reply) appendBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypeReply))
+	b = appendU64(b, uint64(m.Client))
+	b = appendU64(b, uint64(m.ID))
+	b = appendU64(b, uint64(m.Node))
+	return appendBytes(b, m.Result)
 }
+
+// Body implements Message.
+func (m *Reply) Body() []byte { return m.appendBody(make([]byte, 0, m.bodySize())) }
+
+// EncodedSize implements Message.
+func (m *Reply) EncodedSize() int { return m.bodySize() + crypto.MACSize }
 
 // Marshal implements Message.
 func (m *Reply) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.b = append(w.b, m.MAC[:]...)
-	return w.b
+	b := m.appendBody(dst)
+	return append(b, m.MAC[:]...)
 }
 
 // InstanceChange is a node's vote that the master instance's primary is
@@ -331,21 +357,21 @@ var _ Message = (*InstanceChange)(nil)
 // MsgType implements Message.
 func (m *InstanceChange) MsgType() Type { return TypeInstanceChange }
 
-// Body implements Message.
-func (m *InstanceChange) Body() []byte {
-	var w writer
-	w.u8(uint8(TypeInstanceChange))
-	w.u64(m.CPI)
-	w.u64(uint64(m.Node))
-	return w.b
+func (m *InstanceChange) appendBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypeInstanceChange))
+	b = appendU64(b, m.CPI)
+	return appendU64(b, uint64(m.Node))
 }
+
+// Body implements Message.
+func (m *InstanceChange) Body() []byte { return m.appendBody(make([]byte, 0, 1+8+8)) }
+
+// EncodedSize implements Message.
+func (m *InstanceChange) EncodedSize() int { return 1 + 8 + 8 + authSize(m.Auth) }
 
 // Marshal implements Message.
 func (m *InstanceChange) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.auth(m.Auth)
-	return w.b
+	return appendAuth(m.appendBody(dst), m.Auth)
 }
 
 // PreparedProof is one prepared-but-possibly-uncommitted entry carried in a
@@ -374,30 +400,40 @@ var _ Message = (*ViewChange)(nil)
 // MsgType implements Message.
 func (m *ViewChange) MsgType() Type { return TypeViewChange }
 
-// Body implements Message.
-func (m *ViewChange) Body() []byte {
-	var w writer
-	w.u8(uint8(TypeViewChange))
-	w.u64(uint64(m.Instance))
-	w.u64(uint64(m.NewView))
-	w.u64(uint64(m.StableSeq))
-	w.u64(uint64(m.Node))
-	w.u32(uint32(len(m.Prepared)))
-	for _, p := range m.Prepared {
-		w.u64(uint64(p.Seq))
-		w.u64(uint64(p.View))
-		w.digest(p.Digest)
-		w.refs(p.Batch)
+func (m *ViewChange) bodySize() int {
+	n := 1 + 8*4 + 4
+	for i := range m.Prepared {
+		n += 8 + 8 + types.DigestSize + refsSize(m.Prepared[i].Batch)
 	}
-	return w.b
+	return n
 }
+
+func (m *ViewChange) appendBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypeViewChange))
+	b = appendU64(b, uint64(m.Instance))
+	b = appendU64(b, uint64(m.NewView))
+	b = appendU64(b, uint64(m.StableSeq))
+	b = appendU64(b, uint64(m.Node))
+	b = appendU32(b, uint32(len(m.Prepared)))
+	for i := range m.Prepared {
+		p := &m.Prepared[i]
+		b = appendU64(b, uint64(p.Seq))
+		b = appendU64(b, uint64(p.View))
+		b = appendDigest(b, p.Digest)
+		b = appendRefs(b, p.Batch)
+	}
+	return b
+}
+
+// Body implements Message.
+func (m *ViewChange) Body() []byte { return m.appendBody(make([]byte, 0, m.bodySize())) }
+
+// EncodedSize implements Message.
+func (m *ViewChange) EncodedSize() int { return m.bodySize() + 4 + len(m.Sig) }
 
 // Marshal implements Message.
 func (m *ViewChange) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.bytes(m.Sig)
-	return w.b
+	return appendBytes(m.appendBody(dst), m.Sig)
 }
 
 // NewView is the new primary's installation message for a view: the 2f+1
@@ -418,30 +454,44 @@ var _ Message = (*NewView)(nil)
 // MsgType implements Message.
 func (m *NewView) MsgType() Type { return TypeNewView }
 
-// Body implements Message.
-func (m *NewView) Body() []byte {
-	var w writer
-	w.u8(uint8(TypeNewView))
-	w.u64(uint64(m.Instance))
-	w.u64(uint64(m.View))
-	w.u64(uint64(m.Node))
-	w.u32(uint32(len(m.ViewChanges)))
+func (m *NewView) bodySize() int {
+	n := 1 + 8*3 + 4 + 4
 	for i := range m.ViewChanges {
-		w.bytes(m.ViewChanges[i].Marshal(nil))
+		n += 4 + m.ViewChanges[i].EncodedSize()
 	}
-	w.u32(uint32(len(m.PrePrepares)))
 	for i := range m.PrePrepares {
-		w.bytes(m.PrePrepares[i].Marshal(nil))
+		n += 4 + m.PrePrepares[i].EncodedSize()
 	}
-	return w.b
+	return n
 }
+
+func (m *NewView) appendBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypeNewView))
+	b = appendU64(b, uint64(m.Instance))
+	b = appendU64(b, uint64(m.View))
+	b = appendU64(b, uint64(m.Node))
+	b = appendU32(b, uint32(len(m.ViewChanges)))
+	for i := range m.ViewChanges {
+		b = appendU32(b, uint32(m.ViewChanges[i].EncodedSize()))
+		b = m.ViewChanges[i].Marshal(b)
+	}
+	b = appendU32(b, uint32(len(m.PrePrepares)))
+	for i := range m.PrePrepares {
+		b = appendU32(b, uint32(m.PrePrepares[i].EncodedSize()))
+		b = m.PrePrepares[i].Marshal(b)
+	}
+	return b
+}
+
+// Body implements Message.
+func (m *NewView) Body() []byte { return m.appendBody(make([]byte, 0, m.bodySize())) }
+
+// EncodedSize implements Message.
+func (m *NewView) EncodedSize() int { return m.bodySize() + authSize(m.Auth) }
 
 // Marshal implements Message.
 func (m *NewView) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.auth(m.Auth)
-	return w.b
+	return appendAuth(m.appendBody(dst), m.Auth)
 }
 
 // Checkpoint advertises a replica's ordering-log digest at sequence Seq so
@@ -460,23 +510,26 @@ var _ Message = (*Checkpoint)(nil)
 // MsgType implements Message.
 func (m *Checkpoint) MsgType() Type { return TypeCheckpoint }
 
-// Body implements Message.
-func (m *Checkpoint) Body() []byte {
-	var w writer
-	w.u8(uint8(TypeCheckpoint))
-	w.u64(uint64(m.Instance))
-	w.u64(uint64(m.Seq))
-	w.digest(m.Digest)
-	w.u64(uint64(m.Node))
-	return w.b
+// checkpointBodySize is the fixed body length of CHECKPOINT.
+const checkpointBodySize = 1 + 8 + 8 + types.DigestSize + 8
+
+func (m *Checkpoint) appendBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypeCheckpoint))
+	b = appendU64(b, uint64(m.Instance))
+	b = appendU64(b, uint64(m.Seq))
+	b = appendDigest(b, m.Digest)
+	return appendU64(b, uint64(m.Node))
 }
+
+// Body implements Message.
+func (m *Checkpoint) Body() []byte { return m.appendBody(make([]byte, 0, checkpointBodySize)) }
+
+// EncodedSize implements Message.
+func (m *Checkpoint) EncodedSize() int { return checkpointBodySize + authSize(m.Auth) }
 
 // Marshal implements Message.
 func (m *Checkpoint) Marshal(dst []byte) []byte {
-	var w writer
-	w.b = append(dst, m.Body()...)
-	w.auth(m.Auth)
-	return w.b
+	return appendAuth(m.appendBody(dst), m.Auth)
 }
 
 // Invalid is a deliberately garbage message used by the attack harness to
@@ -491,16 +544,19 @@ var _ Message = (*Invalid)(nil)
 // MsgType implements Message.
 func (m *Invalid) MsgType() Type { return TypeInvalid }
 
-// Body implements Message.
-func (m *Invalid) Body() []byte {
-	var w writer
-	w.u8(uint8(TypeInvalid))
-	w.u64(uint64(m.Node))
-	w.bytes(m.Padding)
-	return w.b
+func (m *Invalid) appendBody(b []byte) []byte {
+	b = appendU8(b, uint8(TypeInvalid))
+	b = appendU64(b, uint64(m.Node))
+	return appendBytes(b, m.Padding)
 }
+
+// Body implements Message.
+func (m *Invalid) Body() []byte { return m.appendBody(make([]byte, 0, m.EncodedSize())) }
+
+// EncodedSize implements Message.
+func (m *Invalid) EncodedSize() int { return 1 + 8 + 4 + len(m.Padding) }
 
 // Marshal implements Message.
 func (m *Invalid) Marshal(dst []byte) []byte {
-	return append(dst, m.Body()...)
+	return m.appendBody(dst)
 }

@@ -57,6 +57,9 @@ type ClusterOptions struct {
 	// IngressWorkers sets each node's preverify worker-pool size (0 means
 	// DefaultIngressWorkers()).
 	IngressWorkers int
+	// EgressFlushInterval is each node's egress linger window (see
+	// NodeOptions.EgressFlushInterval; 0 means greedy flushing).
+	EgressFlushInterval time.Duration
 	// DataDir, when set, turns on durability: each node keeps a WAL under
 	// DataDir/node-<i>, persists crash-survivable state before it becomes
 	// externally visible, and recovers from it on (re)start.
@@ -177,8 +180,12 @@ func (lc *LocalCluster) startNode(id types.NodeID, tr transport.Transport) error
 		}
 	}
 	lc.wals[id] = w
-	lc.nodes[id] = StartNodeOpts(node, tr, lc.Cluster,
-		NodeOptions{IngressWorkers: lc.opts.IngressWorkers, WAL: w})
+	lc.nodes[id] = StartNodeOpts(node, tr, lc.Cluster, NodeOptions{
+		IngressWorkers:      lc.opts.IngressWorkers,
+		WAL:                 w,
+		EgressFlushInterval: lc.opts.EgressFlushInterval,
+		Metrics:             lc.opts.Metrics,
+	})
 	return nil
 }
 

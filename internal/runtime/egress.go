@@ -1,0 +1,229 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbft/internal/message"
+	"rbft/internal/obs"
+	"rbft/internal/transport"
+	"rbft/internal/wal"
+)
+
+// Egress pipeline (docs/EGRESS.md): the apply loop never touches the wire.
+// emit encodes each output message once into a pooled buffer and enqueues it
+// on the per-peer egress queues; one worker goroutine per peer drains its
+// queue, waits out the durability horizon, and flushes — coalescing whatever
+// is queued into a single batch frame when the transport supports it.
+//
+// The queues are bounded with drop-oldest overflow: RBFT tolerates message
+// loss (retransmission and fetch recover), but it does not tolerate the
+// apply loop stalling, and the oldest frame is the one most likely to be
+// stale. A wedged or dead peer therefore costs its own queue, never the
+// ordering pipeline.
+
+const (
+	// egressQueueDepth bounds one peer's queue. At protocol message sizes
+	// (~100-200 B) this is a few hundred KB per wedged peer, and far more
+	// than a healthy peer ever accumulates.
+	egressQueueDepth = 256
+	// egressMaxCoalesce bounds the payloads flushed as one batch frame, so
+	// one flush cannot monopolise the wire or build an oversized frame.
+	egressMaxCoalesce = 64
+)
+
+// egressFrame is one encoded message shared by every peer queue it was
+// fanned out to. refs counts outstanding queue references; the pooled buffer
+// returns to the encode pool when the last reference releases.
+type egressFrame struct {
+	buf *message.Buf
+	// lsn is the frame's durability horizon: the WAL position that must be
+	// durable before the frame may leave the box (log-before-send). Zero
+	// means no durability dependency.
+	lsn  uint64
+	refs int32 // atomic
+}
+
+func (f *egressFrame) release() {
+	if atomic.AddInt32(&f.refs, -1) == 0 {
+		f.buf.Release()
+	}
+}
+
+// peerQueue is one peer's bounded egress queue plus its gauges.
+type peerQueue struct {
+	ch      chan *egressFrame
+	depth   *obs.Gauge
+	dropped *obs.Counter
+}
+
+// egress owns the per-peer queues and workers of one node runtime.
+type egress struct {
+	tr   transport.Transport
+	wal  *wal.Log // nil unless durability is on
+	self string   // this node's endpoint name, for metric labels
+	// flushInterval > 0 makes a worker linger that long collecting more
+	// frames before flushing a non-full batch; 0 flushes greedily (coalesce
+	// only what is already queued).
+	flushInterval time.Duration
+	reg           *obs.Registry
+
+	mu     sync.Mutex
+	queues map[string]*peerQueue // guarded by mu; lazily created per peer
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newEgress(tr transport.Transport, w *wal.Log, self string, flushInterval time.Duration, reg *obs.Registry, stop chan struct{}) *egress {
+	return &egress{
+		tr:            tr,
+		wal:           w,
+		self:          self,
+		flushInterval: flushInterval,
+		reg:           reg,
+		queues:        make(map[string]*peerQueue),
+		stop:          stop,
+	}
+}
+
+// queue returns the peer's queue, creating it (and its worker) on first use.
+func (e *egress) queue(peer string) *peerQueue {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if q, ok := e.queues[peer]; ok {
+		return q
+	}
+	link := e.self + "->" + peer
+	q := &peerQueue{
+		ch:      make(chan *egressFrame, egressQueueDepth),
+		depth:   e.reg.Gauge(obs.LabeledName("rbft_egress_queue_depth", "link", link)),
+		dropped: e.reg.Counter(obs.LabeledName("rbft_egress_dropped_total", "link", link)),
+	}
+	e.queues[peer] = q
+	e.wg.Add(1)
+	go e.worker(peer, q)
+	return q
+}
+
+// enqueue hands a frame to the peer's queue without ever blocking the
+// caller: on overflow it drops the oldest queued frame and retries. Runs on
+// the apply loop — it must stay non-blocking and lock-free apart from the
+// queue-map mutex.
+func (e *egress) enqueue(peer string, f *egressFrame) {
+	q := e.queue(peer)
+	for {
+		select {
+		case q.ch <- f:
+			q.depth.Set(int64(len(q.ch)))
+			return
+		default:
+		}
+		// Queue full: evict the oldest frame (most likely already stale) and
+		// retry. The pop can race with the worker draining; losing the race
+		// just means the retry succeeds immediately.
+		select {
+		case old := <-q.ch:
+			old.release()
+			q.dropped.Inc()
+		default:
+		}
+	}
+}
+
+// worker drains one peer's queue: it collects whatever is queued (bounded by
+// egressMaxCoalesce, optionally lingering flushInterval), waits for the
+// batch's durability horizon, and flushes it as one coalesced wire frame
+// when the transport can. Send errors are deliberate best-effort: the
+// protocol tolerates loss, and a dead peer must cost nothing but its queue.
+//
+//rbft:egress
+func (e *egress) worker(peer string, q *peerQueue) {
+	defer e.wg.Done()
+	bs, canBatch := e.tr.(transport.BatchSender)
+	batch := make([]*egressFrame, 0, egressMaxCoalesce)
+	payloads := make([][]byte, 0, egressMaxCoalesce)
+	for {
+		batch = batch[:0]
+		select {
+		case <-e.stop:
+			return
+		case f := <-q.ch:
+			batch = append(batch, f)
+		}
+	drain:
+		for len(batch) < egressMaxCoalesce {
+			select {
+			case f := <-q.ch:
+				batch = append(batch, f)
+			default:
+				break drain
+			}
+		}
+		if e.flushInterval > 0 && len(batch) < egressMaxCoalesce {
+			linger := time.NewTimer(e.flushInterval)
+		lingerLoop:
+			for len(batch) < egressMaxCoalesce {
+				select {
+				case f := <-q.ch:
+					batch = append(batch, f)
+				case <-linger.C:
+					break lingerLoop
+				case <-e.stop:
+					linger.Stop()
+					releaseAll(batch)
+					return
+				}
+			}
+			linger.Stop()
+		}
+		q.depth.Set(int64(len(q.ch)))
+
+		// Log-before-send: nothing in this batch leaves until the WAL has
+		// fsynced past its durability horizon. The wait runs here, on the
+		// peer's worker, so an fsync stall never reaches the apply loop.
+		if e.wal != nil {
+			var horizon uint64
+			for _, f := range batch {
+				if f.lsn > horizon {
+					horizon = f.lsn
+				}
+			}
+			if horizon > 0 {
+				if err := e.wal.WaitDurable(horizon); err != nil {
+					// A node that cannot persist must not speak (it could
+					// equivocate after restart); dropping is indistinguishable
+					// from crashing, which the protocol tolerates.
+					releaseAll(batch)
+					continue
+				}
+			}
+		}
+
+		if canBatch && len(batch) > 1 {
+			payloads = payloads[:0]
+			for _, f := range batch {
+				payloads = append(payloads, f.buf.Bytes())
+			}
+			_ = bs.SendBatch(peer, payloads)
+		} else {
+			for _, f := range batch {
+				_ = e.tr.Send(peer, f.buf.Bytes())
+			}
+		}
+		releaseAll(batch)
+	}
+}
+
+func releaseAll(batch []*egressFrame) {
+	for _, f := range batch {
+		f.release()
+	}
+}
+
+// wait blocks until every worker has exited (call after closing stop). A
+// worker parked inside an in-flight Send exits once that write returns; the
+// Transport contract (Send must not block indefinitely) plus tcpnet's write
+// deadline bound that, so wait terminates even with a wedged peer.
+func (e *egress) wait() { e.wg.Wait() }

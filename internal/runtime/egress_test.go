@@ -1,0 +1,333 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rbft/internal/core"
+	"rbft/internal/crypto"
+	"rbft/internal/message"
+	"rbft/internal/obs"
+	"rbft/internal/transport"
+	"rbft/internal/transport/memnet"
+	"rbft/internal/types"
+)
+
+// recordingTransport captures sends without a wire; Send to the wedged peer
+// blocks until unblock is closed, emulating a dead TCP peer with full kernel
+// buffers.
+type recordingTransport struct {
+	name    string
+	wedged  string
+	unblock chan struct{}
+
+	mu      sync.Mutex
+	sends   map[string][][]byte // guarded by mu; peer -> individual payloads
+	batches map[string][]int    // guarded by mu; peer -> coalesced batch sizes
+	gate    chan struct{}       // when non-nil, each flush blocks until a tick
+}
+
+func newRecordingTransport(wedged string) *recordingTransport {
+	return &recordingTransport{
+		name:    "node/0",
+		wedged:  wedged,
+		unblock: make(chan struct{}),
+		sends:   make(map[string][][]byte),
+		batches: make(map[string][]int),
+	}
+}
+
+func (rt *recordingTransport) Name() string                      { return rt.name }
+func (rt *recordingTransport) Packets() <-chan transport.Packet  { return nil }
+func (rt *recordingTransport) Close() error                      { return nil }
+func (rt *recordingTransport) record(to string, data []byte) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.sends[to] = append(rt.sends[to], append([]byte(nil), data...))
+}
+
+func (rt *recordingTransport) wait(to string) {
+	if to == rt.wedged {
+		<-rt.unblock
+	}
+	if rt.gate != nil {
+		<-rt.gate
+	}
+}
+
+func (rt *recordingTransport) Send(to string, data []byte) error {
+	rt.wait(to)
+	rt.record(to, data)
+	return nil
+}
+
+func (rt *recordingTransport) SendBatch(to string, payloads [][]byte) error {
+	rt.wait(to)
+	rt.mu.Lock()
+	rt.batches[to] = append(rt.batches[to], len(payloads))
+	rt.mu.Unlock()
+	for _, p := range payloads {
+		rt.record(to, p)
+	}
+	return nil
+}
+
+func (rt *recordingTransport) received(to string) [][]byte {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([][]byte, len(rt.sends[to]))
+	copy(out, rt.sends[to])
+	return out
+}
+
+func testFrame(seq uint64) *egressFrame {
+	msg := &message.Prepare{Instance: 0, View: 1, Seq: types.SeqNum(seq), Node: 0}
+	return &egressFrame{buf: message.Encode(msg), refs: 1}
+}
+
+// TestEgressEnqueueNeverBlocks pins the tentpole guarantee: enqueueing
+// toward a peer whose transport writes block forever must complete promptly
+// (drop-oldest, never back-pressure), while a healthy peer's traffic flows.
+func TestEgressEnqueueNeverBlocks(t *testing.T) {
+	rt := newRecordingTransport("node/1")
+	defer close(rt.unblock)
+	reg := obs.NewRegistry()
+	stop := make(chan struct{})
+	defer close(stop)
+	eg := newEgress(rt, nil, "node/0", 0, reg, stop)
+
+	const n = 10 * egressQueueDepth
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			eg.enqueue("node/1", testFrame(uint64(i)))
+			eg.enqueue("node/2", testFrame(uint64(i)))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("enqueue blocked behind a wedged peer")
+	}
+
+	// The healthy peer's queue keeps draining: a sentinel enqueued after the
+	// flood must come out the other side.
+	sentinel := testFrame(1 << 40)
+	want := append([]byte(nil), sentinel.buf.Bytes()...)
+	eg.enqueue("node/2", sentinel)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		frames := rt.received("node/2")
+		if len(frames) > 0 && bytes.Equal(frames[len(frames)-1], want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy peer stalled behind a wedged one: %d frames, sentinel missing", len(frames))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The wedged peer's overflow was dropped, oldest first, and counted.
+	dropped := reg.Counter(obs.LabeledName("rbft_egress_dropped_total", "link", "node/0->node/1")).Value()
+	if dropped == 0 {
+		t.Fatal("no drops recorded on the wedged link")
+	}
+	if got := len(rt.received("node/1")); got != 0 {
+		t.Fatalf("wedged peer received %d frames while blocked", got)
+	}
+}
+
+// TestEgressCoalesces pins the batch path: frames that queue up while a
+// flush is in flight leave as one coalesced batch, in order.
+func TestEgressCoalesces(t *testing.T) {
+	rt := newRecordingTransport("") // nothing wedged
+	rt.gate = make(chan struct{})
+	reg := obs.NewRegistry()
+	stop := make(chan struct{})
+	defer close(stop)
+	eg := newEgress(rt, nil, "node/0", 0, reg, stop)
+
+	// The first frame starts a flush that parks on the gate; give the worker
+	// a beat to pick it up, then pile the rest up behind it.
+	const n = 16
+	var want [][]byte
+	first := testFrame(0)
+	want = append(want, append([]byte(nil), first.buf.Bytes()...))
+	eg.enqueue("node/1", first)
+	time.Sleep(100 * time.Millisecond)
+	for i := 1; i < n; i++ {
+		f := testFrame(uint64(i))
+		want = append(want, append([]byte(nil), f.buf.Bytes()...))
+		eg.enqueue("node/1", f)
+	}
+	// Release the parked flush and the coalesced one behind it.
+	rt.gate <- struct{}{}
+	rt.gate <- struct{}{}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rt.received("node/1")) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d/%d frames", len(rt.received("node/1")), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := rt.received("node/1")
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("frame %d out of order or corrupted", i)
+		}
+	}
+	rt.mu.Lock()
+	batches := append([]int(nil), rt.batches["node/1"]...)
+	rt.mu.Unlock()
+	coalesced := 0
+	for _, b := range batches {
+		coalesced += b
+	}
+	// The first flush is a singleton; everything that queued behind it must
+	// have left as one coalesced batch.
+	if len(batches) != 1 || coalesced != n-1 {
+		t.Fatalf("expected one %d-payload batch behind the parked flush, got batches %v", n-1, batches)
+	}
+}
+
+// TestEgressSharedFrameRefcount checks a broadcast frame returns to the
+// encode pool only after every peer queue has released it: the payload every
+// peer observes is identical and intact.
+func TestEgressSharedFrameRefcount(t *testing.T) {
+	rt := newRecordingTransport("")
+	reg := obs.NewRegistry()
+	stop := make(chan struct{})
+	defer close(stop)
+	eg := newEgress(rt, nil, "node/0", 0, reg, stop)
+
+	peers := []string{"node/1", "node/2", "node/3"}
+	msg := &message.Commit{Instance: 0, View: 1, Seq: 9, Node: 0}
+	want := msg.Marshal(nil)
+	for i := 0; i < 100; i++ {
+		f := &egressFrame{buf: message.Encode(msg), refs: int32(len(peers))}
+		for _, p := range peers {
+			eg.enqueue(p, f)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for _, p := range peers {
+		for len(rt.received(p)) < 100 {
+			if time.Now().After(deadline) {
+				t.Fatalf("peer %s got %d/100 frames", p, len(rt.received(p)))
+			}
+			time.Sleep(time.Millisecond)
+		}
+		for i, data := range rt.received(p) {
+			if !bytes.Equal(data, want) {
+				t.Fatalf("peer %s frame %d corrupted (pooled buffer reused too early?)", p, i)
+			}
+		}
+	}
+}
+
+// wedgeEndpoint wraps a memnet endpoint; sends to the wedged peer block
+// until the test releases them, like a TCP connection with full buffers.
+type wedgeEndpoint struct {
+	transport.Transport
+	wedged  string
+	blocked atomic.Int64
+	unblock chan struct{}
+}
+
+func (w *wedgeEndpoint) Send(to string, data []byte) error {
+	if to == w.wedged {
+		w.blocked.Add(1)
+		<-w.unblock
+		return nil
+	}
+	return w.Transport.Send(to, data)
+}
+
+// TestApplyLoopSurvivesWedgedPeer is the dead-peer regression test from the
+// issue: wedge every write toward one peer mid-run and prove the node's
+// apply loop keeps ordering — it keeps producing protocol traffic toward the
+// healthy peers — rather than stalling behind the dead connection.
+func TestApplyLoopSurvivesWedgedPeer(t *testing.T) {
+	cluster := types.NewConfig(1)
+	ks := crypto.NewKeyStore([]byte("egress-wedge"), cluster.N, 4)
+	ring := ks.NodeRing(0)
+	ring.WarmPairKeys(cluster.N, 4)
+	node := core.New(core.Config{Cluster: cluster, Node: 0, BatchTimeout: time.Millisecond}, ring)
+
+	net := memnet.NewNetwork()
+	we := &wedgeEndpoint{Transport: net.Endpoint(NodeName(0)), wedged: NodeName(1), unblock: make(chan struct{})}
+	healthy := net.Endpoint(NodeName(2))
+	clientEp := net.Endpoint(ClientName(1))
+
+	nr := StartNodeOpts(node, we, cluster, NodeOptions{IngressWorkers: 2})
+	defer nr.Stop()
+	// Unwedge before Stop (defers run LIFO): Stop waits for the egress
+	// workers, and a worker parked inside the wedged Send can only observe
+	// shutdown once its in-flight write returns. Live transports bound that
+	// write (tcpnet's deadline tears the connection down); the test double
+	// blocks unconditionally, so the test must release it itself.
+	defer close(we.unblock)
+
+	// Drive the node with authenticated client requests; each one makes it
+	// PROPAGATE to all peers, including the wedged one.
+	cl := ks.ClientRing(1)
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			req := &message.Request{Client: 1, ID: types.RequestID(i + 1), Op: []byte(fmt.Sprintf("op%d", i))}
+			req.Sig = cl.Sign(req.SignedBody())
+			req.Auth = cl.AuthenticatorForNodes(cluster.N, req.Body())
+			_ = clientEp.Send(NodeName(0), req.Marshal(nil))
+		}
+	}()
+
+	// The healthy peer must keep receiving protocol traffic for all n
+	// requests even though every frame toward node/1 wedges its worker.
+	seen := 0
+	deadline := time.After(20 * time.Second)
+	for seen < n {
+		select {
+		case <-healthy.Packets():
+			seen++
+		case <-deadline:
+			t.Fatalf("apply loop stalled behind the wedged peer: healthy peer saw %d/%d frames (blocked sends: %d)",
+				seen, n, we.blocked.Load())
+		}
+	}
+	if we.blocked.Load() == 0 {
+		t.Fatal("test vacuous: nothing ever blocked toward the wedged peer")
+	}
+}
+
+// BenchmarkEgress measures the full emit path — pooled encode, fan-out to
+// three peer queues, coalesced flush — as the apply loop experiences it.
+func BenchmarkEgress(b *testing.B) {
+	net := memnet.NewNetwork()
+	ep := net.Endpoint("node/0")
+	for i := 1; i < 4; i++ {
+		sink := net.Endpoint(NodeName(types.NodeID(i)))
+		go func() {
+			for range sink.Packets() {
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	eg := newEgress(ep, nil, "node/0", 0, nil, stop)
+	msg := &message.Prepare{Instance: 0, View: 1, Seq: 2, Node: 0, Auth: make(crypto.Authenticator, 4)}
+	peers := []string{"node/1", "node/2", "node/3"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &egressFrame{buf: message.Encode(msg), refs: int32(len(peers))}
+		for _, p := range peers {
+			eg.enqueue(p, f)
+		}
+	}
+}

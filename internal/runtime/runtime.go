@@ -16,6 +16,7 @@ import (
 	"rbft/internal/client"
 	"rbft/internal/core"
 	"rbft/internal/message"
+	"rbft/internal/obs"
 	"rbft/internal/transport"
 	"rbft/internal/types"
 	"rbft/internal/wal"
@@ -51,6 +52,15 @@ type NodeOptions struct {
 	// with core.Config.Durable, and restored from this log, by the caller.
 	// The caller keeps ownership: close it after Stop returns.
 	WAL *wal.Log
+	// EgressFlushInterval makes egress workers linger that long collecting
+	// more frames before flushing a non-full batch. 0 (the default) flushes
+	// greedily: a flush coalesces whatever queued while the previous flush
+	// was on the wire, so coalescing is self-regulating under load and adds
+	// no latency when idle.
+	EgressFlushInterval time.Duration
+	// Metrics, when set, receives the egress gauges and counters (per-link
+	// queue depth and drops).
+	Metrics *obs.Registry
 }
 
 // DefaultIngressWorkers is the default preverify worker-pool size: one per
@@ -98,6 +108,8 @@ type NodeRuntime struct {
 	tr      transport.Transport
 	pre     *message.Preverifier // stateless; shared by the verifier pool
 	wal     *wal.Log             // nil unless durability is on
+	self    types.NodeID         // immutable after construction
+	eg      *egress              // per-peer send queues and workers
 
 	mu   sync.Mutex
 	node *core.Node // guarded by mu
@@ -127,12 +139,14 @@ func StartNodeOpts(node *core.Node, tr transport.Transport, cluster types.Config
 		tr:      tr,
 		pre:     node.Preverifier(),
 		wal:     opts.WAL,
+		self:    node.ID(),
 		node:    node,
 		work:    make(chan *ingressItem, ingressQueueDepth),
 		pending: make(chan *ingressItem, ingressQueueDepth),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	nr.eg = newEgress(tr, opts.WAL, NodeName(nr.self), opts.EgressFlushInterval, opts.Metrics, nr.stop)
 	nr.wg.Add(1 + workers)
 	for i := 0; i < workers; i++ {
 		go nr.verifyLoop()
@@ -151,8 +165,9 @@ func (nr *NodeRuntime) WithNode(fn func(n *core.Node) core.Output) {
 	nr.emit(out)
 }
 
-// Stop terminates the pipeline and waits for every stage to exit. The
-// transport is closed as part of shutdown.
+// Stop terminates the pipeline and waits for every stage — including the
+// egress workers — to exit. The transport is closed as part of shutdown;
+// frames still queued for egress are dropped (the protocol tolerates loss).
 func (nr *NodeRuntime) Stop() {
 	select {
 	case <-nr.stop:
@@ -162,6 +177,7 @@ func (nr *NodeRuntime) Stop() {
 	nr.tr.Close()
 	<-nr.done
 	nr.wg.Wait()
+	nr.eg.wait()
 }
 
 // readLoop classifies raw frames and enqueues them: into work first (so the
@@ -308,16 +324,18 @@ func (nr *NodeRuntime) rearm(timer *time.Timer) {
 	timer.Reset(d)
 }
 
-// emit transmits a node output over the wire, persisting its durability
-// records first. emit runs outside nr.mu: appends are cheap buffer copies,
-// but WaitDurable blocks for an fsync and must never stall ingress (the
-// //rbft:wal lock rule).
+// emit hands a node output to the egress pipeline. It never touches the
+// wire and never blocks: each message is encoded once into a pooled buffer
+// and the frame is fanned out to the per-peer queues (drop-oldest on
+// overflow), so a dead or wedged peer can never stall the apply loop.
+// Durability records are appended to the WAL here — a cheap buffer copy —
+// but the fsync wait happens on the egress workers, which hold the frames
+// back until the WAL is durable past the output's horizon (log-before-send).
 func (nr *NodeRuntime) emit(out core.Output) {
+	var lsn uint64
 	if nr.wal != nil && len(out.Records) > 0 {
-		lsn, err := nr.wal.Append(out.Records...)
-		if err == nil {
-			err = nr.wal.WaitDurable(lsn)
-		}
+		var err error
+		lsn, err = nr.wal.Append(out.Records...)
 		if err != nil {
 			// A node that cannot persist must not speak: swallowing the
 			// output is indistinguishable from crashing here, and the
@@ -326,9 +344,6 @@ func (nr *NodeRuntime) emit(out core.Output) {
 			return
 		}
 	}
-	nr.mu.Lock()
-	self := nr.node.ID()
-	nr.mu.Unlock()
 	// Enforce flood-defence NIC closures at the transport so frames from the
 	// offending peer are discarded before they cost any protocol processing.
 	if pc, ok := nr.tr.(transport.PeerCloser); ok {
@@ -337,23 +352,25 @@ func (nr *NodeRuntime) emit(out core.Output) {
 		}
 	}
 	for _, nm := range out.NodeMsgs {
-		data := nm.Msg.Marshal(nil)
 		targets := nm.To
 		if targets == nil {
 			for i := 0; i < nr.cluster.N; i++ {
-				if types.NodeID(i) != self {
+				if types.NodeID(i) != nr.self {
 					targets = append(targets, types.NodeID(i))
 				}
 			}
 		}
+		if len(targets) == 0 {
+			continue
+		}
+		f := &egressFrame{buf: message.Encode(nm.Msg), lsn: lsn, refs: int32(len(targets))}
 		for _, to := range targets {
-			// Best effort: the protocol tolerates message loss, and a dead
-			// peer must not wedge the loop.
-			_ = nr.tr.Send(NodeName(to), data)
+			nr.eg.enqueue(NodeName(to), f)
 		}
 	}
 	for _, cm := range out.ClientMsgs {
-		_ = nr.tr.Send(ClientName(cm.To), cm.Msg.Marshal(nil))
+		f := &egressFrame{buf: message.Encode(cm.Msg), lsn: lsn, refs: 1}
+		nr.eg.enqueue(ClientName(cm.To), f)
 	}
 }
 

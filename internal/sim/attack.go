@@ -75,7 +75,7 @@ func (s *Sim) floodOnce(f Flood, target types.NodeID, stop time.Time) {
 		if l.busyUntil.After(start) {
 			start = l.busyUntil
 		}
-		l.busyUntil = start.Add(s.cfg.Cost.serialization(f.Size))
+		l.busyUntil = start.Add(s.cfg.Cost.PacketCost(f.Size))
 		arrive := l.busyUntil.Add(s.cfg.Cost.LinkLatency)
 		s.schedule(arrive, func() { s.deliverToNode(dst, garbage, 0, true) })
 	} else {

@@ -51,6 +51,13 @@ type CostModel struct {
 	// is TCP, modelling acknowledgement and flow-control overhead; the
 	// paper measured UDP latency 18-22% below TCP.
 	TCPExtraLatency time.Duration
+	// PacketOverheadBytes is the fixed wire overhead of one physical frame
+	// (Ethernet + IP + TCP/UDP headers plus the length prefix, ~66 bytes on
+	// an Ethernet TCP path). Every frame on a link pays it once, however
+	// many protocol payloads the frame coalesces — this is the per-packet
+	// cost that Config.EgressCoalesce amortises. Zero (the default) models
+	// header-free framing and leaves legacy traces unchanged.
+	PacketOverheadBytes int
 
 	// FsyncLatency is the device latency of one fsync — the dominant cost
 	// of making a WAL batch durable. Zero (the default) models an
@@ -122,7 +129,14 @@ func (c CostModel) Serialization(size int) time.Duration {
 	return time.Duration(float64(size) / c.LinkBandwidth * float64(time.Second))
 }
 
-func (c CostModel) serialization(size int) time.Duration { return c.Serialization(size) }
+// PacketCost returns the wire transmission time of one physical frame
+// carrying payloadBytes of protocol payload: the payload's serialization
+// plus the per-packet overhead. Coalescing k payloads into one frame pays
+// PacketOverheadBytes once instead of k times, which is exactly the saving
+// the egress batch writer buys (docs/EGRESS.md).
+func (c CostModel) PacketCost(payloadBytes int) time.Duration {
+	return c.Serialization(payloadBytes + c.PacketOverheadBytes)
+}
 
 // inCost models the CPU cost of receiving and verifying msg at a node. It
 // is by construction the sum of the two pipeline stages, so the serial

@@ -153,6 +153,13 @@ func (s *Sim) crashNode(id types.NodeID) {
 	sn.flushWaiters = nil
 	sn.flushArmed = false
 	sn.diskBusyUntil = time.Time{}
+	// Payloads parked on a busy link are the node's in-memory egress queues;
+	// they die with the host. Frames already on the wire (delivery events
+	// scheduled) stay in flight. Scheduled link flushes are invalidated by
+	// the epoch bump.
+	for i := range sn.peerTx {
+		sn.peerTx[i].pending = nil
+	}
 	if sn.trace.Enabled() {
 		sn.trace.Trace(obs.Event{At: s.now, Type: obs.EvNodeCrash})
 	}

@@ -58,6 +58,16 @@ type Config struct {
 	// an order-preserving handoff between the stages. Either model is
 	// deterministic for a fixed seed.
 	VerifyCores int
+	// EgressCoalesce models the frame-coalescing egress of the live runtime
+	// (docs/EGRESS.md). 0 (the default) is the per-message model: every
+	// node-to-node message is its own physical frame, paying
+	// Cost.PacketOverheadBytes each. k >= 1 models the coalescing batch
+	// writer: messages emitted while their peer link is still transmitting
+	// park on the link and leave as one coalesced frame of up to k payloads,
+	// paying the packet overhead once per flush — self-regulating, exactly
+	// like the runtime's greedy flush policy. Either model is deterministic
+	// for a fixed seed.
+	EgressCoalesce int
 
 	// BatchSize and BatchTimeout configure the ordering instances.
 	BatchSize    int
@@ -145,8 +155,25 @@ type cpuQueue struct {
 }
 
 // link models one unidirectional network link (dedicated NICs per pair).
+// With EgressCoalesce > 0, messages emitted while the link is transmitting
+// accumulate in pending and flush as one coalesced frame when it frees;
+// pending is the modelled peer egress queue, held on the sending host, so a
+// crash loses it (unlike frames already on the wire). The queue is
+// unbounded: the simulator's emit step is instantaneous, so the queue only
+// ever holds what one busy period accumulates — the live runtime bounds its
+// queues to protect the apply loop, which the sim cannot stall by design.
 type link struct {
 	busyUntil time.Time
+	// pending holds parked payloads awaiting a coalesced flush.
+	pending []pendingFrame
+	// flushArmed marks that a flush event is scheduled for busyUntil.
+	flushArmed bool
+}
+
+// pendingFrame is one protocol payload parked on a busy link.
+type pendingFrame struct {
+	msg  message.Message
+	size int
 }
 
 // simNode wraps a core.Node with its CPU queues and NIC links.
@@ -560,12 +587,25 @@ func (s *Sim) sendNodeToNode(from *simNode, to types.NodeID, msg message.Message
 
 func (s *Sim) sendNodeToNodeSized(from *simNode, to types.NodeID, msg message.Message, size int) {
 	l := &from.peerTx[to]
+	if s.cfg.EgressCoalesce > 0 && (l.busyUntil.After(s.now) || len(l.pending) > 0) {
+		// Link busy (or a flush is already queued behind it): park the
+		// payload; it leaves in the next coalesced frame.
+		l.pending = append(l.pending, pendingFrame{msg: msg, size: size})
+		if !l.flushArmed {
+			l.flushArmed = true
+			ep := from.epoch
+			s.schedule(l.busyUntil, func() { s.flushLink(from, to, ep) })
+		}
+		return
+	}
+	// Link idle: the payload leaves immediately as its own physical frame
+	// (greedy flush — coalescing adds no latency when the wire is keeping
+	// up, exactly like the runtime's flush policy).
 	start := s.now
 	if l.busyUntil.After(start) {
 		start = l.busyUntil
 	}
-	ser := s.cfg.Cost.serialization(size)
-	l.busyUntil = start.Add(ser)
+	l.busyUntil = start.Add(s.cfg.Cost.PacketCost(size))
 	arrive := l.busyUntil.Add(s.cfg.Cost.LinkLatency)
 	if !s.cfg.UDP {
 		arrive = arrive.Add(s.cfg.Cost.TCPExtraLatency)
@@ -573,6 +613,45 @@ func (s *Sim) sendNodeToNodeSized(from *simNode, to types.NodeID, msg message.Me
 	dst := s.nodes[to]
 	fromID := from.id
 	s.schedule(arrive, func() { s.deliverToNode(dst, msg, fromID, false) })
+}
+
+// flushLink transmits up to EgressCoalesce parked payloads as one coalesced
+// physical frame: one packet overhead for the whole batch. Runs when the
+// link frees; if more payloads remain parked (a burst larger than one
+// batch), the next flush is armed for the end of this transmission.
+func (s *Sim) flushLink(from *simNode, to types.NodeID, ep int) {
+	l := &from.peerTx[to]
+	l.flushArmed = false
+	if from.epoch != ep || len(l.pending) == 0 {
+		// The sender crashed since this flush was armed (its egress queue
+		// died with it) or the queue was cleared; nothing to transmit.
+		return
+	}
+	k := len(l.pending)
+	if k > s.cfg.EgressCoalesce {
+		k = s.cfg.EgressCoalesce
+	}
+	batch := l.pending[:k:k]
+	l.pending = l.pending[k:]
+	total := 0
+	for _, pf := range batch {
+		total += pf.size
+	}
+	l.busyUntil = s.now.Add(s.cfg.Cost.PacketCost(total))
+	arrive := l.busyUntil.Add(s.cfg.Cost.LinkLatency)
+	if !s.cfg.UDP {
+		arrive = arrive.Add(s.cfg.Cost.TCPExtraLatency)
+	}
+	dst := s.nodes[to]
+	fromID := from.id
+	for _, pf := range batch {
+		msg := pf.msg
+		s.schedule(arrive, func() { s.deliverToNode(dst, msg, fromID, false) })
+	}
+	if len(l.pending) > 0 {
+		l.flushArmed = true
+		s.schedule(l.busyUntil, func() { s.flushLink(from, to, ep) })
+	}
 }
 
 // deliverToNode enqueues an arrived message unless the sender's NIC is
@@ -611,7 +690,7 @@ func (s *Sim) sendNodeToClient(from *simNode, to types.ClientID, msg message.Mes
 	if l.busyUntil.After(start) {
 		start = l.busyUntil
 	}
-	ser := s.cfg.Cost.serialization(size)
+	ser := s.cfg.Cost.PacketCost(size)
 	l.busyUntil = start.Add(ser)
 	arrive := l.busyUntil.Add(s.cfg.Cost.LinkLatency)
 	if !s.cfg.UDP {

@@ -156,7 +156,7 @@ func (s *Sim) broadcastRequest(sc *simClient, req *message.Request) {
 		if l.busyUntil.After(start) {
 			start = l.busyUntil
 		}
-		l.busyUntil = start.Add(s.cfg.Cost.serialization(size))
+		l.busyUntil = start.Add(s.cfg.Cost.PacketCost(size))
 		arrive := l.busyUntil.Add(s.cfg.Cost.LinkLatency)
 		if !s.cfg.UDP {
 			arrive = arrive.Add(s.cfg.Cost.TCPExtraLatency)

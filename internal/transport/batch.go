@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Batch frames let a sender coalesce several protocol payloads into one wire
+// frame, paying the per-frame overhead (length prefix, syscall, datagram)
+// once per flush instead of once per message. The format is transport
+// independent:
+//
+//	magic (1 byte) | count (u32) | { len_i (u32) | payload_i } * count
+//
+// Protocol payloads always begin with a message-type byte (small values:
+// 1-33), and tcpnet handshake frames begin with an endpoint-name character,
+// so BatchMagic can never collide with a non-batch frame's first byte. A
+// receiving transport splits batch frames back into individual Packets
+// before delivery, so everything above the transport still sees one protocol
+// payload per Packet.
+const BatchMagic = 0xBF
+
+// batchHeaderSize is the fixed prefix of a batch frame (magic + count).
+const batchHeaderSize = 1 + 4
+
+// MaxBatchPayloads bounds the payload count of one batch frame; a malformed
+// count field cannot trigger a huge allocation or iteration.
+const MaxBatchPayloads = 1 << 16
+
+// Batch framing errors.
+var (
+	ErrNotBatch     = fmt.Errorf("transport: not a batch frame")
+	ErrCorruptBatch = fmt.Errorf("transport: corrupt batch frame")
+)
+
+// IsBatch reports whether frame is a coalesced batch frame.
+func IsBatch(frame []byte) bool {
+	return len(frame) >= batchHeaderSize && frame[0] == BatchMagic
+}
+
+// BatchSize returns the encoded size of a batch frame holding payloads of
+// the given total byte length and count.
+func BatchSize(count, totalBytes int) int {
+	return batchHeaderSize + 4*count + totalBytes
+}
+
+// AppendBatch appends the batch-frame encoding of payloads to dst and
+// returns the result.
+func AppendBatch(dst []byte, payloads [][]byte) []byte {
+	dst = append(dst, BatchMagic)
+	var cnt [4]byte
+	binary.BigEndian.PutUint32(cnt[:], uint32(len(payloads)))
+	dst = append(dst, cnt[:]...)
+	for _, p := range payloads {
+		var ln [4]byte
+		binary.BigEndian.PutUint32(ln[:], uint32(len(p)))
+		dst = append(dst, ln[:]...)
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// SplitBatch decodes a batch frame, invoking fn once per payload in order.
+// Payloads are subslices of frame (no copy); callers that retain them beyond
+// frame's lifetime must copy. Truncated or trailing-garbage frames return
+// ErrCorruptBatch; a non-batch frame returns ErrNotBatch.
+func SplitBatch(frame []byte, fn func(payload []byte)) error {
+	if !IsBatch(frame) {
+		return ErrNotBatch
+	}
+	count := binary.BigEndian.Uint32(frame[1:batchHeaderSize])
+	if count > MaxBatchPayloads {
+		return fmt.Errorf("%w: %d payloads", ErrCorruptBatch, count)
+	}
+	off := batchHeaderSize
+	for i := uint32(0); i < count; i++ {
+		if off+4 > len(frame) {
+			return fmt.Errorf("%w: truncated length %d/%d", ErrCorruptBatch, i, count)
+		}
+		n := int(binary.BigEndian.Uint32(frame[off : off+4]))
+		off += 4
+		if n > MaxFrame || off+n > len(frame) {
+			return fmt.Errorf("%w: truncated payload %d/%d", ErrCorruptBatch, i, count)
+		}
+		fn(frame[off : off+n])
+		off += n
+	}
+	if off != len(frame) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorruptBatch, len(frame)-off)
+	}
+	return nil
+}

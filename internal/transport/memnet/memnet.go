@@ -66,8 +66,9 @@ type Endpoint struct {
 }
 
 var (
-	_ transport.Transport  = (*Endpoint)(nil)
-	_ transport.PeerCloser = (*Endpoint)(nil)
+	_ transport.Transport   = (*Endpoint)(nil)
+	_ transport.PeerCloser  = (*Endpoint)(nil)
+	_ transport.BatchSender = (*Endpoint)(nil)
 )
 
 // SetMetrics installs transport counters. Call before the endpoint carries
@@ -131,6 +132,71 @@ func (e *Endpoint) Send(to string, data []byte) error {
 		dst.metrics.Dropped.Inc()
 	}
 	return nil
+}
+
+// SendBatch implements transport.BatchSender. The payloads travel as one
+// coalesced batch frame — fault-injection drop rules see the whole frame, as
+// they would on a real wire — and the receiving side splits it back into
+// individual Packets before enqueueing.
+func (e *Endpoint) SendBatch(to string, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	if len(payloads) == 1 {
+		return e.Send(to, payloads[0])
+	}
+	total := 0
+	for _, p := range payloads {
+		total += len(p)
+	}
+	size := transport.BatchSize(len(payloads), total)
+	if size > transport.MaxFrame {
+		for _, p := range payloads {
+			if err := e.Send(to, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e.net.mu.RLock()
+	dst, ok := e.net.endpoints[to]
+	drop := e.net.dropRule
+	e.net.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", transport.ErrUnknownPeer, to)
+	}
+	frame := transport.AppendBatch(make([]byte, 0, size), payloads)
+	if drop != nil && drop(e.name, to, frame) {
+		dst.metrics.Dropped.Inc()
+		return nil // silently dropped (fault injection)
+	}
+	e.metrics.BytesOut.Add(uint64(total))
+	e.metrics.BatchesSent.Inc()
+	e.metrics.FramesCoalesced.Add(uint64(len(payloads)))
+	e.metrics.BytesSaved.Add(uint64((len(payloads) - 1) * transport.PacketOverheadEstimate))
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.done {
+		return transport.ErrClosed
+	}
+	if until, ok := dst.barred[e.name]; ok {
+		if time.Now().Before(until) {
+			dst.metrics.Dropped.Inc()
+			return nil // receiver's NIC is closed toward us
+		}
+		delete(dst.barred, e.name)
+	}
+	return transport.SplitBatch(frame, func(p []byte) {
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		select {
+		case dst.recv <- transport.Packet{From: e.name, Data: buf}:
+			dst.metrics.BytesIn.Add(uint64(len(buf)))
+		default:
+			// Receiver overloaded: drop, like a saturated NIC.
+			dst.metrics.Dropped.Inc()
+		}
+	})
 }
 
 // Close implements transport.Transport.

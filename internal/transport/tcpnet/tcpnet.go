@@ -6,6 +6,14 @@
 // Each connection begins with a handshake frame carrying the dialer's
 // endpoint name; subsequent frames are payloads. Identity is *claimed* at
 // this layer and authenticated above it by MACs.
+//
+// The endpoint implements transport.BatchSender: several payloads flush as
+// one batch frame (transport.AppendBatch) with a single buffered write —
+// one length prefix, one syscall, one TCP segment train — and the receiving
+// side splits batch frames back into individual Packets. Frame writes carry
+// a write deadline so a peer that stops draining its socket wedges neither
+// the sender goroutine nor the per-connection mutex: the write times out,
+// the connection is torn down, and the next send redials.
 package tcpnet
 
 import (
@@ -19,6 +27,11 @@ import (
 	"rbft/internal/transport"
 )
 
+// defaultWriteTimeout bounds one frame write. A healthy peer drains its
+// receive buffer in microseconds; multi-second stalls mean a wedged or dead
+// peer, and the protocol tolerates the resulting connection teardown.
+const defaultWriteTimeout = 5 * time.Second
+
 // Endpoint is a TCP transport endpoint.
 type Endpoint struct {
 	name     string
@@ -31,6 +44,9 @@ type Endpoint struct {
 	accepted map[net.Conn]bool      // guarded by mu; inbound connections, closed on shutdown
 	barred   map[string]time.Time   // guarded by mu; peer -> drop-inbound-until deadline
 	done     bool                   // guarded by mu
+
+	// writeTimeout is set once before the endpoint carries traffic.
+	writeTimeout time.Duration
 
 	// metrics is set once before the endpoint carries traffic; the counters
 	// themselves are internally atomic.
@@ -46,17 +62,46 @@ type lockedConn struct {
 	// serialises frame writes, while Close is called lock-free to unblock
 	// stuck writers (net.Conn is safe for concurrent use).
 	conn net.Conn
+	// scratch accumulates one wire frame (length prefix + payload) so every
+	// flush is a single Write call. guarded by mu.
+	scratch []byte
 }
 
-func (lc *lockedConn) writeFrame(data []byte) error {
+// writeFrame flushes one length-prefixed frame with a single write under a
+// deadline. A deadline expiry (or any other error) leaves the connection
+// poisoned; callers tear it down and redial.
+func (lc *lockedConn) writeFrame(data []byte, timeout time.Duration) error {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
-	return writeFrame(lc.conn, data)
+	lc.scratch = appendFrame(lc.scratch[:0], data)
+	return lc.writeLocked(timeout)
+}
+
+// writeBatch flushes payloads as one batch frame with a single write.
+func (lc *lockedConn) writeBatch(payloads [][]byte, total int, timeout time.Duration) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	batchLen := transport.BatchSize(len(payloads), total)
+	lc.scratch = appendFrameHeader(lc.scratch[:0], batchLen)
+	lc.scratch = transport.AppendBatch(lc.scratch, payloads)
+	return lc.writeLocked(timeout)
+}
+
+// writeLocked writes the accumulated scratch frame under the write deadline.
+func (lc *lockedConn) writeLocked(timeout time.Duration) error {
+	if timeout > 0 {
+		if err := lc.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
+	_, err := lc.conn.Write(lc.scratch)
+	return err
 }
 
 var (
-	_ transport.Transport  = (*Endpoint)(nil)
-	_ transport.PeerCloser = (*Endpoint)(nil)
+	_ transport.Transport   = (*Endpoint)(nil)
+	_ transport.PeerCloser  = (*Endpoint)(nil)
+	_ transport.BatchSender = (*Endpoint)(nil)
 )
 
 // Listen creates an endpoint named name listening on addr (e.g.
@@ -68,13 +113,14 @@ func Listen(name, addr string, peers map[string]string) (*Endpoint, error) {
 		return nil, fmt.Errorf("tcpnet listen: %w", err)
 	}
 	e := &Endpoint{
-		name:     name,
-		listener: l,
-		recv:     make(chan transport.Packet, 4096),
-		peers:    make(map[string]string, len(peers)),
-		conns:    make(map[string]*lockedConn),
-		accepted: make(map[net.Conn]bool),
-		barred:   make(map[string]time.Time),
+		name:         name,
+		listener:     l,
+		recv:         make(chan transport.Packet, 4096),
+		peers:        make(map[string]string, len(peers)),
+		conns:        make(map[string]*lockedConn),
+		accepted:     make(map[net.Conn]bool),
+		barred:       make(map[string]time.Time),
+		writeTimeout: defaultWriteTimeout,
 	}
 	for k, v := range peers {
 		e.peers[k] = v
@@ -103,6 +149,10 @@ func (e *Endpoint) Packets() <-chan transport.Packet { return e.recv }
 // SetMetrics installs transport counters. Call before the endpoint carries
 // traffic.
 func (e *Endpoint) SetMetrics(m transport.Metrics) { e.metrics = m }
+
+// SetWriteTimeout overrides the per-frame write deadline (0 disables). Call
+// before the endpoint carries traffic.
+func (e *Endpoint) SetWriteTimeout(d time.Duration) { e.writeTimeout = d }
 
 // ClosePeer implements transport.PeerCloser: inbound frames claiming to be
 // from peer are discarded until the deadline (RBFT flood defence).
@@ -139,7 +189,8 @@ func (e *Endpoint) acceptLoop() {
 	}
 }
 
-// serveConn reads the handshake then pumps frames into recv.
+// serveConn reads the handshake then pumps frames into recv, splitting
+// coalesced batch frames back into individual packets.
 func (e *Endpoint) serveConn(conn net.Conn) {
 	defer conn.Close()
 	peer, err := readFrame(conn)
@@ -168,39 +219,100 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 			delete(e.barred, from)
 			e.mu.Unlock()
 		}
-		select {
-		case e.recv <- transport.Packet{From: from, Data: data}:
-			e.metrics.BytesIn.Add(uint64(len(data)))
-		default:
-			// Receiver overloaded: drop rather than stall the socket and
-			// back-pressure the whole cluster.
-			e.metrics.Dropped.Inc()
+		if transport.IsBatch(data) {
+			if err := transport.SplitBatch(data, func(p []byte) {
+				e.deliver(from, p)
+			}); err != nil {
+				e.metrics.Dropped.Inc() // corrupt batch frame: drop it whole
+			}
+			continue
 		}
+		e.deliver(from, data)
+	}
+}
+
+// deliver enqueues one received payload, dropping on receiver overflow.
+func (e *Endpoint) deliver(from string, data []byte) {
+	select {
+	case e.recv <- transport.Packet{From: from, Data: data}:
+		e.metrics.BytesIn.Add(uint64(len(data)))
+	default:
+		// Receiver overloaded: drop rather than stall the socket and
+		// back-pressure the whole cluster.
+		e.metrics.Dropped.Inc()
 	}
 }
 
 // Send implements transport.Transport. It dials lazily and retries once on
-// a stale cached connection.
+// a stale cached connection; a write that trips the deadline tears the
+// connection down the same way.
 func (e *Endpoint) Send(to string, data []byte) error {
 	if len(data) > transport.MaxFrame {
 		return transport.ErrFrameTooBig
 	}
+	err := e.withConn(to, func(lc *lockedConn) error {
+		return lc.writeFrame(data, e.writeTimeout)
+	})
+	if err != nil {
+		return err
+	}
+	e.metrics.BytesOut.Add(uint64(len(data)))
+	return nil
+}
+
+// SendBatch implements transport.BatchSender: payloads flush as one batch
+// frame with a single write. An oversized batch falls back to per-payload
+// frames.
+func (e *Endpoint) SendBatch(to string, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	if len(payloads) == 1 {
+		return e.Send(to, payloads[0])
+	}
+	total := 0
+	for _, p := range payloads {
+		total += len(p)
+	}
+	if transport.BatchSize(len(payloads), total) > transport.MaxFrame {
+		for _, p := range payloads {
+			if err := e.Send(to, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := e.withConn(to, func(lc *lockedConn) error {
+		return lc.writeBatch(payloads, total, e.writeTimeout)
+	})
+	if err != nil {
+		return err
+	}
+	e.metrics.BytesOut.Add(uint64(total))
+	e.metrics.BatchesSent.Inc()
+	e.metrics.FramesCoalesced.Add(uint64(len(payloads)))
+	e.metrics.BytesSaved.Add(uint64((len(payloads) - 1) * transport.PacketOverheadEstimate))
+	return nil
+}
+
+// withConn runs write against the cached connection to the peer, tearing
+// down and redialling once on failure (stale cache, wedged writer).
+func (e *Endpoint) withConn(to string, write func(*lockedConn) error) error {
 	conn, err := e.conn(to)
 	if err != nil {
 		return err
 	}
-	if err := conn.writeFrame(data); err != nil {
+	if err := write(conn); err != nil {
 		e.dropConn(to, conn)
 		conn, err = e.conn(to)
 		if err != nil {
 			return err
 		}
-		if err := conn.writeFrame(data); err != nil {
+		if err := write(conn); err != nil {
 			e.dropConn(to, conn)
 			return fmt.Errorf("tcpnet send to %q: %w", to, err)
 		}
 	}
-	e.metrics.BytesOut.Add(uint64(len(data)))
 	return nil
 }
 
@@ -279,8 +391,23 @@ func (e *Endpoint) Close() error {
 	return nil
 }
 
-// writeFrame writes a 4-byte big-endian length prefix followed by data.
-// Concurrent writers must hold the lockedConn mutex.
+// appendFrameHeader appends the 4-byte big-endian length prefix for a frame
+// of n payload bytes.
+func appendFrameHeader(b []byte, n int) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	return append(b, hdr[:]...)
+}
+
+// appendFrame appends a full wire frame (length prefix + payload).
+func appendFrame(b, data []byte) []byte {
+	b = appendFrameHeader(b, len(data))
+	return append(b, data...)
+}
+
+// writeFrame writes a 4-byte big-endian length prefix followed by data
+// (handshake path; steady-state frames go through lockedConn for the
+// single-write + deadline discipline).
 func writeFrame(w io.Writer, data []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))

@@ -38,6 +38,19 @@ type Transport interface {
 	Close() error
 }
 
+// BatchSender is implemented by transports that can flush several payloads
+// to one peer as a single coalesced wire frame (one length-prefixed batch
+// frame on TCP, one datagram on UDP), amortising the per-frame overhead.
+// The receiving side splits batch frames back into individual Packets, so
+// SendBatch is semantically equivalent to calling Send once per payload —
+// only cheaper. Implementations fall back to per-payload sends when a batch
+// cannot be framed (e.g. it exceeds a datagram).
+type BatchSender interface {
+	// SendBatch transmits the payloads to the named peer, coalescing them
+	// into as few wire frames as the transport allows.
+	SendBatch(to string, payloads [][]byte) error
+}
+
 // PeerCloser is implemented by transports that can enforce a NIC closure:
 // frames received from the named peer are discarded until the deadline
 // passes. The RBFT flood defence (core.Output.NICCloses) is enforced here,
@@ -60,6 +73,15 @@ type Metrics struct {
 	// BytesIn and BytesOut count payload bytes received and sent.
 	BytesIn  *obs.Counter
 	BytesOut *obs.Counter
+	// BatchesSent counts coalesced batch frames flushed, and
+	// FramesCoalesced the payloads they carried (FramesCoalesced/BatchesSent
+	// is the mean coalescing factor).
+	BatchesSent     *obs.Counter
+	FramesCoalesced *obs.Counter
+	// BytesSaved counts wire bytes avoided by coalescing: the per-frame
+	// overhead (headers, prefixes) the payloads would have paid as
+	// individual frames minus what the batch frame actually paid.
+	BytesSaved *obs.Counter
 }
 
 // NewMetrics resolves the transport counter set from reg, labelled with the
@@ -67,10 +89,13 @@ type Metrics struct {
 // Metrics, which counts nothing.
 func NewMetrics(reg *obs.Registry, kind string) Metrics {
 	return Metrics{
-		Dropped:      reg.Counter(obs.LabeledName("rbft_transport_dropped_total", "transport", kind)),
-		PeerClosures: reg.Counter(obs.LabeledName("rbft_transport_peer_closures_total", "transport", kind)),
-		BytesIn:      reg.Counter(obs.LabeledName("rbft_transport_bytes_in_total", "transport", kind)),
-		BytesOut:     reg.Counter(obs.LabeledName("rbft_transport_bytes_out_total", "transport", kind)),
+		Dropped:         reg.Counter(obs.LabeledName("rbft_transport_dropped_total", "transport", kind)),
+		PeerClosures:    reg.Counter(obs.LabeledName("rbft_transport_peer_closures_total", "transport", kind)),
+		BytesIn:         reg.Counter(obs.LabeledName("rbft_transport_bytes_in_total", "transport", kind)),
+		BytesOut:        reg.Counter(obs.LabeledName("rbft_transport_bytes_out_total", "transport", kind)),
+		BatchesSent:     reg.Counter(obs.LabeledName("rbft_transport_batches_sent_total", "transport", kind)),
+		FramesCoalesced: reg.Counter(obs.LabeledName("rbft_transport_frames_coalesced_total", "transport", kind)),
+		BytesSaved:      reg.Counter(obs.LabeledName("rbft_transport_bytes_saved_total", "transport", kind)),
 	}
 }
 
@@ -83,3 +108,9 @@ var (
 
 // MaxFrame bounds a single frame; larger frames are rejected on both sides.
 const MaxFrame = 16 << 20
+
+// PacketOverheadEstimate approximates the wire overhead of carrying one
+// payload as its own physical frame (Ethernet + IP + TCP/UDP headers, ~66
+// bytes on an Ethernet TCP path). Transports use it to account BytesSaved
+// when n payloads coalesce into one frame: (n-1) * PacketOverheadEstimate.
+const PacketOverheadEstimate = 66

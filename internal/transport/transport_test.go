@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -211,6 +213,137 @@ func TestMemnetDropRule(t *testing.T) {
 	p := recvOne(t, b)
 	if string(p.Data) != "kept" {
 		t.Fatalf("got %q, want the undropped frame", p.Data)
+	}
+}
+
+// TestSendBatchDeliversIndividually checks the BatchSender contract on every
+// transport: a coalesced batch arrives as one Packet per payload, in order,
+// indistinguishable from individual sends.
+func TestSendBatchDeliversIndividually(t *testing.T) {
+	for name, mk := range impls() {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(t)
+			defer a.Close()
+			defer b.Close()
+			bs, ok := a.(transport.BatchSender)
+			if !ok {
+				t.Fatalf("%s does not implement transport.BatchSender", name)
+			}
+			want := [][]byte{[]byte("alpha"), []byte("beta"), {0x01}, []byte("gamma")}
+			if err := bs.SendBatch("b", want); err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range want {
+				p := recvOne(t, b)
+				if p.From != "a" || !bytes.Equal(p.Data, w) {
+					t.Fatalf("payload %d: got %q from %q, want %q from a", i, p.Data, p.From, w)
+				}
+			}
+			// Degenerate batches: empty is a no-op, singleton a plain send.
+			if err := bs.SendBatch("b", nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := bs.SendBatch("b", [][]byte{[]byte("solo")}); err != nil {
+				t.Fatal(err)
+			}
+			if p := recvOne(t, b); string(p.Data) != "solo" {
+				t.Fatalf("got %q, want the singleton payload", p.Data)
+			}
+		})
+	}
+}
+
+// TestSendBatchOversizedFallsBack checks that a batch too large for one wire
+// frame degrades to per-payload sends instead of failing.
+func TestSendBatchOversizedFallsBack(t *testing.T) {
+	a, b := udpPair(t)
+	defer a.Close()
+	defer b.Close()
+	// Three payloads, each datagram-sized on its own terms, together beyond
+	// one datagram.
+	payloads := [][]byte{
+		bytes.Repeat([]byte{1}, 30*1024),
+		bytes.Repeat([]byte{2}, 30*1024),
+		bytes.Repeat([]byte{3}, 30*1024),
+	}
+	if err := a.(transport.BatchSender).SendBatch("b", payloads); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[byte]int{}
+	for i := 0; i < len(payloads); i++ {
+		p := recvOne(t, b)
+		seen[p.Data[0]] = len(p.Data)
+	}
+	for _, payload := range payloads {
+		if seen[payload[0]] != len(payload) {
+			t.Fatalf("payload %d missing or truncated: %v", payload[0], seen)
+		}
+	}
+}
+
+// TestTCPWriteDeadlineUnwedgesSender pins the robustness fix for a wedged
+// peer: a connection whose remote end stops reading must not block the
+// sender forever under the connection mutex — the write deadline trips, the
+// connection is torn down, and Send returns an error in bounded time.
+func TestTCPWriteDeadlineUnwedgesSender(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Accept connections and read only the handshake, never the frames, so
+	// the kernel buffers fill and writes stall. Keep conns referenced so
+	// finalizers cannot close them behind our back.
+	var mu sync.Mutex
+	var conns []net.Conn
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+	}()
+
+	a, err := tcpnet.Listen("a", "127.0.0.1:0", map[string]string{"wedged": ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.SetWriteTimeout(200 * time.Millisecond)
+
+	// Pour 64 MB at the non-reading peer. Without write deadlines the kernel
+	// buffers fill and Send blocks forever under the connection mutex; with
+	// them every Send returns in bounded time (succeeding, or erroring after
+	// a redial) and wedged connections are torn down and redialled.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		payload := bytes.Repeat([]byte{0xee}, 1<<20)
+		for i := 0; i < 64; i++ {
+			_ = a.Send("wedged", payload) // errors are fine; blocking is not
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Send wedged on a non-reading peer: write deadline did not unblock it")
+	}
+	mu.Lock()
+	redials := len(conns)
+	mu.Unlock()
+	if redials < 2 {
+		t.Fatalf("sender never tore down the wedged connection (dialled %d times, want >= 2)", redials)
 	}
 }
 

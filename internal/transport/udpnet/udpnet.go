@@ -38,8 +38,9 @@ type Endpoint struct {
 }
 
 var (
-	_ transport.Transport  = (*Endpoint)(nil)
-	_ transport.PeerCloser = (*Endpoint)(nil)
+	_ transport.Transport   = (*Endpoint)(nil)
+	_ transport.PeerCloser  = (*Endpoint)(nil)
+	_ transport.BatchSender = (*Endpoint)(nil)
 )
 
 // Listen creates an endpoint named name bound to addr. peers maps peer
@@ -139,13 +140,26 @@ func (e *Endpoint) readLoop() {
 			delete(e.barred, from)
 			e.mu.Unlock()
 		}
-		select {
-		case e.recv <- transport.Packet{From: from, Data: data}:
-			e.metrics.BytesIn.Add(uint64(len(data)))
-		default:
-			// Drop on overload: UDP semantics.
-			e.metrics.Dropped.Inc()
+		if transport.IsBatch(data) {
+			if err := transport.SplitBatch(data, func(p []byte) {
+				e.deliver(from, p)
+			}); err != nil {
+				e.metrics.Dropped.Inc() // corrupt batch frame: drop it whole
+			}
+			continue
 		}
+		e.deliver(from, data)
+	}
+}
+
+// deliver enqueues one received payload, dropping on receiver overflow.
+func (e *Endpoint) deliver(from string, data []byte) {
+	select {
+	case e.recv <- transport.Packet{From: from, Data: data}:
+		e.metrics.BytesIn.Add(uint64(len(data)))
+	default:
+		// Drop on overload: UDP semantics.
+		e.metrics.Dropped.Inc()
 	}
 }
 
@@ -173,6 +187,53 @@ func (e *Endpoint) Send(to string, data []byte) error {
 		e.metrics.BytesOut.Add(uint64(len(data)))
 	}
 	return err
+}
+
+// SendBatch implements transport.BatchSender: the payloads coalesce into one
+// batch frame carried by a single datagram. A batch too large for a datagram
+// falls back to one datagram per payload.
+func (e *Endpoint) SendBatch(to string, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	if len(payloads) == 1 {
+		return e.Send(to, payloads[0])
+	}
+	total := 0
+	for _, p := range payloads {
+		total += len(p)
+	}
+	size := transport.BatchSize(len(payloads), total)
+	if 2+len(e.name)+size > MaxDatagram {
+		for _, p := range payloads {
+			if err := e.Send(to, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e.mu.RLock()
+	addr, ok := e.peers[to]
+	done := e.done
+	e.mu.RUnlock()
+	if done {
+		return transport.ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("%w: %q", transport.ErrUnknownPeer, to)
+	}
+	frame := make([]byte, 0, 2+len(e.name)+size)
+	frame = append(frame, byte(len(e.name)>>8), byte(len(e.name)))
+	frame = append(frame, e.name...)
+	frame = transport.AppendBatch(frame, payloads)
+	if _, err := e.conn.WriteToUDP(frame, addr); err != nil {
+		return err
+	}
+	e.metrics.BytesOut.Add(uint64(total))
+	e.metrics.BatchesSent.Inc()
+	e.metrics.FramesCoalesced.Add(uint64(len(payloads)))
+	e.metrics.BytesSaved.Add(uint64((len(payloads) - 1) * transport.PacketOverheadEstimate))
+	return nil
 }
 
 // Close implements transport.Transport.

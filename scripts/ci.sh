@@ -20,10 +20,16 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/runtime/... ./internal/transport/... ./internal/client/... ./internal/obs/... ./internal/wal/...
 
-echo "== fuzz smoke (internal/message, internal/wal) =="
+echo "== fuzz smoke (internal/message, internal/wal, internal/transport) =="
 go test ./internal/message -run '^$' -fuzz '^FuzzDecode$' -fuzztime 5s
 go test ./internal/message -run '^$' -fuzz '^FuzzPreverify$' -fuzztime 5s
 go test ./internal/wal -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s
+go test ./internal/transport -run '^$' -fuzz '^FuzzFrameBatch$' -fuzztime 5s
+
+echo "== allocation gate (zero-alloc steady-state encode, docs/EGRESS.md) =="
+go test ./internal/message -run '^TestEncodeZeroAlloc$' -count=1 -v
+go test ./internal/message -run '^$' -bench '^(BenchmarkMarshal|BenchmarkEncode)$' -benchtime 100x -benchmem
+go test ./internal/runtime -run '^$' -bench '^BenchmarkEgress$' -benchtime 100x -benchmem
 
 echo "== bench smoke (BENCH_sim.json) =="
 go run ./cmd/rbft-bench -exp bench -quick -json BENCH_sim.json

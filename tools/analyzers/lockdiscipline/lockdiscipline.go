@@ -28,6 +28,14 @@
 // node) mutex stalls every appender for milliseconds and re-serializes the
 // pipeline that group commit exists to keep full.
 //
+// Functions annotated `//rbft:egress` (the per-peer send workers of the
+// egress pipeline, docs/EGRESS.md) are held to the same lock-free rule: no
+// mutex acquisition or release and no guarded-field access. An egress
+// worker blocks on the wire by design — toward a wedged peer, for seconds —
+// so a worker that takes the node mutex (or any guarded state) hands that
+// peer's stall straight back to the apply loop, undoing the isolation the
+// per-peer queues exist to provide.
+//
 // The copy check flags value parameters, value results, value receivers,
 // plain-assignment copies and range-value copies of any type that
 // transitively contains a sync.Mutex, sync.RWMutex, sync.WaitGroup,
@@ -92,6 +100,10 @@ func run(pass *framework.Pass) error {
 			}
 			if isWALFunc(fd) {
 				checkLockFreeBody(pass, guards, fd, "wal I/O", "fsync and segment I/O must not run under a mutex", "the WAL I/O path must not touch guarded state")
+				continue
+			}
+			if isEgressFunc(fd) {
+				checkLockFreeBody(pass, guards, fd, "egress", "a send worker that takes a mutex hands a wedged peer's stall back to the apply loop", "egress workers must not touch guarded protocol state")
 				continue
 			}
 			checkFuncBody(pass, guards, fd.Name.Name, fd.Body)
@@ -245,12 +257,17 @@ func isVerifierFunc(fd *ast.FuncDecl) bool { return hasDirective(fd, "rbft:verif
 // the write-ahead log.
 func isWALFunc(fd *ast.FuncDecl) bool { return hasDirective(fd, "rbft:wal") }
 
-// checkLockFreeBody enforces the lock-free contract shared by the verifier
-// and WAL-I/O stages: no access to any guarded field (locked or not) and no
-// mutex acquisition or release anywhere in the function. There are no
-// exemptions — a verifier that needs node state belongs in the apply stage,
-// and an fsync that needs the log mutex belongs on the flusher's unlocked
-// side.
+// isEgressFunc matches the //rbft:egress annotation: the per-peer send
+// workers of the egress pipeline.
+func isEgressFunc(fd *ast.FuncDecl) bool { return hasDirective(fd, "rbft:egress") }
+
+// checkLockFreeBody enforces the lock-free contract shared by the verifier,
+// WAL-I/O and egress-worker stages: no access to any guarded field (locked
+// or not) and no mutex acquisition or release anywhere in the function.
+// There are no exemptions — a verifier that needs node state belongs in the
+// apply stage, an fsync that needs the log mutex belongs on the flusher's
+// unlocked side, and an egress worker that needs protocol state should have
+// been handed it in its queued frame.
 func checkLockFreeBody(pass *framework.Pass, guards map[*types.Named]map[string]guardedField, fd *ast.FuncDecl, role, lockMsg, guardMsg string) {
 	name := fd.Name.Name
 	ast.Inspect(fd.Body, func(n ast.Node) bool {

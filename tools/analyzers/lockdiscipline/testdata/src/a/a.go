@@ -118,3 +118,27 @@ func (r *Registry) walWriteDirty(k string) int {
 func (r *Registry) walSneaky() bool {
 	return r.done // want `wal I/O function walSneaky accesses r\.done \(guarded by r\.mu\); the WAL I/O path must not touch guarded state`
 }
+
+// good: an egress worker that drains its queue and touches only its frame.
+//
+//rbft:egress
+func (r *Registry) egressClean() int {
+	return r.hits
+}
+
+// bad: an egress worker taking the mutex and reaching into guarded state.
+//
+//rbft:egress
+func (r *Registry) egressDirty(k string) int {
+	r.mu.Lock()         // want `egress function egressDirty calls r\.mu\.Lock; a send worker that takes a mutex hands a wedged peer's stall back to the apply loop`
+	defer r.mu.Unlock() // want `egress function egressDirty calls r\.mu\.Unlock; a send worker that takes a mutex hands a wedged peer's stall back to the apply loop`
+	return r.entries[k] // want `egress function egressDirty accesses r\.entries \(guarded by r\.mu\); egress workers must not touch guarded protocol state`
+}
+
+// bad: holding no lock does not excuse an egress worker touching guarded
+// state.
+//
+//rbft:egress
+func (r *Registry) egressSneaky() bool {
+	return r.done // want `egress function egressSneaky accesses r\.done \(guarded by r\.mu\); egress workers must not touch guarded protocol state`
+}

@@ -44,6 +44,10 @@ var simPackages = []string{
 	"rbft/internal/monitor",
 	"rbft/internal/message",
 	"rbft/internal/obs",
+	// The experiment harness builds every benchmark and determinism-gated
+	// configuration (BENCH_sim.json, the speedup bounds); a wall-clock or
+	// global-randomness leak here would silently decalibrate them.
+	"rbft/internal/harness",
 }
 
 func inScope(pkgPath string) bool {

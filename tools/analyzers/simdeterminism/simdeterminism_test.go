@@ -16,6 +16,7 @@ func TestScope(t *testing.T) {
 		"rbft/internal/sim":              true,
 		"rbft/internal/core":             true,
 		"rbft/internal/message":          true,
+		"rbft/internal/harness":          true,
 		"rbft/internal/transport/tcpnet": false,
 		"rbft/internal/runtime":          false,
 		"rbft/cmd/rbft-bench":            false,
