@@ -32,8 +32,9 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-// unitcheck runs one go vet unit of work described by cfgFile.
-func unitcheck(cfgFile string) int {
+// unitcheck runs one go vet unit of work described by cfgFile, restricted
+// to the selected analyzers.
+func unitcheck(cfgFile string, selected []*framework.Analyzer) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -58,7 +59,7 @@ func unitcheck(cfgFile string) int {
 	}
 
 	var applicable []*framework.Analyzer
-	for _, a := range analyzers {
+	for _, a := range selected {
 		if a.Scope(cfg.ImportPath) {
 			applicable = append(applicable, a)
 		}
@@ -76,13 +77,8 @@ func unitcheck(cfgFile string) int {
 		return 1
 	}
 
-	exit := 0
-	for _, a := range applicable {
-		diags, err := framework.Run(a, pkg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
+	var findings []finding
+	record := func(analyzer string, diags []framework.Diagnostic) {
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
 			// The protocol invariants target shipped code; go vet also
@@ -91,11 +87,29 @@ func unitcheck(cfgFile string) int {
 			if strings.HasSuffix(pos.Filename, "_test.go") {
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, a.Name, d.Message)
-			exit = 2
+			findings = append(findings, finding{pos: pos, analyzer: analyzer, message: d.Message})
 		}
 	}
-	return exit
+	for _, a := range applicable {
+		diags, err := framework.Run(a, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		record(a.Name, diags)
+	}
+	// The annotation audit checks against the full registry's vocabulary,
+	// not just the selected or applicable analyzers.
+	record("annotations", framework.CheckAnnotations(pkg, framework.KnownAnnotations(analyzers)))
+
+	if len(findings) == 0 {
+		return 0
+	}
+	sortFindings(findings)
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.pos, f.analyzer, f.message)
+	}
+	return 2
 }
 
 // loadUnit parses and type-checks the unit's sources against the export

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rbft/internal/sim"
+	"rbft/internal/types"
 )
 
 // AardvarkConfig parameterises the Aardvark baseline (Clement et al., NSDI
@@ -96,7 +97,7 @@ func (c *AardvarkConfig) withDefaults() AardvarkConfig {
 		out.RequiredFraction = 0.9
 	}
 	if out.HistoryViews == 0 {
-		out.HistoryViews = 3*out.F + 1
+		out.HistoryViews = types.ClusterSize(out.F)
 	}
 	if out.ViewChangePause == 0 {
 		out.ViewChangePause = 300 * time.Millisecond
@@ -136,7 +137,7 @@ func Aardvark(cfg AardvarkConfig, w Workload) Result {
 		// the monitoring history has warmed up.
 		c.AttackFrom = w.Total() / 3
 	}
-	n := 3*c.F + 1
+	n := types.ClusterSize(c.F)
 
 	perBatch := func(b, size int) time.Duration {
 		perReq := c.PerReqCPU +

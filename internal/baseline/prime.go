@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rbft/internal/sim"
+	"rbft/internal/types"
 )
 
 // PrimeConfig parameterises the Prime baseline (Amir et al., DSN 2008).
@@ -121,7 +122,7 @@ func Prime(cfg PrimeConfig, w Workload) Result {
 	if c.AttackFrom == 0 {
 		c.AttackFrom = w.Total() / 3
 	}
-	n := 3*c.F + 1
+	n := types.ClusterSize(c.F)
 
 	perBatch := func(b, size int) time.Duration {
 		perReq := c.PerReqCPU +

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rbft/internal/sim"
+	"rbft/internal/types"
 )
 
 // SpinningConfig parameterises the Spinning baseline (Veronese et al., SRDS
@@ -81,7 +82,7 @@ func (c *SpinningConfig) withDefaults() SpinningConfig {
 // Spinning runs the workload under the Spinning protocol.
 func Spinning(cfg SpinningConfig, w Workload) Result {
 	c := cfg.withDefaults()
-	n := 3*c.F + 1
+	n := types.ClusterSize(c.F)
 
 	en := &engine{
 		cost:         c.Cost,

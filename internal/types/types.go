@@ -79,9 +79,34 @@ type Config struct {
 	F int
 }
 
+// The named threshold helpers below are the only place in the repository
+// where quorum arithmetic is spelled out. Everything else — protocol cores,
+// baselines, drivers, tests — goes through them (or the Config methods that
+// delegate to them), and the quorumsafety analyzer (tools/analyzers)
+// rejects raw 2f+1 / f+1 / 2f / 3f+1 expressions anywhere outside this
+// package. A threshold with a name can be audited once; an inline
+// expression has to be re-derived at every call site, which is exactly how
+// off-by-one quorum bugs survive review.
+
+// Quorum returns the Byzantine quorum size 2f+1 for a cluster tolerating f
+// faults: any two quorums intersect in at least one correct node.
+func Quorum(f int) int { return 2*f + 1 }
+
+// WeakQuorum returns f+1, the smallest count guaranteeing at least one
+// correct node among the senders.
+func WeakQuorum(f int) int { return f + 1 }
+
+// PrepareThreshold returns 2f, the number of PREPARE messages (besides the
+// PRE-PREPARE itself) needed for a replica to reach the prepared state.
+func PrepareThreshold(f int) int { return 2 * f }
+
+// ClusterSize returns 3f+1, the minimum number of nodes needed to tolerate
+// f Byzantine faults.
+func ClusterSize(f int) int { return 3*f + 1 }
+
 // NewConfig returns the configuration tolerating f faults (N = 3f+1).
 func NewConfig(f int) Config {
-	return Config{N: 3*f + 1, F: f}
+	return Config{N: ClusterSize(f), F: f}
 }
 
 // Validate reports whether the configuration is a well-formed 3f+1 cluster.
@@ -89,24 +114,26 @@ func (c Config) Validate() error {
 	if c.F < 0 {
 		return fmt.Errorf("config: negative f (%d)", c.F)
 	}
-	if c.N != 3*c.F+1 {
+	if c.N != ClusterSize(c.F) {
 		return fmt.Errorf("config: N=%d is not 3f+1 for f=%d", c.N, c.F)
 	}
 	return nil
 }
 
 // Instances returns the number of protocol instances every node runs (f+1).
+// Numerically equal to WeakQuorum but semantically distinct: it counts
+// redundant ordering lanes, not message senders.
 func (c Config) Instances() int { return c.F + 1 }
 
 // Quorum returns the Byzantine quorum size 2f+1.
-func (c Config) Quorum() int { return 2*c.F + 1 }
+func (c Config) Quorum() int { return Quorum(c.F) }
 
 // WeakQuorum returns f+1, the count guaranteeing at least one correct node.
-func (c Config) WeakQuorum() int { return c.F + 1 }
+func (c Config) WeakQuorum() int { return WeakQuorum(c.F) }
 
 // PrepareQuorum returns 2f, the number of PREPARE messages (besides the
 // PRE-PREPARE) needed for a replica to reach the prepared state.
-func (c Config) PrepareQuorum() int { return 2 * c.F }
+func (c Config) PrepareQuorum() int { return PrepareThreshold(c.F) }
 
 // PrimaryOf returns the node hosting the primary replica of instance inst in
 // view v. The placement (v + inst) mod N guarantees that with f+1 <= N

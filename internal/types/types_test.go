@@ -40,6 +40,38 @@ func TestNewConfig(t *testing.T) {
 	}
 }
 
+// TestNamedThresholdHelpers pins the package-level helpers — the single
+// authority for quorum arithmetic repository-wide (the quorumsafety analyzer
+// forbids the raw expressions everywhere else) — and checks that the Config
+// methods agree with them.
+func TestNamedThresholdHelpers(t *testing.T) {
+	for f := 0; f <= 10; f++ {
+		if got, want := Quorum(f), 2*f+1; got != want {
+			t.Errorf("Quorum(%d) = %d, want %d", f, got, want)
+		}
+		if got, want := WeakQuorum(f), f+1; got != want {
+			t.Errorf("WeakQuorum(%d) = %d, want %d", f, got, want)
+		}
+		if got, want := PrepareThreshold(f), 2*f; got != want {
+			t.Errorf("PrepareThreshold(%d) = %d, want %d", f, got, want)
+		}
+		if got, want := ClusterSize(f), 3*f+1; got != want {
+			t.Errorf("ClusterSize(%d) = %d, want %d", f, got, want)
+		}
+		c := NewConfig(f)
+		if c.Quorum() != Quorum(f) || c.WeakQuorum() != WeakQuorum(f) ||
+			c.PrepareQuorum() != PrepareThreshold(f) || c.N != ClusterSize(f) {
+			t.Errorf("f=%d: Config methods disagree with package helpers", f)
+		}
+		// The quorum-intersection argument the protocol rests on: two 2f+1
+		// quorums in a 3f+1 cluster share at least f+1 nodes, hence at
+		// least one correct one.
+		if overlap := 2*Quorum(f) - ClusterSize(f); overlap < WeakQuorum(f) {
+			t.Errorf("f=%d: quorum intersection %d below weak quorum %d", f, overlap, WeakQuorum(f))
+		}
+	}
+}
+
 func TestConfigValidateRejectsMalformed(t *testing.T) {
 	tests := []Config{
 		{N: 4, F: 2},

@@ -14,6 +14,9 @@ go vet ./...
 echo "== rbft-vet ./... =="
 go run ./cmd/rbft-vet ./...
 
+echo "== vet-fixtures (analyzer self-tests) =="
+go test ./tools/analyzers/...
+
 echo "== go test ./... =="
 go test ./...
 

@@ -1,0 +1,71 @@
+package framework
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IgnoreAnnotation is the framework's own suppression directive,
+// //rbft:ignore, always part of the known set.
+const IgnoreAnnotation = "ignore"
+
+// KnownAnnotations returns the union of the analyzers' declared annotations
+// plus the framework's ignore directive.
+func KnownAnnotations(analyzers []*Analyzer) map[string]bool {
+	known := map[string]bool{IgnoreAnnotation: true}
+	for _, a := range analyzers {
+		for _, name := range a.Annotations {
+			known[name] = true
+		}
+	}
+	return known
+}
+
+// CheckAnnotations scans pkg's comments for //rbft:<name> directives and
+// returns a diagnostic for every name not in known. Only directive-position
+// comments count: the comment's text must begin exactly with "//rbft:"
+// (no space), so prose that merely mentions an annotation is never
+// flagged. An annotation no analyzer understands is dead weight at best
+// and, at worst, a typo that silently disables the check it meant to
+// invoke.
+func CheckAnnotations(pkg *Package, known map[string]bool) []Diagnostic {
+	var names []string
+	for name := range known {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	knownList := strings.Join(names, ", ")
+
+	var diags []Diagnostic
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//rbft:")
+				if !ok {
+					continue
+				}
+				name := annotationName(rest)
+				if name == "" || !known[name] {
+					diags = append(diags, Diagnostic{
+						Pos:     c.Pos(),
+						Message: fmt.Sprintf("unknown annotation //rbft:%s: no registered analyzer understands it (known: %s)", name, knownList),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// annotationName extracts the directive name: the leading run of
+// lower-case letters, digits and underscores.
+func annotationName(s string) string {
+	for i, r := range s {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+package framework
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckAnnotations(t *testing.T) {
+	pkgs, err := Load(TestData(t), "./src/annot")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	known := KnownAnnotations([]*Analyzer{
+		{Name: "x", Annotations: []string{"verifier", "egress", "wal"}},
+		{Name: "y", Annotations: []string{"dispatch"}},
+	})
+	diags := CheckAnnotations(pkgs[0], known)
+	if len(diags) != 1 {
+		for _, d := range diags {
+			t.Logf("diag: %s: %s", pkgs[0].Fset.Position(d.Pos), d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want exactly 1 (the typo)", len(diags))
+	}
+	if !strings.Contains(diags[0].Message, "//rbft:verifer") {
+		t.Errorf("diagnostic %q does not name the typo'd annotation", diags[0].Message)
+	}
+	if !strings.Contains(diags[0].Message, "dispatch") || !strings.Contains(diags[0].Message, "ignore") {
+		t.Errorf("diagnostic %q does not list the known annotations", diags[0].Message)
+	}
+}
+
+func TestKnownAnnotationsAlwaysIncludesIgnore(t *testing.T) {
+	if !KnownAnnotations(nil)[IgnoreAnnotation] {
+		t.Fatal("ignore must always be known")
+	}
+}

@@ -1,0 +1,282 @@
+package framework
+
+// dataflow.go is the framework's lightweight intraprocedural dataflow layer:
+// def-use chains over the typed AST, origin resolution (what expressions a
+// value could have come from), and a small taint engine built on both. It is
+// deliberately flow-insensitive — a definition anywhere in the function body
+// reaches every use — which over-approximates reachability and therefore
+// never misses a flow; analyzers that need precision (quorumsafety's
+// comparison check, trustboundary's taint tracking) trade a few suppressible
+// false positives for zero false negatives on the protocol-safety
+// invariants.
+//
+// Everything here is per-function: the unit of analysis is one *ast.FuncDecl
+// body (closures included — a flow through a captured variable inside the
+// same body is tracked). Cross-function flows are each analyzer's problem,
+// typically solved by contract: e.g. trustboundary treats function
+// parameters as clean because the caller's body is analyzed separately.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DefUse holds the def-use chains of one function body: for every local
+// object, the expressions whose value it may hold.
+type DefUse struct {
+	info *types.Info
+	// defs maps each object to every expression assigned to it anywhere in
+	// the body (flow-insensitive).
+	defs map[types.Object][]ast.Expr
+}
+
+// NewDefUse builds def-use chains for one function body. body may be any
+// node; only assignment forms inside it contribute definitions:
+//
+//   - x := e and x = e (including n:n multi-assigns)
+//   - x, y := f() (each LHS is defined by the call expression)
+//   - var x = e value specs
+//   - for k, v := range e (k and v are defined by e)
+//   - switch v := x.(type) (each clause's implicit object is defined by x)
+//   - x <- from "for x := range ch" is a definition by the channel expr
+func NewDefUse(info *types.Info, body ast.Node) *DefUse {
+	d := &DefUse{info: info, defs: make(map[types.Object][]ast.Expr)}
+	if body == nil {
+		return d
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				// x, y := f() — every LHS holds a part of the call's result.
+				for _, lhs := range n.Lhs {
+					d.addDef(lhs, n.Rhs[0])
+				}
+				break
+			}
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					d.addDef(lhs, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 1 && len(n.Names) > 1 {
+				for _, name := range n.Names {
+					d.addDef(name, n.Values[0])
+				}
+				break
+			}
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					d.addDef(name, n.Values[i])
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				d.addDef(n.Key, n.X)
+			}
+			if n.Value != nil {
+				d.addDef(n.Value, n.X)
+			}
+		case *ast.TypeSwitchStmt:
+			// switch v := x.(type): each case clause introduces its own
+			// implicit object for v, all defined by the asserted expression.
+			assign, ok := n.Assign.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 {
+				break
+			}
+			ta, ok := assign.Rhs[0].(*ast.TypeAssertExpr)
+			if !ok {
+				break
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if obj := d.info.Implicits[cc]; obj != nil {
+					d.defs[obj] = append(d.defs[obj], ta.X)
+				}
+			}
+		}
+		return true
+	})
+	return d
+}
+
+// addDef records rhs as a definition of lhs when lhs is a plain identifier
+// with a resolved object. Assignments through selectors or indexes define
+// fields and elements, not local objects; those are sink territory, not
+// def-use territory.
+func (d *DefUse) addDef(lhs ast.Expr, rhs ast.Expr) {
+	ident, ok := lhs.(*ast.Ident)
+	if !ok || ident.Name == "_" {
+		return
+	}
+	obj := d.info.Defs[ident]
+	if obj == nil {
+		obj = d.info.Uses[ident]
+	}
+	if obj == nil {
+		return
+	}
+	d.defs[obj] = append(d.defs[obj], rhs)
+}
+
+// DefsOf returns every expression assigned to obj in the body.
+func (d *DefUse) DefsOf(obj types.Object) []ast.Expr { return d.defs[obj] }
+
+// ObjectOf resolves an identifier to its object (use or def).
+func (d *DefUse) ObjectOf(ident *ast.Ident) types.Object {
+	if obj := d.info.Uses[ident]; obj != nil {
+		return obj
+	}
+	return d.info.Defs[ident]
+}
+
+// Origins returns the set of origin expressions a value may stem from:
+// identifiers are resolved through their definitions transitively
+// (cycle-safe); parens are unwrapped; any other expression is its own
+// origin. An identifier with no recorded definition (a parameter, a
+// package-level variable) is returned as its own origin so callers can still
+// inspect it.
+func (d *DefUse) Origins(e ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	seen := make(map[types.Object]bool)
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.Ident:
+			obj := d.ObjectOf(e)
+			if obj == nil || seen[obj] {
+				return
+			}
+			seen[obj] = true
+			defs := d.defs[obj]
+			if len(defs) == 0 {
+				out = append(out, e)
+				return
+			}
+			for _, def := range defs {
+				walk(def)
+			}
+		default:
+			out = append(out, e)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// ---- taint ----
+
+// TaintConfig parameterises the taint engine.
+type TaintConfig struct {
+	// Source reports whether a call's results are tainted at birth.
+	Source func(call *ast.CallExpr) bool
+	// Sanitizer reports whether a call launders its arguments: the call's
+	// results are clean even when its arguments are tainted.
+	Sanitizer func(call *ast.CallExpr) bool
+}
+
+// Taint is the result of a taint pass: the set of objects that may hold a
+// tainted value anywhere in the analyzed body.
+type Taint struct {
+	du      *DefUse
+	cfg     TaintConfig
+	tainted map[types.Object]bool
+}
+
+// NewTaint runs the engine to a fixpoint over the body's def-use chains:
+// an object is tainted when any of its definitions is a tainted expression,
+// and expressions propagate taint structurally (selection, indexing,
+// dereference, type assertion, slicing, unary/binary composition, composite
+// literals, and type conversions). Ordinary calls do NOT propagate taint
+// from arguments to results — the callee's body is analyzed on its own — so
+// sanitizing by function boundary is the default and Sanitizer only needs
+// to name functions whose *results* must stay clean despite being built
+// from tainted inputs in the same expression (none today; the hook exists
+// for symmetry and tests).
+func NewTaint(du *DefUse, cfg TaintConfig) *Taint {
+	t := &Taint{du: du, cfg: cfg, tainted: make(map[types.Object]bool)}
+	for changed := true; changed; {
+		changed = false
+		for obj, defs := range du.defs {
+			if t.tainted[obj] {
+				continue
+			}
+			for _, def := range defs {
+				if t.ExprTainted(def) {
+					t.tainted[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return t
+}
+
+// ObjTainted reports whether obj may hold a tainted value.
+func (t *Taint) ObjTainted(obj types.Object) bool { return t.tainted[obj] }
+
+// ExprTainted reports whether e may evaluate to (or contain) a tainted
+// value.
+func (t *Taint) ExprTainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := t.du.ObjectOf(e)
+		return obj != nil && t.tainted[obj]
+	case *ast.ParenExpr:
+		return t.ExprTainted(e.X)
+	case *ast.SelectorExpr:
+		// A field of a tainted value is tainted. (A selector whose base is
+		// a package name resolves to a clean package-level object.)
+		return t.ExprTainted(e.X)
+	case *ast.IndexExpr:
+		return t.ExprTainted(e.X)
+	case *ast.SliceExpr:
+		return t.ExprTainted(e.X)
+	case *ast.StarExpr:
+		return t.ExprTainted(e.X)
+	case *ast.TypeAssertExpr:
+		return t.ExprTainted(e.X)
+	case *ast.UnaryExpr:
+		return t.ExprTainted(e.X)
+	case *ast.BinaryExpr:
+		return t.ExprTainted(e.X) || t.ExprTainted(e.Y)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if t.ExprTainted(kv.Value) {
+					return true
+				}
+				continue
+			}
+			if t.ExprTainted(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if t.cfg.Source != nil && t.cfg.Source(e) {
+			return true
+		}
+		if t.cfg.Sanitizer != nil && t.cfg.Sanitizer(e) {
+			return false
+		}
+		// A type conversion T(x) is the same value under a new name.
+		if tv, ok := t.du.info.Types[e.Fun]; ok && tv.IsType() {
+			for _, arg := range e.Args {
+				if t.ExprTainted(arg) {
+					return true
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,178 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// loadDefuse loads the dataflow fixture package and returns it with a lookup
+// from function name to declaration.
+func loadDefuse(t *testing.T) (*Package, map[string]*ast.FuncDecl) {
+	t.Helper()
+	pkgs, err := Load(TestData(t), "./src/defuse")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	fns := make(map[string]*ast.FuncDecl)
+	for _, f := range pkgs[0].Syntax {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fns[fd.Name.Name] = fd
+			}
+		}
+	}
+	return pkgs[0], fns
+}
+
+// taintCfg marks calls to Source as sources and calls to Sanitize as
+// sanitizers, by callee name.
+func taintCfg() TaintConfig {
+	calleeIs := func(call *ast.CallExpr, name string) bool {
+		ident, ok := call.Fun.(*ast.Ident)
+		return ok && ident.Name == name
+	}
+	return TaintConfig{
+		Source:    func(c *ast.CallExpr) bool { return calleeIs(c, "Source") },
+		Sanitizer: func(c *ast.CallExpr) bool { return calleeIs(c, "Sanitize") },
+	}
+}
+
+// localObject finds the types.Object of a local variable of fd by name.
+func localObject(pkg *Package, fd *ast.FuncDecl, name string) types.Object {
+	var found types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != name {
+			return true
+		}
+		if obj := pkg.TypesInfo.Defs[id]; obj != nil {
+			found = obj
+		}
+		return true
+	})
+	return found
+}
+
+func TestTaintPropagation(t *testing.T) {
+	pkg, fns := loadDefuse(t)
+	fd := fns["Chain"]
+	du := NewDefUse(pkg.TypesInfo, fd.Body)
+	taint := NewTaint(du, taintCfg())
+
+	want := map[string]bool{
+		"a": true,  // direct source result
+		"b": true,  // copy of a
+		"c": false, // unrelated call
+		"d": true,  // arithmetic over b
+		"e": false, // sanitized
+		"f": true,  // reassignment from d
+	}
+	for name, wantTainted := range want {
+		obj := localObject(pkg, fd, name)
+		if obj == nil {
+			t.Fatalf("no local %q", name)
+		}
+		if got := taint.ObjTainted(obj); got != wantTainted {
+			t.Errorf("Chain: taint(%s) = %v, want %v", name, got, wantTainted)
+		}
+	}
+}
+
+func TestTaintThroughTypeSwitch(t *testing.T) {
+	pkg, fns := loadDefuse(t)
+	fd := fns["Assert"]
+	du := NewDefUse(pkg.TypesInfo, fd.Body)
+	taint := NewTaint(du, taintCfg())
+
+	// Every implicit object of the type switch must carry the source taint.
+	found := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		obj := pkg.TypesInfo.Implicits[cc]
+		if obj == nil {
+			return true
+		}
+		found++
+		if !taint.ObjTainted(obj) {
+			t.Errorf("Assert: type-switch binding in clause at %s is not tainted", pkg.Fset.Position(cc.Pos()))
+		}
+		return true
+	})
+	if found == 0 {
+		t.Fatal("found no type-switch implicit objects")
+	}
+}
+
+func TestOriginsResolveThroughCopies(t *testing.T) {
+	pkg, fns := loadDefuse(t)
+	fd := fns["Quorumish"]
+	du := NewDefUse(pkg.TypesInfo, fd.Body)
+
+	// Find the comparison `n > threshold` and resolve each side's origins.
+	var cmp *ast.BinaryExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op.String() == ">" {
+			cmp = be
+		}
+		return true
+	})
+	if cmp == nil {
+		t.Fatal("no > comparison in Quorumish")
+	}
+
+	// threshold -> q -> Source() : the origin must be the call expression.
+	origins := du.Origins(cmp.Y)
+	if len(origins) != 1 {
+		t.Fatalf("Origins(threshold) = %d exprs, want 1", len(origins))
+	}
+	call, ok := origins[0].(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("Origins(threshold)[0] is %T, want *ast.CallExpr", origins[0])
+	}
+	if ident, ok := call.Fun.(*ast.Ident); !ok || ident.Name != "Source" {
+		t.Errorf("origin call is %v, want Source()", call.Fun)
+	}
+
+	// n -> Clean() on the left side.
+	origins = du.Origins(cmp.X)
+	if len(origins) != 1 {
+		t.Fatalf("Origins(n) = %d exprs, want 1", len(origins))
+	}
+	if call, ok := origins[0].(*ast.CallExpr); !ok {
+		t.Errorf("Origins(n)[0] is %T, want call", origins[0])
+	} else if ident, ok := call.Fun.(*ast.Ident); !ok || ident.Name != "Clean" {
+		t.Errorf("origin call is %v, want Clean()", call.Fun)
+	}
+}
+
+func TestDefUseRangeAndDefs(t *testing.T) {
+	pkg, fns := loadDefuse(t)
+	fd := fns["Loop"]
+	du := NewDefUse(pkg.TypesInfo, fd.Body)
+	v := localObject(pkg, fd, "v")
+	if v == nil {
+		t.Fatal("no local v")
+	}
+	defs := du.DefsOf(v)
+	if len(defs) != 1 {
+		t.Fatalf("DefsOf(v) = %d defs, want 1 (the range expression)", len(defs))
+	}
+	if ident, ok := defs[0].(*ast.Ident); !ok || ident.Name != "xs" {
+		t.Errorf("def of v is %v, want xs", defs[0])
+	}
+	// sum has two defs: the literal and the += (compound assignment).
+	sum := localObject(pkg, fd, "sum")
+	if sum == nil {
+		t.Fatal("no local sum")
+	}
+	if defs := du.DefsOf(sum); len(defs) != 2 {
+		t.Errorf("DefsOf(sum) = %d defs, want 2 (init and +=)", len(defs))
+	}
+}

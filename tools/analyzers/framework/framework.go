@@ -30,6 +30,12 @@ type Analyzer struct {
 	Scope func(pkgPath string) bool
 	// Run analyzes one package, reporting findings via pass.Reportf.
 	Run func(*Pass) error
+	// Annotations lists the //rbft:<name> source annotations this analyzer
+	// understands (e.g. "dispatch"). cmd/rbft-vet takes the union across
+	// registered analyzers — plus the framework's own "ignore" — and rejects
+	// any //rbft: annotation outside it, so a typo'd directive fails CI
+	// instead of silently disabling its check.
+	Annotations []string
 }
 
 // Diagnostic is one finding, positioned in the loaded file set.

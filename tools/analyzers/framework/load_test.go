@@ -1,0 +1,52 @@
+package framework
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadReportsBuildError: loading a package that fails to type-check must
+// return the error (naming the package) rather than panicking — a broken
+// tree handed to rbft-vet should fail CI with a diagnosis, not a stack
+// trace.
+func TestLoadReportsBuildError(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Load panicked on a build-error package: %v", r)
+		}
+	}()
+	pkgs, err := Load(TestData(t), "./src/broken")
+	if err == nil {
+		t.Fatalf("Load of a build-error package succeeded with %d packages, want error", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "broken") && !strings.Contains(err.Error(), "undefinedIdentifier") {
+		t.Errorf("Load error does not identify the failure: %v", err)
+	}
+}
+
+// TestLoadRejectsUnknownPattern: a pattern matching nothing must error, not
+// return an empty slice that downstream code would read as "all clean".
+func TestLoadRejectsUnknownPattern(t *testing.T) {
+	if _, err := Load(TestData(t), "./src/does-not-exist"); err == nil {
+		t.Fatal("Load of a nonexistent pattern succeeded, want error")
+	}
+}
+
+// TestLoadHealthyPackage: the happy path yields parsed syntax and full type
+// information for a clean fixture package.
+func TestLoadHealthyPackage(t *testing.T) {
+	pkgs, err := Load(TestData(t), "./src/defuse")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.Syntax) == 0 || p.Types == nil || p.TypesInfo == nil {
+		t.Fatalf("Load returned an incomplete package: syntax=%d types=%v", len(p.Syntax), p.Types)
+	}
+	if p.Types.Scope().Lookup("Chain") == nil {
+		t.Error("loaded package is missing the Chain function")
+	}
+}

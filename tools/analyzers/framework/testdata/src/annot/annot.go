@@ -1,0 +1,31 @@
+// Package annot exercises CheckAnnotations: one typo'd directive among
+// valid annotations, suppressions, and prose mentions.
+package annot
+
+// Bad carries a typo'd annotation (verifier misspelled): no analyzer will
+// ever look for it, which is exactly the bug CheckAnnotations catches.
+//
+//rbft:verifer
+func Bad() {}
+
+// Good carries a real annotation.
+//
+//rbft:verifier
+func Good() {}
+
+// Dispatched uses an annotation with arguments.
+//
+//rbft:dispatch ignore=Reply
+func Dispatched(kind int) {
+	switch kind {
+	default:
+	}
+}
+
+// suppressed shows the framework's own directive is always known. A prose
+// mention of //rbft:nonsense inside a sentence is not a directive and must
+// not be flagged.
+func suppressed() int {
+	//rbft:ignore lockdiscipline -- fixture: not a real access
+	return 0
+}

@@ -1,0 +1,8 @@
+// Package broken deliberately fails to type-check: the framework loader
+// regression test asserts that Load surfaces the build error instead of
+// panicking or silently returning an empty package list.
+package broken
+
+func Oops() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,60 @@
+// Package defuse is a fixture for the framework's dataflow layer tests:
+// small functions whose def-use chains, origins and taint flows the tests
+// assert programmatically (no // want comments — this package exercises the
+// layer, not an analyzer).
+package defuse
+
+// Source stands in for a taint source (e.g. message.Decode).
+func Source() int { return 1 }
+
+// Clean stands in for an ordinary call.
+func Clean() int { return 2 }
+
+// Sanitize stands in for a declared sanitizer.
+func Sanitize(x int) int { return x }
+
+// Chain threads a source value through several assignment forms; the taint
+// tests assert which locals end up tainted.
+func Chain() (int, int, int, int) {
+	a := Source()
+	b := a        // plain copy: tainted
+	c := Clean()  // fresh call: clean
+	d := b + 1    // arithmetic on tainted: tainted
+	e := Sanitize(b)
+	var f int
+	f = d
+	_ = f
+	return b, c, d, e
+}
+
+// Loop defines its values through a range statement.
+func Loop(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// Quorumish mirrors the quorumsafety use case: q's origin must resolve to
+// the call expression even through an intermediate copy.
+func Quorumish() bool {
+	q := Source()
+	threshold := q
+	n := Clean()
+	return n > threshold
+}
+
+// Assert mirrors the trustboundary use case: a type switch's implicit
+// object carries the switched value's taint into every clause.
+func Assert() int {
+	v := Source()
+	var boxed interface{} = v
+	switch w := boxed.(type) {
+	case int:
+		return w
+	default:
+		_ = w
+	}
+	return 0
+}

@@ -54,10 +54,11 @@ import (
 
 // Analyzer is the lockdiscipline pass.
 var Analyzer = &framework.Analyzer{
-	Name:  "lockdiscipline",
-	Doc:   "check `// guarded by mu` field annotations and forbid copying locks by value",
-	Scope: inScope,
-	Run:   run,
+	Name:        "lockdiscipline",
+	Doc:         "check `// guarded by mu` field annotations and forbid copying locks by value",
+	Scope:       inScope,
+	Run:         run,
+	Annotations: []string{"verifier", "wal", "egress"},
 }
 
 var concurrentPackages = []string{

@@ -30,10 +30,11 @@ import (
 
 // Analyzer is the msghandler pass.
 var Analyzer = &framework.Analyzer{
-	Name:  "msghandler",
-	Doc:   "require annotated dispatch switches and enum-keyed registries to be exhaustive over message types",
-	Scope: inScope,
-	Run:   run,
+	Name:        "msghandler",
+	Doc:         "require annotated dispatch switches and enum-keyed registries to be exhaustive over message types",
+	Scope:       inScope,
+	Run:         run,
+	Annotations: []string{"dispatch"},
 }
 
 var dispatchPackages = []string{

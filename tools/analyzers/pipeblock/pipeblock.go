@@ -1,0 +1,287 @@
+// Package pipeblock checks that the pipeline's hot-path functions — those
+// annotated //rbft:verifier (the concurrent preverify stage,
+// docs/PIPELINE.md), //rbft:egress (per-peer send workers, docs/EGRESS.md)
+// and //rbft:wal (the fsync/segment-I/O path, docs/DURABILITY.md) — cannot
+// stall on anything but the work they exist to do. lockdiscipline already
+// keeps these functions away from mutexes and guarded state; pipeblock
+// covers the other ways a stage wedges:
+//
+//   - a channel send outside a select with default: a send on a provably
+//     unbuffered channel (def-use resolves the operand to make(chan T) with
+//     no or zero capacity) blocks until a receiver is ready, and a bare
+//     send on any other channel blocks whenever the buffer is full — either
+//     way the stage's stall propagates backward through the pipeline;
+//
+//   - a select containing a send case but no default (and the degenerate
+//     empty select{}): without default the select parks until some case can
+//     proceed, which on a send case means until a consumer shows up;
+//
+//   - calls that exist to block: time.Sleep, sync.WaitGroup.Wait,
+//     sync.Cond.Wait;
+//
+//   - calls into same-package functions that acquire a mutex (directly
+//     containing a .Lock()/.RLock() call): the mutex wait happens inside
+//     the callee, out of lockdiscipline's lexical sight.
+//
+// Receive-only selects stay silent: parking on empty ingress (the egress
+// worker waiting for its queue, the verifier draining its work channel) is
+// a stage's idle state, not a stall. Deliberate blocking — the egress
+// worker's WaitDurable on the durability horizon is the canonical case —
+// is either invisible to these rules (a cross-package call) or suppressed
+// inline: //rbft:ignore pipeblock -- <reason>.
+package pipeblock
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"rbft/tools/analyzers/framework"
+)
+
+// Analyzer is the pipeblock pass.
+var Analyzer = &framework.Analyzer{
+	Name:        "pipeblock",
+	Doc:         "forbid potentially-blocking operations (unbuffered sends, default-less send selects, sleeps, lock-taking calls) in //rbft:verifier, //rbft:egress and //rbft:wal functions",
+	Scope:       inScope,
+	Run:         run,
+	Annotations: []string{"verifier", "egress", "wal"},
+}
+
+// scopedPackages are the packages that host annotated pipeline stages.
+var scopedPackages = []string{
+	"rbft/internal/runtime",
+	"rbft/internal/wal",
+	"rbft/internal/transport",
+	"rbft/internal/sim",
+}
+
+func inScope(pkgPath string) bool {
+	for _, p := range scopedPackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// directives are the hot-path annotations this analyzer patrols.
+var directives = []string{"rbft:verifier", "rbft:egress", "rbft:wal"}
+
+// stageOf returns the annotation fd carries, or "" when unannotated.
+func stageOf(fd *ast.FuncDecl) string {
+	if fd.Doc == nil {
+		return ""
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		for _, d := range directives {
+			if strings.HasPrefix(text, d) {
+				return d
+			}
+		}
+	}
+	return ""
+}
+
+func run(pass *framework.Pass) error {
+	lockTakers := collectLockTakers(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			stage := stageOf(fd)
+			if stage == "" {
+				continue
+			}
+			checkBody(pass, lockTakers, fd, stage)
+		}
+	}
+	return nil
+}
+
+// collectLockTakers returns the package's functions whose bodies acquire a
+// mutex (contain a .Lock() or .RLock() call). A hot-path function calling
+// one of them waits for the lock inside the callee, where lockdiscipline's
+// lexical check cannot see it.
+func collectLockTakers(pass *framework.Pass) map[*types.Func]bool {
+	takers := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			acquires := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+						acquires = true
+					}
+				}
+				return !acquires
+			})
+			if !acquires {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				takers[fn] = true
+			}
+		}
+	}
+	return takers
+}
+
+func checkBody(pass *framework.Pass, lockTakers map[*types.Func]bool, fd *ast.FuncDecl, stage string) {
+	du := framework.NewDefUse(pass.TypesInfo, fd.Body)
+
+	// selectComms collects send statements that are a select case's comm:
+	// the select rule owns those, the bare-send rule must skip them.
+	selectComms := make(map[ast.Stmt]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				selectComms[cc.Comm] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if selectComms[n] {
+				return true
+			}
+			if provablyUnbuffered(pass, du, n.Chan) {
+				pass.Reportf(n.Pos(), "send on unbuffered channel in %s function: the send parks until a receiver is ready; hand off through a buffered channel or a select with default", stage)
+			} else {
+				pass.Reportf(n.Pos(), "bare channel send in %s function: the send blocks whenever the buffer is full; use a select with default (drop/fallback) on the hot path", stage)
+			}
+		case *ast.SelectStmt:
+			checkSelect(pass, n, stage)
+		case *ast.CallExpr:
+			checkCall(pass, lockTakers, n, stage)
+		}
+		return true
+	})
+}
+
+// provablyUnbuffered resolves ch through the def-use layer and reports
+// whether every resolution path ends in make(chan T) with no or zero
+// capacity.
+func provablyUnbuffered(pass *framework.Pass, du *framework.DefUse, ch ast.Expr) bool {
+	origins := du.Origins(ch)
+	if len(origins) == 0 {
+		return false
+	}
+	for _, origin := range origins {
+		call, ok := ast.Unparen(origin).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || ident.Name != "make" {
+			return false
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		if len(call.Args) >= 2 {
+			tv, ok := pass.TypesInfo.Types[call.Args[1]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return false
+			}
+			if c, exact := constant.Int64Val(tv.Value); !exact || c != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkSelect flags the select shapes that park a hot-path goroutine on a
+// consumer: empty select{} and a send case without a default escape hatch.
+func checkSelect(pass *framework.Pass, sel *ast.SelectStmt, stage string) {
+	if len(sel.Body.List) == 0 {
+		pass.Reportf(sel.Pos(), "empty select in %s function blocks forever", stage)
+		return
+	}
+	hasDefault, hasSend := false, false
+	for _, cl := range sel.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+			continue
+		}
+		if _, ok := cc.Comm.(*ast.SendStmt); ok {
+			hasSend = true
+		}
+	}
+	if hasSend && !hasDefault {
+		pass.Reportf(sel.Pos(), "select with a send case and no default in %s function: the select parks until a consumer is ready; add a default (drop/fallback) on the hot path", stage)
+	}
+}
+
+// checkCall flags the calls that exist to block, and same-package calls
+// into lock-taking functions.
+func checkCall(pass *framework.Pass, lockTakers map[*types.Func]bool, call *ast.CallExpr, stage string) {
+	var ident *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		ident = fun
+	case *ast.SelectorExpr:
+		ident = fun.Sel
+		if blockingStdCall(pass, fun) {
+			pass.Reportf(call.Pos(), "%s in %s function: a pipeline stage must not block on time or goroutine rendezvous", callName(fun), stage)
+			return
+		}
+	default:
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[ident].(*types.Func)
+	if !ok {
+		return
+	}
+	if lockTakers[fn] {
+		pass.Reportf(call.Pos(), "call to %s in %s function: the callee acquires a mutex, so the lock wait happens on the hot path out of lockdiscipline's sight", fn.Name(), stage)
+	}
+}
+
+// blockingStdCall matches time.Sleep and the sync package's Wait methods
+// (WaitGroup.Wait, Cond.Wait).
+func blockingStdCall(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		return fn.Name() == "Sleep"
+	case "sync":
+		return fn.Name() == "Wait"
+	}
+	return false
+}
+
+// callName renders pkg.Func / recv.Method for the diagnostic.
+func callName(sel *ast.SelectorExpr) string {
+	if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return base.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}

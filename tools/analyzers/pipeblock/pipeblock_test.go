@@ -1,0 +1,28 @@
+package pipeblock_test
+
+import (
+	"testing"
+
+	"rbft/tools/analyzers/framework"
+	"rbft/tools/analyzers/pipeblock"
+)
+
+func TestAnalyzer(t *testing.T) {
+	framework.RunTest(t, framework.TestData(t), pipeblock.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"rbft/internal/runtime":   true,
+		"rbft/internal/wal":       true,
+		"rbft/internal/transport": true,
+		"rbft/internal/sim":       true,
+		// No annotated stages live in the protocol core or the CLIs.
+		"rbft/internal/core": false,
+		"rbft/cmd/rbft-node": false,
+	} {
+		if got := pipeblock.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

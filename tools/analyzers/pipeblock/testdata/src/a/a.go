@@ -1,0 +1,123 @@
+// Package a exercises the pipeblock analyzer: blocking operations inside
+// //rbft:verifier, //rbft:egress and //rbft:wal annotated functions, and
+// the non-blocking idioms (and unannotated functions) that stay silent.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+// server is a lock-taking neighbour: calls into locked() from a hot path
+// wait on the mutex inside the callee.
+type server struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *server) locked() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// ---- channel sends ----
+
+//rbft:verifier
+func verifyUnbuffered() {
+	ch := make(chan int)
+	ch <- 1 // want `send on unbuffered channel in rbft:verifier function`
+}
+
+//rbft:verifier
+func verifyUnknownCapacity(out chan<- int, v int) {
+	out <- v // want `bare channel send in rbft:verifier function`
+}
+
+//rbft:egress
+func egressBufferedStillBare() {
+	ch := make(chan int, 8)
+	ch <- 1 // want `bare channel send in rbft:egress function`
+}
+
+// plainSend is unannotated: sends are its own business.
+func plainSend(ch chan int) {
+	ch <- 1 // silent
+}
+
+// ---- selects ----
+
+//rbft:egress
+func egressSendSelectNoDefault(ch chan int, stop chan struct{}) {
+	select { // want `select with a send case and no default in rbft:egress function`
+	case ch <- 1:
+	case <-stop:
+	}
+}
+
+//rbft:egress
+func egressNonBlockingSend(ch chan int) {
+	select { // non-blocking handoff: silent
+	case ch <- 1:
+	default:
+	}
+}
+
+//rbft:egress
+func egressReceiveSelect(q chan int, stop chan struct{}) {
+	select { // parking on empty ingress is the idle state: silent
+	case <-q:
+	case <-stop:
+	}
+}
+
+//rbft:wal
+func walEmptySelect() {
+	select {} // want `empty select in rbft:wal function blocks forever`
+}
+
+// ---- blocking calls ----
+
+//rbft:wal
+func walSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in rbft:wal function`
+}
+
+//rbft:verifier
+func verifyWait(wg *sync.WaitGroup) {
+	wg.Wait() // want `wg\.Wait in rbft:verifier function`
+}
+
+//rbft:verifier
+func verifyCondWait(c *sync.Cond) {
+	c.Wait() // want `c\.Wait in rbft:verifier function`
+}
+
+//rbft:verifier
+func verifyCallsLockTaker(s *server) {
+	s.locked() // want `call to locked in rbft:verifier function`
+}
+
+// verifyCallsClean calls a lock-free same-package helper: silent.
+//
+//rbft:verifier
+func verifyCallsClean(s *server) {
+	release(s)
+}
+
+func release(s *server) { s.n = 0 }
+
+// plainCalls is unannotated: locking and sleeping are fine off the hot path.
+func plainCalls(s *server, wg *sync.WaitGroup) {
+	s.locked()
+	wg.Wait()
+	time.Sleep(time.Millisecond)
+}
+
+// ---- suppression ----
+
+//rbft:egress
+func suppressedHandoff(ch chan int) {
+	//rbft:ignore pipeblock -- handoff channel has a dedicated unbounded consumer
+	ch <- 1
+}

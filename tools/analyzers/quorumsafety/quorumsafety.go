@@ -1,0 +1,278 @@
+// Package quorumsafety enforces the named-threshold convention for quorum
+// arithmetic (internal/types): the Byzantine thresholds the protocol's
+// safety rests on — 2f+1 (Quorum), f+1 (WeakQuorum), 2f (PrepareThreshold),
+// 3f+1 (ClusterSize) — may only be spelled out inside internal/types.
+// Everywhere else they must come from the named helpers, so a reviewer can
+// audit the arithmetic once instead of re-deriving it at every call site.
+//
+// In scoped packages it reports:
+//
+//   - raw fault-parameter arithmetic: 2*f+1, 3*f+1, f+1 and 2*f where f is
+//     an integer named f/F or a selector ending in .F (the fault-tolerance
+//     parameter). Use types.Quorum / types.ClusterSize / types.WeakQuorum /
+//     types.PrepareThreshold (or the Config methods) instead;
+//
+//   - suspicious comparison direction against a quorum-derived value: the
+//     protocol idiom is `count >= Quorum()` (threshold reached) and
+//     `count < Quorum()` (not yet). `count > Quorum()` silently demands
+//     2f+2 matching messages — a liveness off-by-one that only bites when
+//     exactly f nodes are faulty — and `count <= Quorum()` accepts one
+//     short. Both directions are reported; a genuinely intended strict
+//     comparison is suppressed inline with a reason. Quorum-derivedness is
+//     resolved through the framework's def-use layer, so
+//     `q := cfg.Quorum(); if n > q` is caught, not just the direct call;
+//
+//   - threshold adjustment by ±1: expressions like Quorum()+1 or q-1 where
+//     q is quorum-derived re-derive an unnamed threshold from a named one;
+//     if a protocol change needs a new threshold, it gets a name and a
+//     comment in internal/types.
+package quorumsafety
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rbft/tools/analyzers/framework"
+)
+
+// Analyzer is the quorumsafety pass.
+var Analyzer = &framework.Analyzer{
+	Name:  "quorumsafety",
+	Doc:   "forbid raw 2f+1/f+1/2f/3f+1 quorum arithmetic outside internal/types and flag suspicious comparisons against quorum-derived values",
+	Scope: inScope,
+	Run:   run,
+}
+
+// scopedPackages are the packages whose quorum logic must go through the
+// named helpers. internal/types itself is the one place allowed to spell
+// the arithmetic out.
+var scopedPackages = []string{
+	"rbft/internal/pbft",
+	"rbft/internal/core",
+	"rbft/internal/monitor",
+	"rbft/internal/client",
+	"rbft/internal/baseline",
+	"rbft/internal/message",
+	"rbft/internal/sim",
+	"rbft/internal/harness",
+	"rbft/internal/runtime",
+}
+
+func inScope(pkgPath string) bool {
+	for _, p := range scopedPackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// thresholdFuncs are the named helpers whose results count as
+// "quorum-derived" for the comparison and adjustment checks. Instances
+// (numerically f+1) is deliberately absent: it counts ordering lanes, and
+// `i >= Instances()` range checks are idiomatic.
+var thresholdFuncs = map[string]bool{
+	"Quorum":           true,
+	"WeakQuorum":       true,
+	"PrepareQuorum":    true,
+	"PrepareThreshold": true,
+	"ClusterSize":      true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	du := framework.NewDefUse(pass.TypesInfo, fd.Body)
+	// matched marks binary expressions consumed as part of a larger reported
+	// pattern (the 2*f inside 2*f+1), so they are not double-reported.
+	matched := make(map[ast.Expr]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || matched[be] {
+			return true
+		}
+		switch be.Op {
+		case token.ADD, token.SUB, token.MUL:
+			checkRawArithmetic(pass, be, matched)
+			checkAdjustment(pass, du, be)
+		case token.GTR, token.LEQ:
+			checkComparison(pass, du, be)
+		}
+		return true
+	})
+}
+
+// ---- raw fault-parameter arithmetic ----
+
+// isFaultParam reports whether e denotes the fault-tolerance parameter: an
+// integer-typed identifier named f or F, or a selector ending in .F
+// (cfg.F, c.Cluster.F, ...).
+func isFaultParam(pass *framework.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	if name != "f" && name != "F" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// intLit extracts a constant integer value from e.
+func intLit(pass *framework.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// mulOfFault matches k*f (either operand order) and returns k.
+func mulOfFault(pass *framework.Pass, e ast.Expr) (k int64, inner *ast.BinaryExpr, ok bool) {
+	be, isBin := ast.Unparen(e).(*ast.BinaryExpr)
+	if !isBin || be.Op != token.MUL {
+		return 0, nil, false
+	}
+	if v, isConst := intLit(pass, be.X); isConst && isFaultParam(pass, be.Y) {
+		return v, be, true
+	}
+	if v, isConst := intLit(pass, be.Y); isConst && isFaultParam(pass, be.X) {
+		return v, be, true
+	}
+	return 0, nil, false
+}
+
+// checkRawArithmetic reports the four spelled-out threshold shapes.
+func checkRawArithmetic(pass *framework.Pass, be *ast.BinaryExpr, matched map[ast.Expr]bool) {
+	report := func(raw, helper string) {
+		pass.Reportf(be.Pos(), "raw quorum arithmetic %s; use types.%s (internal/types is the only place thresholds are spelled out)", raw, helper)
+	}
+	switch be.Op {
+	case token.ADD:
+		// k*f + 1 / 1 + k*f
+		for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			lhs, rhs := pair[0], pair[1]
+			one, isConst := intLit(pass, rhs)
+			if !isConst || one != 1 {
+				continue
+			}
+			if k, inner, ok := mulOfFault(pass, lhs); ok {
+				switch k {
+				case 2:
+					report("2*f+1", "Quorum(f)")
+				case 3:
+					report("3*f+1", "ClusterSize(f)")
+				default:
+					report("k*f+1", "a named threshold helper")
+				}
+				matched[inner] = true
+				return
+			}
+			if isFaultParam(pass, lhs) {
+				report("f+1", "WeakQuorum(f)")
+				return
+			}
+		}
+	case token.MUL:
+		if k, _, ok := mulOfFault(pass, be); ok && k == 2 {
+			report("2*f", "PrepareThreshold(f)")
+		}
+	}
+}
+
+// ---- quorum-derived values (def-use) ----
+
+// isThresholdCall matches a call to one of the named helpers: the
+// package-level types.Quorum(f) form or the Config method form
+// cfg.Quorum().
+func isThresholdCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return thresholdFuncs[fun.Name]
+	case *ast.SelectorExpr:
+		return thresholdFuncs[fun.Sel.Name]
+	}
+	return false
+}
+
+// quorumDerived reports whether e's value may originate from a named
+// threshold helper, resolving copies through the def-use layer.
+func quorumDerived(du *framework.DefUse, e ast.Expr) bool {
+	if isThresholdCall(e) {
+		return true
+	}
+	for _, origin := range du.Origins(e) {
+		if isThresholdCall(origin) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkComparison flags > and <= against a quorum-derived right- or
+// left-hand side.
+func checkComparison(pass *framework.Pass, du *framework.DefUse, be *ast.BinaryExpr) {
+	if !quorumDerived(du, be.Y) && !quorumDerived(du, be.X) {
+		return
+	}
+	var hint string
+	if be.Op == token.GTR {
+		hint = "`count > quorum` demands one message more than the threshold; the protocol idiom is `count >= quorum`"
+	} else {
+		hint = "`count <= quorum` accepts one message short of the threshold; the protocol idiom is `count < quorum`"
+	}
+	pass.Reportf(be.Pos(), "suspicious %s comparison against a quorum-derived value: %s", be.Op, hint)
+}
+
+// checkAdjustment flags quorum ± 1 (and 1 + quorum) re-derivations.
+func checkAdjustment(pass *framework.Pass, du *framework.DefUse, be *ast.BinaryExpr) {
+	if be.Op != token.ADD && be.Op != token.SUB {
+		return
+	}
+	flag := func(valSide, constSide ast.Expr) bool {
+		if v, ok := intLit(pass, constSide); !ok || v != 1 {
+			return false
+		}
+		if !quorumDerived(du, valSide) {
+			return false
+		}
+		pass.Reportf(be.Pos(), "threshold adjusted by %s 1: a quorum-derived value plus or minus one is an unnamed threshold; define and document it in internal/types instead", be.Op)
+		return true
+	}
+	if flag(be.X, be.Y) {
+		return
+	}
+	if be.Op == token.ADD {
+		flag(be.Y, be.X)
+	}
+}

@@ -1,0 +1,31 @@
+package quorumsafety_test
+
+import (
+	"testing"
+
+	"rbft/tools/analyzers/framework"
+	"rbft/tools/analyzers/quorumsafety"
+)
+
+func TestAnalyzer(t *testing.T) {
+	framework.RunTest(t, framework.TestData(t), quorumsafety.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"rbft/internal/pbft":     true,
+		"rbft/internal/core":     true,
+		"rbft/internal/monitor":  true,
+		"rbft/internal/client":   true,
+		"rbft/internal/baseline": true,
+		"rbft/internal/harness":  true,
+		"rbft/internal/runtime":  true,
+		// internal/types is the one place thresholds are spelled out.
+		"rbft/internal/types": false,
+		"rbft/cmd/rbft-node":  false,
+	} {
+		if got := quorumsafety.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package a exercises the quorumsafety analyzer: raw threshold arithmetic,
+// comparison direction against quorum-derived values (direct and through
+// copies), and ±1 threshold adjustments.
+package a
+
+import "rbft/tools/analyzers/quorumsafety/testdata/src/types"
+
+// rawArithmetic spells out every forbidden threshold shape.
+func rawArithmetic(f int, cfg types.Config) {
+	_ = 2*f + 1     // want `raw quorum arithmetic 2\*f\+1; use types\.Quorum`
+	_ = 3*f + 1     // want `raw quorum arithmetic 3\*f\+1; use types\.ClusterSize`
+	_ = f + 1       // want `raw quorum arithmetic f\+1; use types\.WeakQuorum`
+	_ = 2 * f       // want `raw quorum arithmetic 2\*f; use types\.PrepareThreshold`
+	_ = 1 + 2*f     // want `raw quorum arithmetic 2\*f\+1; use types\.Quorum`
+	_ = 2*cfg.F + 1 // want `raw quorum arithmetic 2\*f\+1; use types\.Quorum`
+	_ = cfg.F + 1   // want `raw quorum arithmetic f\+1; use types\.WeakQuorum`
+}
+
+// namedHelpers is the approved form: no diagnostics.
+func namedHelpers(f int, cfg types.Config) {
+	_ = types.Quorum(f)
+	_ = types.ClusterSize(f)
+	_ = types.WeakQuorum(cfg.F)
+	_ = types.PrepareThreshold(f)
+	_ = cfg.Quorum()
+}
+
+// unrelatedArithmetic must stay silent: the operands are not the fault
+// parameter.
+func unrelatedArithmetic(seq int, frames []int) int {
+	next := seq + 1
+	double := 2 * seq
+	for i := 0; i < len(frames); i++ {
+		next += frames[i] + 1
+	}
+	return next + double
+}
+
+// comparisons: > and <= against quorum-derived values are off-by-one
+// hazards; >= and < are the idiom.
+func comparisons(count int, cfg types.Config) bool {
+	if count > cfg.Quorum() { // want `suspicious > comparison against a quorum-derived value`
+		return true
+	}
+	if count <= cfg.WeakQuorum() { // want `suspicious <= comparison against a quorum-derived value`
+		return true
+	}
+	if count >= cfg.Quorum() { // idiom: silent
+		return true
+	}
+	if count < cfg.WeakQuorum() { // idiom: silent
+		return false
+	}
+	// Instances is not a quorum; range checks against it are idiomatic.
+	if count > cfg.Instances() {
+		return true
+	}
+	return false
+}
+
+// throughCopies: quorum-derivedness must survive def-use resolution.
+func throughCopies(count int, cfg types.Config) bool {
+	q := cfg.Quorum()
+	threshold := q
+	if count > threshold { // want `suspicious > comparison against a quorum-derived value`
+		return true
+	}
+	return count >= threshold // silent
+}
+
+// adjustments: ±1 on a named threshold is an unnamed threshold.
+func adjustments(cfg types.Config) {
+	_ = cfg.Quorum() + 1 // want `threshold adjusted by \+ 1`
+	q := types.WeakQuorum(cfg.F)
+	_ = q - 1 // want `threshold adjusted by - 1`
+	// Multiplying or summing thresholds is not the ±1 smell.
+	_ = cfg.Quorum() + cfg.WeakQuorum()
+}
+
+// suppressed: a justified strict comparison stays, with a reason.
+func suppressed(count int, cfg types.Config) bool {
+	//rbft:ignore quorumsafety -- deliberately strict: test fixture
+	return count > cfg.Quorum()
+}

@@ -1,0 +1,33 @@
+// Package types is a fixture stand-in for rbft/internal/types: it supplies
+// the named threshold helpers the quorumsafety fixtures call. The analyzer
+// matches helpers by name, so this package exercising the same names is
+// enough; it is itself never a target of the test run.
+package types
+
+// Config mirrors the real cluster configuration.
+type Config struct {
+	N int
+	F int
+}
+
+// Quorum returns 2f+1.
+func Quorum(f int) int { return 2*f + 1 }
+
+// WeakQuorum returns f+1.
+func WeakQuorum(f int) int { return f + 1 }
+
+// PrepareThreshold returns 2f.
+func PrepareThreshold(f int) int { return 2 * f }
+
+// ClusterSize returns 3f+1.
+func ClusterSize(f int) int { return 3*f + 1 }
+
+// Quorum is the method form.
+func (c Config) Quorum() int { return Quorum(c.F) }
+
+// WeakQuorum is the method form.
+func (c Config) WeakQuorum() int { return WeakQuorum(c.F) }
+
+// Instances counts ordering lanes (numerically f+1, semantically not a
+// quorum) — the analyzer must NOT treat it as quorum-derived.
+func (c Config) Instances() int { return c.F + 1 }

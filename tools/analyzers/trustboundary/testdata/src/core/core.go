@@ -1,0 +1,9 @@
+// Package core is a fixture stand-in for rbft/internal/core: Output is
+// what a node emits to the cluster, a trust sink for trustboundary.
+package core
+
+// Output is the node's emitted effects for one step.
+type Output struct {
+	Commit   uint64
+	Messages [][]byte
+}

@@ -1,0 +1,29 @@
+// Package message is a fixture stand-in for rbft/internal/message: it
+// supplies the trust-boundary vocabulary — Decode (the taint source),
+// Verified (the certificate), and a Preverifier (the sanitizer).
+package message
+
+// Message is a decoded wire message.
+type Message struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Verified wraps a message that passed preverification.
+type Verified struct {
+	Msg  *Message
+	From int
+}
+
+// Decode parses raw bytes into a Message. Its result is unverified.
+func Decode(data []byte) (*Message, error) {
+	return &Message{Payload: data}, nil
+}
+
+// Preverifier checks message authenticity.
+type Preverifier struct{}
+
+// PreverifyNode verifies a decoded node message.
+func (p *Preverifier) PreverifyNode(msg *Message, from int) (*Verified, error) {
+	return &Verified{Msg: msg, From: from}, nil
+}

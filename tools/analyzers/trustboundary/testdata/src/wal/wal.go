@@ -1,0 +1,15 @@
+// Package wal is a fixture stand-in for rbft/internal/wal: Record and
+// Log.Append are the durability sinks trustboundary watches.
+package wal
+
+// Record is one durable log record.
+type Record struct {
+	Kind    int
+	Payload []byte
+}
+
+// Log is the write-ahead log.
+type Log struct{}
+
+// Append stages records for durability.
+func (l *Log) Append(recs ...Record) (uint64, error) { return 0, nil }

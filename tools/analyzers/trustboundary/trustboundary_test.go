@@ -1,0 +1,30 @@
+package trustboundary_test
+
+import (
+	"testing"
+
+	"rbft/tools/analyzers/framework"
+	"rbft/tools/analyzers/trustboundary"
+)
+
+func TestAnalyzer(t *testing.T) {
+	framework.RunTest(t, framework.TestData(t), trustboundary.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"rbft/internal/runtime": true,
+		"rbft/internal/core":    true,
+		"rbft/internal/pbft":    true,
+		"rbft/internal/client":  true,
+		"rbft/internal/sim":     true,
+		// message owns the boundary, wal's codec decodes raw segments.
+		"rbft/internal/message": false,
+		"rbft/internal/wal":     false,
+		"rbft/cmd/rbft-node":    false,
+	} {
+		if got := trustboundary.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
