@@ -17,6 +17,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -36,7 +39,25 @@ func main() {
 	flag.StringVar(&csvDir, "csv", "", "directory to write plot-ready CSV data files (optional)")
 	flag.StringVar(&benchJSON, "json", "", "file for the bench experiment's JSON summary (e.g. BENCH_sim.json)")
 	flag.StringVar(&benchTrace, "trace", "", "file for the bench experiment's worst-attack-1 JSONL protocol trace")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while experiments run (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiling a long -exp all run: the simulator is single-threaded per
+		// run, so CPU profiles attribute cleanly to pipeline stages.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil && err != http.ErrServerClosed {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	if err := run(*exp, harness.Options{Quick: *quick, Seed: *seed}); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -56,6 +57,7 @@ func run() error {
 		delta      = flag.Float64("delta", 0.9, "monitoring Delta threshold")
 		period     = flag.Duration("period", 250*time.Millisecond, "monitoring period")
 		obsAddr    = flag.String("obs-addr", "", "observability HTTP listen address serving /metrics and /debug/events (empty = disabled)")
+		pprofOn    = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on the observability address (requires -obs-addr)")
 		recorder   = flag.Int("recorder", obs.DefaultRecorderSize, "flight-recorder capacity in events (0 = disabled)")
 		dataDir    = flag.String("data-dir", "", "durable state directory; when set, protocol state is written to a WAL under it before any message is sent, and a restart recovers from it (empty = in-memory only)")
 	)
@@ -128,7 +130,7 @@ func run() error {
 	cfg := core.Config{
 		Cluster: cluster,
 		Node:    types.NodeID(*id),
-		App:     app.NewKV(),
+		App:     runtime.InstrumentApp(app.NewKV(), tracer, types.NodeID(*id)),
 		Monitoring: monitor.Config{
 			Period: *period,
 			Delta:  *delta,
@@ -154,14 +156,34 @@ func run() error {
 		}
 	}
 
-	nr := runtime.StartNodeOpts(node, tr, cluster, runtime.NodeOptions{WAL: w})
+	nr := runtime.StartNodeOpts(node, tr, cluster, runtime.NodeOptions{
+		WAL:     w,
+		Metrics: reg,
+		Tracer:  tracer,
+	})
 	log.Printf("rbft-node %d/%d listening on %s (f=%d, %d instances, transport=%s)",
 		*id, cluster.N, *listen, *f, cluster.Instances(), transportName(*udp))
 
 	if *obsAddr != "" {
-		srv := &http.Server{Addr: *obsAddr, Handler: obs.HTTPHandler(reg, fr)}
+		handler := obs.HTTPHandler(reg, fr)
+		endpoints := "/metrics, /debug/events"
+		if *pprofOn {
+			// pprof is opt-in: profiling endpoints expose enough internal
+			// state (heap contents, goroutine stacks) that they should never
+			// be on by default, even on a loopback observability port.
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			handler = mux
+			endpoints += ", /debug/pprof/"
+		}
+		srv := &http.Server{Addr: *obsAddr, Handler: handler}
 		go func() {
-			log.Printf("observability on http://%s (/metrics, /debug/events)", *obsAddr)
+			log.Printf("observability on http://%s (%s)", *obsAddr, endpoints)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("observability server: %v", err)
 			}
@@ -169,9 +191,24 @@ func run() error {
 		defer srv.Close()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	s := <-sig
+	// SIGQUIT dumps the flight recorder without stopping the node — a live
+	// snapshot for forensics on a degraded but still-serving replica.
+	// SIGINT/SIGTERM shut down gracefully as before.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT)
+	var s os.Signal
+	for s = range sig {
+		if s != syscall.SIGQUIT {
+			break
+		}
+		if fr == nil {
+			log.Printf("SIGQUIT: flight recorder disabled (-recorder 0), nothing to dump")
+			continue
+		}
+		if err := dumpRecorder(fr, recorderPath(*dataDir, *id)); err != nil {
+			log.Printf("SIGQUIT: flight recorder dump: %v", err)
+		}
+	}
 	log.Printf("%s: shutting down", s)
 
 	// Graceful shutdown: stop the pipeline first (no new outputs), then make
@@ -191,6 +228,16 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// recorderPath places flight-recorder dumps in the data directory when one
+// exists, else in the working directory named by node id (so an in-memory
+// cluster on one machine doesn't clobber its own dumps).
+func recorderPath(dataDir string, id int) string {
+	if dataDir != "" {
+		return filepath.Join(dataDir, "flight-recorder.jsonl")
+	}
+	return fmt.Sprintf("rbft-node-%d-flight-recorder.jsonl", id)
 }
 
 // dumpRecorder writes the flight recorder's buffered events as JSONL so a

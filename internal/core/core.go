@@ -216,8 +216,16 @@ type Node struct {
 
 	// Observability. tr is node-stamped; the message counters index by
 	// message.Type and stay nil (no-op) until SetRegistry wires them.
-	tr        obs.Tracer
-	metricsOn bool
+	// spansOn caches obs.WantSpans(tr); dispatchedAt anchors per-instance
+	// order spans (dispatch → delivery) and is only populated when spans
+	// are on. Entries are released with the rest of the propagation state
+	// when the request executes, so a backup lane delivering after the
+	// master has executed skips its order span (its quorum spans still
+	// cover the lane).
+	tr           obs.Tracer
+	spansOn      bool
+	dispatchedAt map[types.RequestRef]time.Time
+	metricsOn    bool
 	msgsIn    [64]*obs.Counter
 	msgsOut   [64]*obs.Counter
 	clientOut *obs.Counter
@@ -237,9 +245,10 @@ func New(cfg Config, keys *crypto.KeyRing) *Node {
 		executed:    make(map[types.RequestKey]bool),
 		clients:     make(map[types.ClientID]*clientState),
 		icVotes:     make(map[uint64]map[types.NodeID]bool),
-		floodCounts: make(map[types.NodeID]int),
-		closedUntil: make(map[types.NodeID]time.Time),
-		tr:          obs.Nop{},
+		floodCounts:  make(map[types.NodeID]int),
+		closedUntil:  make(map[types.NodeID]time.Time),
+		tr:           obs.Nop{},
+		dispatchedAt: make(map[types.RequestRef]time.Time),
 	}
 	n.pre = message.NewPreverifier(keys, c.Node, c.Cluster, message.NewVerifyCache(c.VerifyCacheSize))
 	for i := 0; i < c.Cluster.Instances(); i++ {
@@ -273,6 +282,7 @@ func (n *Node) Preverifier() *message.Preverifier { return n.pre }
 // node; a nil tracer restores the no-op default.
 func (n *Node) SetTracer(t obs.Tracer) {
 	n.tr = obs.WithNode(t, n.cfg.Node)
+	n.spansOn = obs.WantSpans(n.tr)
 	for _, r := range n.replicas {
 		r.SetTracer(n.tr)
 	}
@@ -649,6 +659,9 @@ func (n *Node) maybeDispatch(ref types.RequestRef, now time.Time) Output {
 		return out
 	}
 	n.dispatched[ref] = true
+	if n.spansOn {
+		n.dispatchedAt[ref] = now
+	}
 	n.mon.RequestDispatched(ref, now)
 	if n.tr.Enabled() {
 		n.tr.Trace(obs.Event{
@@ -699,6 +712,16 @@ func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Out
 			})
 		}
 		for _, ref := range batch.Refs {
+			if n.spansOn {
+				if at, ok := n.dispatchedAt[ref]; ok {
+					n.tr.Trace(obs.Event{
+						At: now, Type: obs.EvSpan, Stage: obs.StageOrder,
+						Instance: inst, Seq: batch.Seq, View: batch.View,
+						Client: ref.Client, Req: ref.ID,
+						Trace: obs.TraceID(ref.Digest), Dur: now.Sub(at),
+					})
+				}
+			}
 			verdict := n.mon.RequestOrdered(inst, ref, now)
 			if verdict.Suspicious {
 				n.lastSuspect = verdict
@@ -756,6 +779,7 @@ func (n *Node) execute(ref types.RequestRef, now time.Time) Output {
 		delete(n.bodies, sibling)
 		delete(n.propagates, sibling)
 		delete(n.dispatched, sibling)
+		delete(n.dispatchedAt, sibling)
 		cs.pendingBodies--
 	}
 	delete(n.byKey, key)

@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // HTTPHandler serves the observability endpoints:
@@ -52,19 +53,42 @@ func writeMetricsText(w http.ResponseWriter, snap []Metric) {
 		case KindCounter, KindGauge:
 			fmt.Fprintf(w, "%s %s\n", m.Name, formatFloat(m.Value))
 		case KindHistogram:
+			// A labeled histogram name carries its label set in braces
+			// (e.g. rbft_stage_seconds{stage="ingress"}); the _bucket/_sum/
+			// _count suffixes belong on the base name, with le joining the
+			// existing labels.
+			base, labels := splitLabels(m.Name)
 			for _, b := range m.Buckets {
 				le := "+Inf"
 				if !math.IsInf(b.Le, 1) {
 					le = formatFloat(b.Le)
 				}
-				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, le, b.Count)
+				if labels == "" {
+					fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", base, le, b.Count)
+				} else {
+					fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", base, labels, le, b.Count)
+				}
 			}
-			fmt.Fprintf(w, "%s_sum %s\n", m.Name, formatFloat(m.Sum))
-			fmt.Fprintf(w, "%s_count %d\n", m.Name, m.Count)
+			suffix := ""
+			if labels != "" {
+				suffix = "{" + labels + "}"
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatFloat(m.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, m.Count)
 		}
 	}
 }
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// splitLabels splits a metric name of the form base{labels} into its parts;
+// an unlabeled name returns labels "".
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
 }

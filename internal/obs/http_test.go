@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rbft/internal/types"
+)
+
+func TestMetricsEndpointContentTypeAndOrdering(t *testing.T) {
+	reg := NewRegistry()
+	// Register out of lexicographic order; the snapshot must still render
+	// sorted so scrapes diff cleanly.
+	reg.Counter("rbft_zz_total").Add(2)
+	reg.Counter("rbft_aa_total").Add(1)
+	reg.Gauge("rbft_mm_depth").Set(7)
+	h := HTTPHandler(reg, nil)
+
+	get := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		return rec
+	}
+	rec := get()
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	body := rec.Body.String()
+	aa := strings.Index(body, "rbft_aa_total")
+	mm := strings.Index(body, "rbft_mm_depth")
+	zz := strings.Index(body, "rbft_zz_total")
+	if aa < 0 || mm < 0 || zz < 0 || !(aa < mm && mm < zz) {
+		t.Fatalf("/metrics not in deterministic sorted order:\n%s", body)
+	}
+	if again := get().Body.String(); again != body {
+		t.Fatalf("two scrapes of an unchanged registry differ:\n%s\n--\n%s", body, again)
+	}
+}
+
+func TestStageHistogramOnMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	mt := NewMetricsTracer(reg)
+	mt.Trace(Event{At: at(1), Type: EvSpan, Stage: StagePrepareQuorum, Instance: 0, Dur: 3 * time.Millisecond})
+	mt.Trace(Event{At: at(2), Type: EvSpan, Stage: StageIngress, Dur: time.Millisecond})
+
+	rec := httptest.NewRecorder()
+	HTTPHandler(reg, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`rbft_stage_seconds_count{instance="0",stage="prepare-quorum"} 1`,
+		`rbft_stage_seconds_count{stage="ingress"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugEventsEmptyRecorder(t *testing.T) {
+	rec := httptest.NewRecorder()
+	HTTPHandler(nil, NewFlightRecorder(8)).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/debug/events content-type = %q", ct)
+	}
+	var events []json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("/debug/events on an empty recorder is not a JSON array: %v\n%s", err, rec.Body.String())
+	}
+	if len(events) != 0 {
+		t.Fatalf("empty recorder served %d events", len(events))
+	}
+}
+
+func TestDebugEventsBoundedByCapacity(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		fr.Trace(Event{At: at(i), Type: EvExecuted, Req: types.RequestID(100 + i)})
+	}
+	rec := httptest.NewRecorder()
+	HTTPHandler(nil, fr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	var events []struct {
+		Req int `json:"req"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("decode /debug/events: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("served %d events, want the recorder capacity 4", len(events))
+	}
+	for i, ev := range events {
+		if want := 106 + i; ev.Req != want {
+			t.Fatalf("event %d req=%d, want %d (oldest evicted, order preserved)", i, ev.Req, want)
+		}
+	}
+}
+
+func TestHTTPHandlerNilBackends(t *testing.T) {
+	h := HTTPHandler(nil, nil)
+	for _, path := range []string{"/metrics", "/debug/events"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 404 {
+			t.Fatalf("%s with nil backend: status %d, want 404", path, rec.Code)
+		}
+	}
+}

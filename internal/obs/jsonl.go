@@ -30,6 +30,11 @@ type eventJSON struct {
 	Reason string    `json:"reason,omitempty"`
 	Value  float64   `json:"value,omitempty"`
 	Values []float64 `json:"values,omitempty"`
+	// Span fields (EvSpan only). Dur is nanoseconds. Appended after the
+	// original fields so pre-span traces decode unchanged.
+	Stage string `json:"stage,omitempty"`
+	Dur   int64  `json:"dur,omitempty"`
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 func encodeEvent(ev Event) eventJSON {
@@ -48,7 +53,19 @@ func encodeEvent(ev Event) eventJSON {
 		Reason: ev.Reason,
 		Value:  ev.Value,
 		Values: ev.Values,
+		Stage:  stageName(ev.Stage),
+		Dur:    int64(ev.Dur),
+		Trace:  ev.Trace,
 	}
+}
+
+// stageName renders a stage for the wire, keeping the zero Stage as the
+// empty string so omitempty elides it on non-span events.
+func stageName(s Stage) string {
+	if s == 0 {
+		return ""
+	}
+	return s.String()
 }
 
 func decodeEvent(ej eventJSON) (Event, bool) {
@@ -56,7 +73,7 @@ func decodeEvent(ej eventJSON) (Event, bool) {
 	if !ok {
 		return Event{}, false
 	}
-	return Event{
+	e := Event{
 		At:       time.Unix(0, ej.T),
 		Type:     t,
 		Node:     types.NodeID(ej.Node),
@@ -71,7 +88,15 @@ func decodeEvent(ej eventJSON) (Event, bool) {
 		Reason:   ej.Reason,
 		Value:    ej.Value,
 		Values:   ej.Values,
-	}, true
+		Dur:      time.Duration(ej.Dur),
+		Trace:    ej.Trace,
+	}
+	if ej.Stage != "" {
+		// Unknown stage names (future vocabulary) keep the event but leave
+		// Stage zero, mirroring how unknown event types skip the line.
+		e.Stage, _ = ParseStage(ej.Stage)
+	}
+	return e, true
 }
 
 // JSONLWriter streams events as one JSON object per line. It is safe for

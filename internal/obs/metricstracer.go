@@ -23,6 +23,14 @@ type MetricsTracer struct {
 	mu        sync.Mutex
 	ordered   map[types.InstanceID]*Counter // guarded by mu
 	icReasons map[string]*Counter           // guarded by mu
+	stages    map[stageKey]*Histogram       // guarded by mu
+}
+
+// stageKey caches one rbft_stage_seconds series. Instance is -1 for stages
+// that are not scoped to an instance lane.
+type stageKey struct {
+	stage Stage
+	inst  types.InstanceID
 }
 
 // NewMetricsTracer creates a tracer deriving metrics into reg.
@@ -36,6 +44,7 @@ func NewMetricsTracer(reg *Registry) *MetricsTracer {
 		batchSize: reg.Histogram("rbft_batch_size", BatchSizeBuckets),
 		ordered:   make(map[types.InstanceID]*Counter),
 		icReasons: make(map[string]*Counter),
+		stages:    make(map[stageKey]*Histogram),
 	}
 }
 
@@ -58,7 +67,33 @@ func (mt *MetricsTracer) Trace(ev Event) {
 		mt.nicCloses.Inc()
 	case EvMsgDrop:
 		mt.msgDrops.Inc()
+	case EvSpan:
+		mt.stageHistogram(ev.Stage, ev.Instance).Observe(ev.Dur.Seconds())
 	}
+}
+
+// stageHistogram resolves the rbft_stage_seconds series for a span. Stages
+// scoped to an instance lane get an instance label
+// (rbft_stage_seconds{instance="0",stage="prepare-quorum"}, labels in
+// alphabetical order); request-scoped stages get the stage label only.
+func (mt *MetricsTracer) stageHistogram(stage Stage, inst types.InstanceID) *Histogram {
+	key := stageKey{stage: stage, inst: inst}
+	if !stage.PerInstance() {
+		key.inst = -1
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	h := mt.stages[key]
+	if h == nil {
+		name := "rbft_stage_seconds{"
+		if key.inst >= 0 {
+			name += `instance=` + strconv.Quote(strconv.Itoa(int(key.inst))) + `,`
+		}
+		name += `stage=` + strconv.Quote(stage.String()) + `}`
+		h = mt.reg.Histogram(name, LatencyBuckets)
+		mt.stages[key] = h
+	}
+	return h
 }
 
 // orderedCounter resolves rbft_ordered_total{instance="i"} once per

@@ -14,6 +14,7 @@
 package obs
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -61,6 +62,13 @@ const (
 	// EvNodeRestart: the node restarted and recovered from its WAL; Count
 	// carries the number of replayed records.
 	EvNodeRestart // node-restart
+	// EvSpan: a request-lifecycle span. Stage names the pipeline stage, Dur
+	// its duration; At is the emission time (the span's end under both
+	// drivers). Request-scoped spans carry Client/Req (and Trace when the
+	// digest is known); instance-scoped spans carry Instance/Seq/View. The
+	// order span carries both, joining a request to the batch that ordered
+	// it on each instance lane.
+	EvSpan // span
 )
 
 // String returns the stable wire name used in JSONL traces.
@@ -96,6 +104,8 @@ func (t EventType) String() string {
 		return "node-crash"
 	case EvNodeRestart:
 		return "node-restart"
+	case EvSpan:
+		return "span"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -103,12 +113,114 @@ func (t EventType) String() string {
 
 // ParseEventType maps a wire name back to its EventType.
 func ParseEventType(s string) (EventType, bool) {
-	for t := EvRequestReceived; t <= EvNodeRestart; t++ {
+	for t := EvRequestReceived; t <= EvSpan; t++ {
 		if t.String() == s {
 			return t, true
 		}
 	}
 	return 0, false
+}
+
+// Stage enumerates the request-lifecycle pipeline stages a span can cover.
+// The comment after each name is the JSONL wire name.
+type Stage uint8
+
+// Pipeline stages, in rough lifecycle order. Ingress through preverify and
+// wal-durable through reply are driver-owned (the simulator emits them from
+// virtual time, the runtime from the wall clock); propose through order are
+// emitted by the protocol cores from the virtual/wall `now` they are driven
+// with, once per instance lane.
+const (
+	// StageIngress: frame arrival to the start of preverification (NIC and
+	// verifier-queue wait).
+	StageIngress Stage = iota + 1 // ingress
+	// StagePreverify: MAC/digest verification of a client request.
+	StagePreverify // preverify
+	// StagePropose: a primary's batching wait — first enqueue of the batch's
+	// requests to PRE-PREPARE emission (includes any throttling delay).
+	StagePropose // propose
+	// StagePrepareQuorum: PRE-PREPARE acceptance to the prepared state.
+	StagePrepareQuorum // prepare-quorum
+	// StageCommitQuorum: prepared to committed (delivery-ready).
+	StageCommitQuorum // commit-quorum
+	// StageOrder: request dispatch to delivery on one instance lane; carries
+	// Client/Req and Instance/Seq, joining a request to its ordering batch.
+	StageOrder // order
+	// StageWALDurable: execution output to its WAL records being fsynced
+	// (log-before-send wait on the reply path).
+	StageWALDurable // wal-durable
+	// StageExecute: application execution of one request.
+	StageExecute // execute
+	// StageEgress: reply enqueue to its frame leaving the node.
+	StageEgress // egress
+	// StageReply: reply transit from node NIC to client (simulator only; a
+	// node cannot observe its reply's arrival in a real deployment).
+	StageReply // reply
+)
+
+// String returns the stable wire name used in JSONL traces.
+func (s Stage) String() string {
+	switch s {
+	case StageIngress:
+		return "ingress"
+	case StagePreverify:
+		return "preverify"
+	case StagePropose:
+		return "propose"
+	case StagePrepareQuorum:
+		return "prepare-quorum"
+	case StageCommitQuorum:
+		return "commit-quorum"
+	case StageOrder:
+		return "order"
+	case StageWALDurable:
+		return "wal-durable"
+	case StageExecute:
+		return "execute"
+	case StageEgress:
+		return "egress"
+	case StageReply:
+		return "reply"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(s))
+	}
+}
+
+// ParseStage maps a wire name back to its Stage.
+func ParseStage(s string) (Stage, bool) {
+	for st := StageIngress; st <= StageReply; st++ {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return 0, false
+}
+
+// PerInstance reports whether the stage is scoped to one protocol instance
+// lane (and its spans therefore carry a meaningful Instance field).
+func (s Stage) PerInstance() bool {
+	switch s {
+	case StagePropose, StagePrepareQuorum, StageCommitQuorum, StageOrder:
+		return true
+	}
+	return false
+}
+
+// Stages returns every defined stage, in lifecycle order.
+func Stages() []Stage {
+	out := make([]Stage, 0, int(StageReply))
+	for st := StageIngress; st <= StageReply; st++ {
+		out = append(out, st)
+	}
+	return out
+}
+
+// TraceID derives the request trace identifier from its digest: the first
+// eight bytes, big-endian. Spans emitted below the layer that knows the
+// digest (e.g. the reply path, which only sees client and request id) leave
+// it zero and join on (Client, Req) instead.
+func TraceID(d types.Digest) uint64 {
+	return binary.BigEndian.Uint64(d[:8])
 }
 
 // Event is one traced protocol event. Not every field is meaningful for
@@ -139,6 +251,12 @@ type Event struct {
 	// Values is a per-instance series (throughput snapshot). Emitters must
 	// pass a private copy; sinks may retain it.
 	Values []float64
+	// Stage and Dur carry the pipeline stage and span duration of an EvSpan.
+	Stage Stage
+	Dur   time.Duration
+	// Trace is the request trace ID (TraceID of the request digest), set on
+	// spans emitted by layers that know the digest; zero otherwise.
+	Trace uint64
 }
 
 // Tracer consumes protocol events. Implementations must be safe for
@@ -190,6 +308,9 @@ func (nt nodeTracer) Trace(ev Event) {
 	nt.t.Trace(ev)
 }
 
+// WantSpans implements SpanSink by delegating to the wrapped tracer.
+func (nt nodeTracer) WantSpans() bool { return WantSpans(nt.t) }
+
 // multi fans one event out to several sinks, in fixed order.
 type multi []Tracer
 
@@ -217,4 +338,38 @@ func (m multi) Trace(ev Event) {
 	for _, t := range m {
 		t.Trace(ev)
 	}
+}
+
+// WantSpans implements SpanSink: a fan-out wants spans if any member does.
+func (m multi) WantSpans() bool {
+	for _, t := range m {
+		if WantSpans(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// SpanSink is an optional Tracer refinement: a sink that does not consume
+// EvSpan events (e.g. an aggregator that only folds protocol events into
+// scalar metrics) can return false so emitters skip span construction
+// entirely. Tracers that do not implement it are assumed to want spans.
+type SpanSink interface {
+	// WantSpans reports whether EvSpan events should be delivered.
+	WantSpans() bool
+}
+
+// WantSpans reports whether t consumes span events: false for nil or
+// disabled tracers and for sinks opting out via SpanSink, true otherwise.
+// Emitters cache the result alongside their tracer and guard every span
+// emission with it, so an untraced or metrics-only run pays nothing for the
+// span instrumentation.
+func WantSpans(t Tracer) bool {
+	if t == nil || !t.Enabled() {
+		return false
+	}
+	if ss, ok := t.(SpanSink); ok {
+		return ss.WantSpans()
+	}
+	return true
 }

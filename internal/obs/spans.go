@@ -1,0 +1,582 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"rbft/internal/types"
+)
+
+// This file reconstructs request-lifecycle critical paths from span traces.
+// Spans are flat events (see EvSpan); the joins that turn them back into a
+// per-request story are:
+//
+//   - request-scoped spans (ingress, preverify, execute, wal-durable,
+//     egress, reply) join on (Client, Req) and Node;
+//   - the order span carries both (Client, Req) and (Instance, Seq), tying
+//     a request to the batch that ordered it on each instance lane;
+//   - batch-scoped quorum spans (propose, prepare-quorum, commit-quorum)
+//     join on (Instance, Seq) — propose on the primary's node, the quorum
+//     waits on every node's lane.
+//
+// Everything here is deterministic for a fixed input: maps are only used
+// for aggregation and every output is sorted before it is returned.
+
+// MergeTraces merges per-node JSONL traces into one stream ordered by
+// timestamp. The sort is stable, so events with equal timestamps keep their
+// input order (trace argument order, then line order) and merging a fixed
+// set of traces is deterministic.
+func MergeTraces(traces ...[]Event) []Event {
+	total := 0
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make([]Event, 0, total)
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// UnattributedStage names the critical-path remainder: end-to-end time not
+// covered by any measured span (network transit, propagate wait, queueing
+// the instrumentation cannot see). It is reported explicitly so a request's
+// segments always sum to its end-to-end latency exactly.
+const UnattributedStage = "unattributed"
+
+// EndToEndStage names the whole-request latency row in stage tables.
+const EndToEndStage = "end-to-end"
+
+// Segment is one attributed slice of a request's end-to-end latency.
+type Segment struct {
+	Stage string
+	Dur   time.Duration
+}
+
+// RequestPath is one request's reconstructed critical path.
+type RequestPath struct {
+	Client types.ClientID
+	Req    types.RequestID
+	// Trace is the request's trace ID when any span carried it.
+	Trace uint64
+	// Node is the critical replica: the node whose reply (or execution,
+	// when the trace has no reply spans) completed the client's f+1 quorum.
+	// Per-node stages are taken from its lane.
+	Node  types.NodeID
+	Start time.Time
+	End   time.Time
+	// Latency is End - Start; Segments always sum to it exactly, the
+	// UnattributedStage remainder absorbing whatever the spans do not cover.
+	Latency  time.Duration
+	Segments []Segment
+	// Dominant is the largest segment's stage (ties break toward the
+	// earlier lifecycle stage).
+	Dominant string
+}
+
+// StageStats summarizes one stage's duration distribution.
+type StageStats struct {
+	Stage string
+	Count int
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// CriticalPathReport is the output of CriticalPaths.
+type CriticalPathReport struct {
+	// Requests is the number of completed requests analyzed (requests whose
+	// trace shows a receive and an f+1 completion quorum).
+	Requests int
+	// Nodes is the number of distinct nodes observed in the trace; F is the
+	// fault tolerance inferred from it ((Nodes-1)/3), which fixes the f+1
+	// completion quorum.
+	Nodes int
+	F     int
+	// Latency is the end-to-end distribution over completed requests.
+	Latency StageStats
+	// Stages holds the per-stage distribution of critical-path segments, in
+	// lifecycle order with the unattributed remainder last. A stage's Count
+	// is the number of requests whose path observed it.
+	Stages []StageStats
+	// Slowest is the top-k completed requests by latency, descending.
+	Slowest []RequestPath
+}
+
+// pathStages is the lifecycle order in which a request's budget is
+// attributed to segments (see CriticalPaths).
+var pathStages = []Stage{
+	StageIngress, StagePreverify,
+	StagePropose, StagePrepareQuorum, StageCommitQuorum,
+	StageExecute, StageWALDurable, StageEgress, StageReply,
+}
+
+// batchKey identifies one ordering batch on one instance lane.
+type batchKey struct {
+	inst types.InstanceID
+	seq  types.SeqNum
+}
+
+// nodeBatchKey identifies one node's view of one ordering batch.
+type nodeBatchKey struct {
+	node types.NodeID
+	inst types.InstanceID
+	seq  types.SeqNum
+}
+
+// nodePathObs is what one node observed about one request. Durations are
+// first-wins so client retransmissions do not double-attribute.
+type nodePathObs struct {
+	received   time.Time
+	haveRecv   bool
+	executedAt time.Time
+	haveExec   bool
+	replyAt    time.Time
+	haveReply  bool
+
+	stageDur  [StageReply + 1]time.Duration
+	stageSeen [StageReply + 1]bool
+
+	orderSeq  types.SeqNum
+	haveOrder bool
+}
+
+func (o *nodePathObs) observe(st Stage, d time.Duration) {
+	if !o.stageSeen[st] {
+		o.stageSeen[st] = true
+		o.stageDur[st] = d
+	}
+}
+
+// reqPathObs aggregates one request across nodes.
+type reqPathObs struct {
+	trace     uint64
+	firstRecv time.Time
+	haveRecv  bool
+	nodes     map[types.NodeID]*nodePathObs
+}
+
+func (r *reqPathObs) node(n types.NodeID) *nodePathObs {
+	o := r.nodes[n]
+	if o == nil {
+		o = &nodePathObs{}
+		r.nodes[n] = o
+	}
+	return o
+}
+
+// CriticalPaths reconstructs every completed request's cross-node critical
+// path from a (typically merged, see MergeTraces) trace.
+//
+// A request completes when f+1 distinct nodes have replied (the client's
+// acceptance quorum), f inferred from the number of distinct nodes in the
+// trace; traces without reply spans (real-runtime traces, where reply
+// transit is unobservable) fall back to f+1 distinct executions. The
+// critical replica is the node completing that quorum, and the path is
+// decomposed on its lane: the end-to-end budget is attributed to observed
+// stages in lifecycle order — ingress, preverify, propose (primary's
+// batching wait), prepare-quorum, commit-quorum, execute, wal-durable,
+// egress, reply — each segment clamped to the budget remaining, with the
+// explicit unattributed remainder last. Segments therefore always sum to
+// the end-to-end latency exactly.
+func CriticalPaths(events []Event, topK int) CriticalPathReport {
+	reqs := make(map[types.RequestKey]*reqPathObs)
+	proposeDur := make(map[batchKey]time.Duration)
+	quorumDur := make(map[nodeBatchKey][2]time.Duration) // [prepare, commit]
+	quorumSeen := make(map[nodeBatchKey][2]bool)
+	nodesSeen := make(map[types.NodeID]bool)
+
+	req := func(c types.ClientID, id types.RequestID) *reqPathObs {
+		k := types.RequestKey{Client: c, ID: id}
+		r := reqs[k]
+		if r == nil {
+			r = &reqPathObs{nodes: make(map[types.NodeID]*nodePathObs)}
+			reqs[k] = r
+		}
+		return r
+	}
+
+	for _, ev := range events {
+		nodesSeen[ev.Node] = true
+		switch ev.Type {
+		case EvRequestReceived:
+			r := req(ev.Client, ev.Req)
+			if !r.haveRecv || ev.At.Before(r.firstRecv) {
+				r.firstRecv, r.haveRecv = ev.At, true
+			}
+			if o := r.node(ev.Node); !o.haveRecv {
+				o.received, o.haveRecv = ev.At, true
+			}
+		case EvExecuted:
+			if o := req(ev.Client, ev.Req).node(ev.Node); !o.haveExec {
+				o.executedAt, o.haveExec = ev.At, true
+			}
+		case EvSpan:
+			switch ev.Stage {
+			case StagePropose:
+				k := batchKey{inst: ev.Instance, seq: ev.Seq}
+				if _, ok := proposeDur[k]; !ok {
+					proposeDur[k] = ev.Dur
+				}
+			case StagePrepareQuorum, StageCommitQuorum:
+				k := nodeBatchKey{node: ev.Node, inst: ev.Instance, seq: ev.Seq}
+				i := 0
+				if ev.Stage == StageCommitQuorum {
+					i = 1
+				}
+				if seen := quorumSeen[k]; !seen[i] {
+					seen[i] = true
+					quorumSeen[k] = seen
+					d := quorumDur[k]
+					d[i] = ev.Dur
+					quorumDur[k] = d
+				}
+			case StageOrder:
+				r := req(ev.Client, ev.Req)
+				if ev.Trace != 0 {
+					r.trace = ev.Trace
+				}
+				if ev.Instance == types.MasterInstance {
+					o := r.node(ev.Node)
+					if !o.haveOrder {
+						o.haveOrder, o.orderSeq = true, ev.Seq
+						o.observe(StageOrder, ev.Dur)
+					}
+				}
+			case StageIngress, StagePreverify, StageExecute, StageWALDurable, StageEgress, StageReply:
+				r := req(ev.Client, ev.Req)
+				if ev.Trace != 0 {
+					r.trace = ev.Trace
+				}
+				o := r.node(ev.Node)
+				o.observe(ev.Stage, ev.Dur)
+				if ev.Stage == StageReply && !o.haveReply {
+					o.replyAt, o.haveReply = ev.At, true
+				}
+			}
+		}
+	}
+
+	rep := CriticalPathReport{Nodes: len(nodesSeen)}
+	if rep.Nodes > 0 {
+		rep.F = (rep.Nodes - 1) / 3
+	}
+	quorum := types.WeakQuorum(rep.F)
+
+	keys := make([]types.RequestKey, 0, len(reqs))
+	for k := range reqs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Client != keys[j].Client {
+			return keys[i].Client < keys[j].Client
+		}
+		return keys[i].ID < keys[j].ID
+	})
+
+	stageDurs := make(map[string][]time.Duration)
+	var latencies []time.Duration
+	var paths []RequestPath
+
+	for _, k := range keys {
+		r := reqs[k]
+		if !r.haveRecv {
+			continue
+		}
+		node, end, ok := completion(r, quorum)
+		if !ok {
+			continue
+		}
+		o := r.nodes[node]
+		latency := end.Sub(r.firstRecv)
+		if latency < 0 {
+			continue
+		}
+
+		p := RequestPath{
+			Client:  k.Client,
+			Req:     k.ID,
+			Trace:   r.trace,
+			Node:    node,
+			Start:   r.firstRecv,
+			End:     end,
+			Latency: latency,
+		}
+		remaining := latency
+		add := func(stage Stage, d time.Duration, have bool) {
+			if !have {
+				return
+			}
+			if d < 0 {
+				d = 0
+			}
+			if d > remaining {
+				d = remaining
+			}
+			p.Segments = append(p.Segments, Segment{Stage: stage.String(), Dur: d})
+			remaining -= d
+		}
+		for _, st := range pathStages {
+			switch st {
+			case StagePropose:
+				if o.haveOrder {
+					d, have := proposeDur[batchKey{inst: types.MasterInstance, seq: o.orderSeq}]
+					add(st, d, have)
+				}
+			case StagePrepareQuorum, StageCommitQuorum:
+				if o.haveOrder {
+					i := 0
+					if st == StageCommitQuorum {
+						i = 1
+					}
+					k := nodeBatchKey{node: node, inst: types.MasterInstance, seq: o.orderSeq}
+					add(st, quorumDur[k][i], quorumSeen[k][i])
+				}
+			default:
+				add(st, o.stageDur[st], o.stageSeen[st])
+			}
+		}
+		p.Segments = append(p.Segments, Segment{Stage: UnattributedStage, Dur: remaining})
+		p.Dominant = dominantSegment(p.Segments)
+
+		for _, s := range p.Segments {
+			stageDurs[s.Stage] = append(stageDurs[s.Stage], s.Dur)
+		}
+		latencies = append(latencies, latency)
+		paths = append(paths, p)
+	}
+
+	rep.Requests = len(paths)
+	rep.Latency = stageStats(EndToEndStage, latencies)
+	for _, st := range pathStages {
+		if durs := stageDurs[st.String()]; len(durs) > 0 {
+			rep.Stages = append(rep.Stages, stageStats(st.String(), durs))
+		}
+	}
+	if durs := stageDurs[UnattributedStage]; len(durs) > 0 {
+		rep.Stages = append(rep.Stages, stageStats(UnattributedStage, durs))
+	}
+
+	if topK > 0 {
+		sort.SliceStable(paths, func(i, j int) bool { return paths[i].Latency > paths[j].Latency })
+		if len(paths) > topK {
+			paths = paths[:topK]
+		}
+		rep.Slowest = paths
+	}
+	return rep
+}
+
+// completion finds the node and time completing the request's f+1 quorum:
+// the quorum-th distinct node to reply (or, without reply spans, to
+// execute). Returns ok=false for incomplete requests.
+func completion(r *reqPathObs, quorum int) (types.NodeID, time.Time, bool) {
+	type arrival struct {
+		node types.NodeID
+		at   time.Time
+	}
+	var replies, execs []arrival
+	for n, o := range r.nodes {
+		if o.haveReply {
+			replies = append(replies, arrival{node: n, at: o.replyAt})
+		}
+		if o.haveExec {
+			execs = append(execs, arrival{node: n, at: o.executedAt})
+		}
+	}
+	pick := func(as []arrival) (types.NodeID, time.Time, bool) {
+		if len(as) < quorum {
+			return 0, time.Time{}, false
+		}
+		sort.Slice(as, func(i, j int) bool {
+			if !as[i].at.Equal(as[j].at) {
+				return as[i].at.Before(as[j].at)
+			}
+			return as[i].node < as[j].node
+		})
+		a := as[quorum-1]
+		return a.node, a.at, true
+	}
+	if n, at, ok := pick(replies); ok {
+		return n, at, true
+	}
+	return pick(execs)
+}
+
+func dominantSegment(segs []Segment) string {
+	best := ""
+	var bestDur time.Duration = -1
+	for _, s := range segs {
+		if s.Dur > bestDur {
+			best, bestDur = s.Stage, s.Dur
+		}
+	}
+	return best
+}
+
+func stageStats(name string, durs []time.Duration) StageStats {
+	return StageStats{
+		Stage: name,
+		Count: len(durs),
+		P50:   percentileDur(durs, 0.50),
+		P95:   percentileDur(durs, 0.95),
+		P99:   percentileDur(durs, 0.99),
+	}
+}
+
+// percentileDur is the nearest-rank percentile of durs (q in (0,1]).
+func percentileDur(durs []time.Duration, q float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// StageDiff compares one instance-scoped stage between the suspect instance
+// and the healthy lanes.
+type StageDiff struct {
+	Stage string
+	// Suspect is the suspect instance's p50; Healthy the median of the
+	// other instances' p50s for the same stage.
+	Suspect time.Duration
+	Healthy time.Duration
+	// Excess is Suspect - Healthy (negative when the suspect is faster).
+	Excess time.Duration
+}
+
+// InstanceProfile is one instance lane's stage-duration distribution.
+type InstanceProfile struct {
+	Instance types.InstanceID
+	Stages   []StageStats
+}
+
+// AttributionReport explains where a suspect instance's latency goes,
+// backing a Δ/Λ/Ω verdict with a stage-level story.
+type AttributionReport struct {
+	Suspect types.InstanceID
+	// Instances profiles every lane observed in the trace over the
+	// instance-scoped stages (propose, prepare-quorum, commit-quorum,
+	// order).
+	Instances []InstanceProfile
+	// Diffs compares the suspect lane against the healthy lanes per
+	// instance-scoped stage.
+	Diffs []StageDiff
+	// Segments is the cluster-wide critical-path segment distribution (see
+	// CriticalPathReport.Stages).
+	Segments []StageStats
+	// Dominant names the stage explaining the most latency. Instance-scoped
+	// stages are judged by the suspect's excess over the healthy lanes —
+	// RBFT's redundant instances are each other's baseline, so a slowdown
+	// hitting every lane symmetrically (a slow disk, slow crypto) cancels
+	// out — while request-scoped stages are judged by their absolute p50
+	// contribution. The unattributed remainder is reported but never named
+	// dominant.
+	Dominant string
+	// Changes is the instance-change forensics for the same trace (see
+	// ExplainInstanceChanges): the verdicts the stage profile explains.
+	Changes []ICExplanation
+}
+
+// instanceStages are the per-lane stages profiled by Attribute.
+var instanceStages = []Stage{StagePropose, StagePrepareQuorum, StageCommitQuorum, StageOrder}
+
+// Attribute builds the stage-level explanation of a suspect instance's
+// latency from a (typically merged) trace. The suspect defaults to the
+// master instance — the lane whose degradation triggers instance changes.
+func Attribute(events []Event, suspect types.InstanceID) AttributionReport {
+	if suspect < 0 {
+		suspect = types.MasterInstance
+	}
+	perInst := make(map[types.InstanceID]map[Stage][]time.Duration)
+	for _, ev := range events {
+		if ev.Type != EvSpan || !ev.Stage.PerInstance() {
+			continue
+		}
+		m := perInst[ev.Instance]
+		if m == nil {
+			m = make(map[Stage][]time.Duration)
+			perInst[ev.Instance] = m
+		}
+		m[ev.Stage] = append(m[ev.Stage], ev.Dur)
+	}
+
+	rep := AttributionReport{Suspect: suspect}
+	insts := make([]types.InstanceID, 0, len(perInst))
+	for i := range perInst {
+		insts = append(insts, i)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		p := InstanceProfile{Instance: inst}
+		for _, st := range instanceStages {
+			if durs := perInst[inst][st]; len(durs) > 0 {
+				p.Stages = append(p.Stages, stageStats(st.String(), durs))
+			}
+		}
+		rep.Instances = append(rep.Instances, p)
+	}
+
+	// Suspect-vs-healthy diff per instance stage.
+	for _, st := range instanceStages {
+		suspectDurs := perInst[suspect][st]
+		var healthyP50s []time.Duration
+		for _, inst := range insts {
+			if inst == suspect {
+				continue
+			}
+			if durs := perInst[inst][st]; len(durs) > 0 {
+				healthyP50s = append(healthyP50s, percentileDur(durs, 0.50))
+			}
+		}
+		if len(suspectDurs) == 0 && len(healthyP50s) == 0 {
+			continue
+		}
+		d := StageDiff{
+			Stage:   st.String(),
+			Suspect: percentileDur(suspectDurs, 0.50),
+			Healthy: percentileDur(healthyP50s, 0.50),
+		}
+		d.Excess = d.Suspect - d.Healthy
+		rep.Diffs = append(rep.Diffs, d)
+	}
+
+	cp := CriticalPaths(events, 0)
+	rep.Segments = cp.Stages
+
+	// Dominance: instance stages by excess, request stages by p50.
+	var bestDur time.Duration = -1
+	consider := func(name string, d time.Duration) {
+		if d > bestDur {
+			rep.Dominant, bestDur = name, d
+		}
+	}
+	for _, d := range rep.Diffs {
+		consider(d.Stage, d.Excess)
+	}
+	for _, s := range rep.Segments {
+		if s.Stage == UnattributedStage {
+			continue
+		}
+		if st, ok := ParseStage(s.Stage); ok && st.PerInstance() {
+			continue
+		}
+		consider(s.Stage, s.P50)
+	}
+	if bestDur <= 0 {
+		rep.Dominant = ""
+	}
+
+	rep.Changes = ExplainInstanceChanges(events)
+	return rep
+}

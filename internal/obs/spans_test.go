@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"rbft/internal/types"
+)
+
+func TestStageRoundTrip(t *testing.T) {
+	for _, st := range Stages() {
+		got, ok := ParseStage(st.String())
+		if !ok || got != st {
+			t.Fatalf("stage %d (%s) did not round-trip: got %d ok=%v", st, st, got, ok)
+		}
+	}
+	if _, ok := ParseStage("no-such-stage"); ok {
+		t.Fatal("ParseStage accepted an unknown stage name")
+	}
+	if s := Stage(0).String(); s != "stage(0)" {
+		t.Fatalf("zero stage string = %q", s)
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	var d types.Digest
+	d[0] = 0x01
+	d[7] = 0xff
+	if id := TraceID(d); id != 0x01000000000000ff {
+		t.Fatalf("TraceID = %#x", id)
+	}
+}
+
+func TestMergeTracesStable(t *testing.T) {
+	a := []Event{
+		{At: at(1), Type: EvExecuted, Node: 0},
+		{At: at(3), Type: EvExecuted, Node: 0},
+	}
+	b := []Event{
+		{At: at(1), Type: EvExecuted, Node: 1},
+		{At: at(2), Type: EvExecuted, Node: 1},
+	}
+	m := MergeTraces(a, b)
+	if len(m) != 4 {
+		t.Fatalf("merged %d events, want 4", len(m))
+	}
+	wantNodes := []types.NodeID{0, 1, 1, 0} // equal stamps keep input order: a before b
+	for i, ev := range m {
+		if ev.Node != wantNodes[i] {
+			t.Fatalf("merge order at %d: node %d, want %d", i, ev.Node, wantNodes[i])
+		}
+	}
+}
+
+// span is a test shorthand for one lifecycle span event.
+func span(ms int, node types.NodeID, st Stage, dur time.Duration, ev Event) Event {
+	ev.At, ev.Node, ev.Type, ev.Stage, ev.Dur = at(ms), node, EvSpan, st, dur
+	return ev
+}
+
+// criticalPathTrace builds a 4-node trace with one completed request whose
+// lifecycle is fully spanned. Node 2's reply completes the f+1=2 quorum at
+// 21ms, so node 2 is the critical replica.
+func criticalPathTrace() []Event {
+	req := Event{Client: 1, Req: 1}
+	batch := Event{Instance: types.MasterInstance, Seq: 5}
+	events := []Event{
+		{At: at(0), Type: EvRequestReceived, Node: 0, Client: 1, Req: 1},
+		{At: at(0), Type: EvRequestReceived, Node: 1, Client: 1, Req: 1},
+		{At: at(0), Type: EvRequestReceived, Node: 2, Client: 1, Req: 1},
+		{At: at(0), Type: EvRequestReceived, Node: 3, Client: 1, Req: 1},
+		// Node 2's lane, in lifecycle order.
+		span(1, 2, StageIngress, 1*time.Millisecond, req),
+		span(2, 2, StagePreverify, 1*time.Millisecond, req),
+		span(4, 0, StagePropose, 2*time.Millisecond, batch), // primary's batching wait
+		span(8, 2, StagePrepareQuorum, 3*time.Millisecond, batch),
+		span(14, 2, StageCommitQuorum, 6*time.Millisecond, batch),
+		func() Event {
+			ev := span(14, 2, StageOrder, 2*time.Millisecond, req)
+			ev.Instance, ev.Seq, ev.Trace = types.MasterInstance, 5, 42
+			return ev
+		}(),
+		span(15, 2, StageExecute, 1*time.Millisecond, req),
+		span(17, 2, StageWALDurable, 2*time.Millisecond, req),
+		span(18, 2, StageEgress, 1*time.Millisecond, req),
+		// Replies: node 0 at 20ms, node 2 at 21ms (completes the quorum),
+		// node 1 late at 22ms.
+		span(20, 0, StageReply, 1*time.Millisecond, req),
+		span(21, 2, StageReply, 1*time.Millisecond, req),
+		span(22, 1, StageReply, 1*time.Millisecond, req),
+	}
+	return events
+}
+
+func TestCriticalPaths(t *testing.T) {
+	rep := CriticalPaths(criticalPathTrace(), 3)
+	if rep.Requests != 1 || rep.Nodes != 4 || rep.F != 1 {
+		t.Fatalf("requests=%d nodes=%d f=%d, want 1/4/1", rep.Requests, rep.Nodes, rep.F)
+	}
+	if len(rep.Slowest) != 1 {
+		t.Fatalf("slowest has %d paths, want 1", len(rep.Slowest))
+	}
+	p := rep.Slowest[0]
+	if p.Node != 2 {
+		t.Fatalf("critical node = %d, want 2 (second distinct reply)", p.Node)
+	}
+	if p.Latency != 21*time.Millisecond {
+		t.Fatalf("latency = %s, want 21ms", p.Latency)
+	}
+	if p.Trace != 42 {
+		t.Fatalf("trace id = %d, want 42 (joined from the order span)", p.Trace)
+	}
+	var sum time.Duration
+	seen := map[string]time.Duration{}
+	for _, s := range p.Segments {
+		sum += s.Dur
+		seen[s.Stage] = s.Dur
+	}
+	if sum != p.Latency {
+		t.Fatalf("segments sum to %s, want exactly the latency %s", sum, p.Latency)
+	}
+	for stage, want := range map[string]time.Duration{
+		"ingress": 1 * time.Millisecond, "preverify": 1 * time.Millisecond,
+		"propose": 2 * time.Millisecond, "prepare-quorum": 3 * time.Millisecond,
+		"commit-quorum": 6 * time.Millisecond, "execute": 1 * time.Millisecond,
+		"wal-durable": 2 * time.Millisecond, "egress": 1 * time.Millisecond,
+		"reply": 1 * time.Millisecond, UnattributedStage: 3 * time.Millisecond,
+	} {
+		if seen[stage] != want {
+			t.Fatalf("segment %s = %s, want %s (all: %v)", stage, seen[stage], want, p.Segments)
+		}
+	}
+	if p.Dominant != "commit-quorum" {
+		t.Fatalf("dominant = %q, want commit-quorum", p.Dominant)
+	}
+	if rep.Latency.Stage != EndToEndStage || rep.Latency.P50 != 21*time.Millisecond {
+		t.Fatalf("end-to-end stats = %+v", rep.Latency)
+	}
+}
+
+func TestCriticalPathsExecFallback(t *testing.T) {
+	// Runtime-style trace: no reply spans, completion falls back to the
+	// f+1-th distinct execution event.
+	events := []Event{
+		{At: at(0), Type: EvRequestReceived, Node: 0, Client: 1, Req: 1},
+		{At: at(0), Type: EvRequestReceived, Node: 1, Client: 1, Req: 1},
+		{At: at(0), Type: EvRequestReceived, Node: 2, Client: 1, Req: 1},
+		{At: at(0), Type: EvRequestReceived, Node: 3, Client: 1, Req: 1},
+		{At: at(10), Type: EvExecuted, Node: 1, Client: 1, Req: 1},
+		{At: at(12), Type: EvExecuted, Node: 3, Client: 1, Req: 1},
+		{At: at(15), Type: EvExecuted, Node: 0, Client: 1, Req: 1},
+	}
+	rep := CriticalPaths(events, 1)
+	if rep.Requests != 1 {
+		t.Fatalf("requests = %d, want 1", rep.Requests)
+	}
+	p := rep.Slowest[0]
+	if p.Node != 3 || p.Latency != 12*time.Millisecond {
+		t.Fatalf("critical node=%d latency=%s, want node 3 at 12ms", p.Node, p.Latency)
+	}
+	// Nothing is spanned, so the whole budget is unattributed.
+	if p.Dominant != UnattributedStage {
+		t.Fatalf("dominant = %q, want %s", p.Dominant, UnattributedStage)
+	}
+}
+
+func TestAttributeNamesExcessStage(t *testing.T) {
+	batch := func(inst types.InstanceID) Event { return Event{Instance: inst, Seq: 1} }
+	var events []Event
+	for i := 0; i < 3; i++ {
+		// The master's prepare quorum is 5ms; backups' 1ms.
+		events = append(events,
+			span(i, 0, StagePrepareQuorum, 5*time.Millisecond, batch(0)),
+			span(i, 0, StagePrepareQuorum, 1*time.Millisecond, batch(1)),
+			span(i, 0, StagePrepareQuorum, 1*time.Millisecond, batch(2)),
+			span(i, 0, StageCommitQuorum, 1*time.Millisecond, batch(0)),
+			span(i, 0, StageCommitQuorum, 1*time.Millisecond, batch(1)),
+			span(i, 0, StageCommitQuorum, 1*time.Millisecond, batch(2)),
+		)
+	}
+	rep := Attribute(events, -1)
+	if rep.Suspect != types.MasterInstance {
+		t.Fatalf("suspect defaulted to %d, want master", rep.Suspect)
+	}
+	if len(rep.Instances) != 3 {
+		t.Fatalf("profiled %d instances, want 3", len(rep.Instances))
+	}
+	if rep.Dominant != "prepare-quorum" {
+		t.Fatalf("dominant = %q, want prepare-quorum", rep.Dominant)
+	}
+	var prep *StageDiff
+	for i := range rep.Diffs {
+		if rep.Diffs[i].Stage == "prepare-quorum" {
+			prep = &rep.Diffs[i]
+		}
+	}
+	if prep == nil {
+		t.Fatalf("no prepare-quorum diff in %+v", rep.Diffs)
+	}
+	if prep.Suspect != 5*time.Millisecond || prep.Healthy != 1*time.Millisecond || prep.Excess != 4*time.Millisecond {
+		t.Fatalf("prepare-quorum diff = %+v", prep)
+	}
+}
+
+func TestAttributeSymmetricSlowdownCancels(t *testing.T) {
+	// A slowdown hitting every lane equally (e.g. a slow disk stretching all
+	// quorum waits) must not be blamed on the suspect lane: the redundant
+	// instances are each other's baseline.
+	batch := func(inst types.InstanceID) Event { return Event{Instance: inst, Seq: 1} }
+	var events []Event
+	for inst := types.InstanceID(0); inst < 3; inst++ {
+		events = append(events, span(int(inst), 0, StagePrepareQuorum, 5*time.Millisecond, batch(inst)))
+	}
+	rep := Attribute(events, 0)
+	if rep.Dominant != "" {
+		t.Fatalf("dominant = %q, want none for a symmetric slowdown", rep.Dominant)
+	}
+}
+
+// BenchmarkSpanRecord measures the cost of one span record in the states a
+// production emitter sees: spans disabled (the emitter's WantSpans gate is
+// false — the cost every request pays when tracing is off), recording into
+// the in-memory flight recorder, and encoding to a JSONL sink.
+func BenchmarkSpanRecord(b *testing.B) {
+	ev := Event{
+		At: at(1), Type: EvSpan, Stage: StagePrepareQuorum,
+		Instance: 0, Seq: 9, View: 1, Count: 4, Dur: 3 * time.Millisecond,
+	}
+	b.Run("disabled", func(b *testing.B) {
+		tr := OrNop(nil)
+		on := WantSpans(tr)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if on {
+				tr.Trace(ev)
+			}
+		}
+	})
+	b.Run("recorder", func(b *testing.B) {
+		fr := NewFlightRecorder(DefaultRecorderSize)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fr.Trace(ev)
+		}
+	})
+	b.Run("jsonl", func(b *testing.B) {
+		jw := NewJSONLWriter(io.Discard)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			jw.Trace(ev)
+		}
+	})
+}

@@ -154,6 +154,11 @@ type entry struct {
 	// waiting counts batch refs the node has not yet collected f+1
 	// PROPAGATEs for; PREPARE is withheld until it reaches zero.
 	waiting int
+	// ppAt/prepAt anchor the prepare-quorum and commit-quorum spans: when
+	// the PRE-PREPARE was accepted and when the prepared state was reached.
+	// Only maintained when the tracer wants spans.
+	ppAt   time.Time
+	prepAt time.Time
 }
 
 // Instance is one protocol-instance replica. Not safe for concurrent use;
@@ -209,11 +214,20 @@ type Instance struct {
 	// tr receives phase-transition events (pre-prepare proposed, prepared,
 	// committed). Node identity is stamped by the installer's wrapper.
 	tr obs.Tracer
+	// spans caches obs.WantSpans(tr): whether to maintain span anchors and
+	// emit EvSpan events.
+	spans bool
+	// pendingSince is when the oldest pending ref was enqueued (propose-span
+	// anchor); zero when pending is empty or spans are off.
+	pendingSince time.Time
 }
 
 type delayedSend struct {
 	at  time.Time
 	msg *message.PrePrepare
+	// since carries the propose-span anchor across the attack delay, so the
+	// delay shows up in the master's propose stage.
+	since time.Time
 }
 
 // Stats counts observable protocol events, used by tests and the monitor.
@@ -251,7 +265,10 @@ func (in *Instance) SetBehavior(b Behavior) { in.behavior = b }
 
 // SetTracer installs an event sink for phase transitions. core.Node passes
 // its node-stamped tracer down; the replica adds the instance id.
-func (in *Instance) SetTracer(t obs.Tracer) { in.tr = obs.OrNop(t) }
+func (in *Instance) SetTracer(t obs.Tracer) {
+	in.tr = obs.OrNop(t)
+	in.spans = obs.WantSpans(in.tr)
+}
 
 // View returns the current view.
 func (in *Instance) View() types.View { return in.view }
@@ -328,6 +345,9 @@ func (in *Instance) enqueue(ref types.RequestRef, now time.Time) Output {
 	if _, done := in.delivered[ref]; done {
 		return out
 	}
+	if in.spans && len(in.pending) == 0 {
+		in.pendingSince = now
+	}
 	in.inBatch[ref] = true
 	in.pending = append(in.pending, ref)
 	if len(in.pending) >= in.cfg.BatchSize {
@@ -354,7 +374,7 @@ func (in *Instance) Tick(now time.Time) Output {
 				keep = append(keep, d)
 				continue
 			}
-			out.merge(in.emitPrePrepare(d.msg, now))
+			out.merge(in.emitPrePrepare(d.msg, now, d.since))
 		}
 		in.delayed = keep
 	}
@@ -439,11 +459,15 @@ func (in *Instance) cutBatch(now time.Time) Output {
 		in.stats.Proposed++
 
 		in.lastPropose = now
+		since := in.pendingSince
+		if len(in.pending) == 0 {
+			in.pendingSince = time.Time{}
+		}
 		delay := in.prePrepareDelayFor(batch)
 		if delay > 0 {
-			in.delayed = append(in.delayed, delayedSend{at: now.Add(delay), msg: pp})
+			in.delayed = append(in.delayed, delayedSend{at: now.Add(delay), msg: pp, since: since})
 		} else {
-			out.merge(in.emitPrePrepare(pp, now))
+			out.merge(in.emitPrePrepare(pp, now, since))
 		}
 		if throttle > 0 && rate == 0 {
 			// One batch per interval: re-arm for the backlog.
@@ -472,8 +496,10 @@ func (in *Instance) prePrepareDelayFor(batch []types.RequestRef) time.Duration {
 	return 0
 }
 
-// emitPrePrepare broadcasts a PRE-PREPARE and processes it locally.
-func (in *Instance) emitPrePrepare(pp *message.PrePrepare, now time.Time) Output {
+// emitPrePrepare broadcasts a PRE-PREPARE and processes it locally. since,
+// when non-zero, anchors the propose span: the wait from the batch head's
+// enqueue (including any throttling or attack delay) to this emission.
+func (in *Instance) emitPrePrepare(pp *message.PrePrepare, now time.Time, since time.Time) Output {
 	var out Output
 	if !in.behavior.Silent {
 		in.journal(&out, wal.Record{Kind: wal.KindSentPrePrepare, View: pp.View, Seq: pp.Seq, Refs: pp.Batch})
@@ -484,6 +510,13 @@ func (in *Instance) emitPrePrepare(pp *message.PrePrepare, now time.Time) Output
 		in.tr.Trace(obs.Event{
 			At: now, Type: obs.EvPrePrepare, Instance: in.cfg.Instance,
 			Seq: pp.Seq, View: pp.View, Count: len(pp.Batch),
+		})
+	}
+	if in.spans && !since.IsZero() {
+		in.tr.Trace(obs.Event{
+			At: now, Type: obs.EvSpan, Stage: obs.StagePropose,
+			Instance: in.cfg.Instance, Seq: pp.Seq, View: pp.View,
+			Count: len(pp.Batch), Dur: now.Sub(since),
 		})
 	}
 	out.merge(in.acceptPrePrepare(pp, now))
@@ -555,6 +588,9 @@ func (in *Instance) acceptPrePrepare(pp *message.PrePrepare, now time.Time) Outp
 	e.batch = pp.Batch
 	e.sentPrep = false
 	e.sentComm = false
+	if in.spans {
+		e.ppAt = now
+	}
 
 	// Count refs the node has not yet collected f+1 PROPAGATEs for. The
 	// paper's rule: reply with PREPARE only if the node already received f+1
@@ -659,6 +695,14 @@ func (in *Instance) checkPrepared(seq types.SeqNum, e *entry, now time.Time) Out
 			Seq: seq, View: e.view,
 		})
 	}
+	if in.spans && !e.ppAt.IsZero() {
+		e.prepAt = now
+		in.tr.Trace(obs.Event{
+			At: now, Type: obs.EvSpan, Stage: obs.StagePrepareQuorum,
+			Instance: in.cfg.Instance, Seq: seq, View: e.view,
+			Count: len(e.batch), Dur: now.Sub(e.ppAt),
+		})
+	}
 	if !in.behavior.Silent {
 		in.journal(&out, wal.Record{Kind: wal.KindSentCommit, View: e.view, Seq: seq, Digest: e.digest})
 		c := &message.Commit{
@@ -713,6 +757,13 @@ func (in *Instance) checkCommitted(seq types.SeqNum, e *entry, now time.Time) Ou
 		in.tr.Trace(obs.Event{
 			At: now, Type: obs.EvCommit, Instance: in.cfg.Instance,
 			Seq: seq, View: e.view,
+		})
+	}
+	if in.spans && !e.prepAt.IsZero() {
+		in.tr.Trace(obs.Event{
+			At: now, Type: obs.EvSpan, Stage: obs.StageCommitQuorum,
+			Instance: in.cfg.Instance, Seq: seq, View: e.view,
+			Count: len(e.batch), Dur: now.Sub(e.prepAt),
 		})
 	}
 	out.merge(in.deliverReady(now))

@@ -155,6 +155,10 @@ func (lc *LocalCluster) startNode(id types.NodeID, tr transport.Transport) error
 	if lc.opts.Tune != nil {
 		lc.opts.Tune(&cfg)
 	}
+	if cfg.App == nil {
+		cfg.App = app.Null{}
+	}
+	cfg.App = InstrumentApp(cfg.App, lc.opts.Tracer, id)
 	ring := lc.ks.NodeRing(id)
 	// Derive the pairwise MAC keys up front so the ingress pipeline
 	// never pays key derivation under load.
@@ -185,6 +189,7 @@ func (lc *LocalCluster) startNode(id types.NodeID, tr transport.Transport) error
 		WAL:                 w,
 		EgressFlushInterval: lc.opts.EgressFlushInterval,
 		Metrics:             lc.opts.Metrics,
+		Tracer:              lc.opts.Tracer,
 	})
 	return nil
 }

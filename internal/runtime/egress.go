@@ -8,6 +8,7 @@ import (
 	"rbft/internal/message"
 	"rbft/internal/obs"
 	"rbft/internal/transport"
+	"rbft/internal/types"
 	"rbft/internal/wal"
 )
 
@@ -43,6 +44,14 @@ type egressFrame struct {
 	// means no durability dependency.
 	lsn  uint64
 	refs int32 // atomic
+
+	// Span bookkeeping, populated only for reply frames when spans are on:
+	// at is the enqueue stamp, client/req identify the request so the
+	// wal-durable and egress spans can join the rest of its lifecycle.
+	at      time.Time
+	isReply bool
+	client  types.ClientID
+	req     types.RequestID
 }
 
 func (f *egressFrame) release() {
@@ -68,6 +77,8 @@ type egress struct {
 	// only what is already queued).
 	flushInterval time.Duration
 	reg           *obs.Registry
+	sp            obs.Tracer // node-stamped span sink; Nop unless spans are on
+	spans         bool
 
 	mu     sync.Mutex
 	queues map[string]*peerQueue // guarded by mu; lazily created per peer
@@ -83,6 +94,7 @@ func newEgress(tr transport.Transport, w *wal.Log, self string, flushInterval ti
 		self:          self,
 		flushInterval: flushInterval,
 		reg:           reg,
+		sp:            obs.Nop{},
 		queues:        make(map[string]*peerQueue),
 		stop:          stop,
 	}
@@ -183,6 +195,7 @@ func (e *egress) worker(peer string, q *peerQueue) {
 		// Log-before-send: nothing in this batch leaves until the WAL has
 		// fsynced past its durability horizon. The wait runs here, on the
 		// peer's worker, so an fsync stall never reaches the apply loop.
+		var walWait time.Duration
 		if e.wal != nil {
 			var horizon uint64
 			for _, f := range batch {
@@ -191,12 +204,19 @@ func (e *egress) worker(peer string, q *peerQueue) {
 				}
 			}
 			if horizon > 0 {
+				var w0 time.Time
+				if e.spans {
+					w0 = time.Now()
+				}
 				if err := e.wal.WaitDurable(horizon); err != nil {
 					// A node that cannot persist must not speak (it could
 					// equivocate after restart); dropping is indistinguishable
 					// from crashing, which the protocol tolerates.
 					releaseAll(batch)
 					continue
+				}
+				if e.spans {
+					walWait = time.Since(w0)
 				}
 			}
 		}
@@ -212,7 +232,39 @@ func (e *egress) worker(peer string, q *peerQueue) {
 				_ = e.tr.Send(peer, f.buf.Bytes())
 			}
 		}
+		if e.spans {
+			e.emitReplySpans(batch, walWait)
+		}
 		releaseAll(batch)
+	}
+}
+
+// emitReplySpans records, for each reply frame the flushed batch carried, a
+// wal-durable span (the batch's shared log-before-send wait, when one ran)
+// and an egress span (enqueue to post-send, with the WAL wait subtracted so
+// the two stages attribute disjoint time). Transit to the client is not
+// observable server-side, so runtime traces carry no reply span — the
+// critical-path analyzer falls back to execution events.
+func (e *egress) emitReplySpans(batch []*egressFrame, walWait time.Duration) {
+	now := time.Now()
+	for _, f := range batch {
+		if !f.isReply {
+			continue
+		}
+		if walWait > 0 {
+			e.sp.Trace(obs.Event{
+				At: now, Type: obs.EvSpan, Stage: obs.StageWALDurable,
+				Client: f.client, Req: f.req, Dur: walWait,
+			})
+		}
+		d := now.Sub(f.at) - walWait
+		if d < 0 {
+			d = 0
+		}
+		e.sp.Trace(obs.Event{
+			At: now, Type: obs.EvSpan, Stage: obs.StageEgress,
+			Client: f.client, Req: f.req, Dur: d,
+		})
 	}
 }
 

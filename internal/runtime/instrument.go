@@ -1,0 +1,37 @@
+package runtime
+
+import (
+	"time"
+
+	"rbft/internal/app"
+	"rbft/internal/obs"
+	"rbft/internal/types"
+)
+
+// InstrumentApp wraps an application so every Execute is timed and emitted
+// as an execute-stage span on t, stamped with node. Spans without a digest
+// in hand carry Trace 0 and join the rest of the request's lifecycle on
+// (Client, Req), per the span schema in docs/OBSERVABILITY.md. When the
+// tracer opted out of spans, a is returned unwrapped.
+func InstrumentApp(a app.Application, t obs.Tracer, node types.NodeID) app.Application {
+	if !obs.WantSpans(t) {
+		return a
+	}
+	return &instrumentedApp{app: a, tr: obs.WithNode(t, node)}
+}
+
+type instrumentedApp struct {
+	app app.Application
+	tr  obs.Tracer
+}
+
+func (ia *instrumentedApp) Execute(client types.ClientID, id types.RequestID, op []byte) []byte {
+	t0 := time.Now()
+	res := ia.app.Execute(client, id, op)
+	t1 := time.Now()
+	ia.tr.Trace(obs.Event{
+		At: t1, Type: obs.EvSpan, Stage: obs.StageExecute,
+		Client: client, Req: id, Dur: t1.Sub(t0),
+	})
+	return res
+}

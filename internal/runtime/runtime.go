@@ -61,6 +61,11 @@ type NodeOptions struct {
 	// Metrics, when set, receives the egress gauges and counters (per-link
 	// queue depth and drops).
 	Metrics *obs.Registry
+	// Tracer, when set, additionally receives the runtime's own lifecycle
+	// spans (ingress wait, preverify, WAL wait, egress) stamped with this
+	// node's id, alongside whatever the caller installed on the node itself.
+	// Span emission is skipped when the tracer opts out via obs.SpanSink.
+	Tracer obs.Tracer
 }
 
 // DefaultIngressWorkers is the default preverify worker-pool size: one per
@@ -91,6 +96,7 @@ type ingressItem struct {
 	fromClient bool
 	client     types.ClientID
 	from       types.NodeID
+	at         time.Time // arrival stamp, set only when spans are on
 
 	ready chan struct{}
 	v     *message.Verified
@@ -113,6 +119,9 @@ type NodeRuntime struct {
 
 	mu   sync.Mutex
 	node *core.Node // guarded by mu
+
+	sp    obs.Tracer // node-stamped span sink; Nop unless spans are on
+	spans bool       // cached obs.WantSpans(opts.Tracer)
 
 	work    chan *ingressItem // reader -> verifier pool
 	pending chan *ingressItem // reader -> apply loop, arrival-ordered
@@ -146,7 +155,14 @@ func StartNodeOpts(node *core.Node, tr transport.Transport, cluster types.Config
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	nr.spans = obs.WantSpans(opts.Tracer)
+	if nr.spans {
+		nr.sp = obs.WithNode(opts.Tracer, nr.self)
+	} else {
+		nr.sp = obs.Nop{}
+	}
 	nr.eg = newEgress(tr, opts.WAL, NodeName(nr.self), opts.EgressFlushInterval, opts.Metrics, nr.stop)
+	nr.eg.sp, nr.eg.spans = nr.sp, nr.spans
 	nr.wg.Add(1 + workers)
 	for i := 0; i < workers; i++ {
 		go nr.verifyLoop()
@@ -213,6 +229,9 @@ func (nr *NodeRuntime) classify(p transport.Packet) *ingressItem {
 		return nil
 	}
 	it := &ingressItem{data: p.Data, ready: make(chan struct{})}
+	if nr.spans {
+		it.at = time.Now()
+	}
 	switch kind {
 	case "client":
 		it.fromClient = true
@@ -236,13 +255,39 @@ func (nr *NodeRuntime) classify(p transport.Packet) *ingressItem {
 func (nr *NodeRuntime) verifyLoop() {
 	defer nr.wg.Done()
 	for it := range nr.work {
+		var t0 time.Time
+		if nr.spans {
+			t0 = time.Now()
+		}
 		if it.fromClient {
 			it.v, it.err = nr.pre.PreverifyClientFrame(it.data, it.client)
 		} else {
 			it.v, it.err = nr.pre.PreverifyNodeFrame(it.data, it.from)
 		}
+		if nr.spans && it.fromClient && it.err == nil {
+			nr.emitIngressSpans(it, t0)
+		}
 		close(it.ready)
 	}
+}
+
+// emitIngressSpans emits a client request's ingress span (arrival to the
+// start of preverification — the queue wait behind the verifier pool) and
+// preverify span (the crypto itself), mirroring the simulator's schema.
+func (nr *NodeRuntime) emitIngressSpans(it *ingressItem, t0 time.Time) {
+	req, ok := it.v.Msg.(*message.Request)
+	if !ok {
+		return
+	}
+	t1 := time.Now()
+	nr.sp.Trace(obs.Event{
+		At: t0, Type: obs.EvSpan, Stage: obs.StageIngress,
+		Client: req.Client, Req: req.ID, Dur: t0.Sub(it.at),
+	})
+	nr.sp.Trace(obs.Event{
+		At: t1, Type: obs.EvSpan, Stage: obs.StagePreverify,
+		Client: req.Client, Req: req.ID, Dur: t1.Sub(t0),
+	})
 }
 
 // applyLoop consumes preverified items in arrival order and drives the node
@@ -370,6 +415,14 @@ func (nr *NodeRuntime) emit(out core.Output) {
 	}
 	for _, cm := range out.ClientMsgs {
 		f := &egressFrame{buf: message.Encode(cm.Msg), lsn: lsn, refs: 1}
+		if nr.spans {
+			if rep, ok := cm.Msg.(*message.Reply); ok {
+				f.at = time.Now()
+				f.isReply = true
+				f.client = rep.Client
+				f.req = rep.ID
+			}
+		}
 		nr.eg.enqueue(ClientName(cm.To), f)
 	}
 }

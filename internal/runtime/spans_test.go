@@ -1,0 +1,60 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"rbft/internal/obs"
+)
+
+// TestRuntimeEmitsLifecycleSpans drives a live durable cluster through a
+// few requests and checks the runtime-owned lifecycle spans — ingress,
+// preverify, execute, wal-durable, egress — land in the tracer with the
+// same schema the simulator emits, so rbft-trace can analyze either.
+func TestRuntimeEmitsLifecycleSpans(t *testing.T) {
+	fr := obs.NewFlightRecorder(obs.DefaultRecorderSize)
+	lc, err := StartLocalCluster(ClusterOptions{
+		F:       1,
+		Tracer:  fr,
+		DataDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Stop)
+
+	cr, err := lc.NewClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cr.Stop)
+	for i := 0; i < 5; i++ {
+		if _, err := cr.Invoke(nil, 10*time.Second); err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+	}
+
+	seen := map[obs.Stage]int{}
+	for _, ev := range fr.Events() {
+		if ev.Type == obs.EvSpan {
+			seen[ev.Stage]++
+			if ev.Dur < 0 {
+				t.Fatalf("negative span duration: %+v", ev)
+			}
+		}
+	}
+	for _, st := range []obs.Stage{
+		obs.StageIngress, obs.StagePreverify, obs.StagePropose,
+		obs.StagePrepareQuorum, obs.StageCommitQuorum, obs.StageOrder,
+		obs.StageExecute, obs.StageWALDurable, obs.StageEgress,
+	} {
+		if seen[st] == 0 {
+			t.Fatalf("no %s spans recorded (saw %v)", st, seen)
+		}
+	}
+	// Reply transit is unobservable server-side: a runtime trace must not
+	// fabricate reply spans.
+	if seen[obs.StageReply] != 0 {
+		t.Fatalf("runtime emitted %d reply spans; reply transit is simulator-only", seen[obs.StageReply])
+	}
+}

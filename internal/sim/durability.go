@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rbft/internal/core"
+	"rbft/internal/message"
 	"rbft/internal/obs"
 	"rbft/internal/types"
 	"rbft/internal/wal"
@@ -61,6 +62,7 @@ func (s *Sim) persistThenEmit(sn *simNode, out core.Output) {
 	switch s.cfg.Durability {
 	case DurabilitySerialFsync:
 		// A dedicated write+fsync per output, serialized on the one device.
+		appendedAt := s.now
 		doneAt := s.diskReserve(sn, len(data))
 		ep := sn.epoch
 		s.schedule(doneAt, func() {
@@ -68,12 +70,12 @@ func (s *Sim) persistThenEmit(sn *simNode, out core.Output) {
 				return // crashed mid-fsync: neither durable nor sent
 			}
 			sn.durable = append(sn.durable, data...)
+			s.emitWALSpans(sn, out, appendedAt)
 			s.emitOutputs(sn, out)
 		})
 	case DurabilityGroupCommit:
 		sn.pendingFlush = append(sn.pendingFlush, data...)
-		o := out
-		sn.flushWaiters = append(sn.flushWaiters, func() { s.emitOutputs(sn, o) })
+		sn.flushWaiters = append(sn.flushWaiters, flushWaiter{at: s.now, out: out})
 		if !sn.flushArmed {
 			sn.flushArmed = true
 			ep := sn.epoch
@@ -106,9 +108,29 @@ func (s *Sim) flushGroupCommit(sn *simNode) {
 		}
 		sn.durable = append(sn.durable, data...)
 		for _, w := range waiters {
-			w()
+			s.emitWALSpans(sn, w.out, w.at)
+			s.emitOutputs(sn, w.out)
 		}
 	})
+}
+
+// emitWALSpans emits a wal-durable span per reply an output releases: the
+// wait from the output's WAL append to the fsync that made it durable (the
+// log-before-send delay on the reply path).
+func (s *Sim) emitWALSpans(sn *simNode, out core.Output, appendedAt time.Time) {
+	if !s.spans {
+		return
+	}
+	for _, cm := range out.ClientMsgs {
+		rep, ok := cm.Msg.(*message.Reply)
+		if !ok {
+			continue
+		}
+		sn.trace.Trace(obs.Event{
+			At: s.now, Type: obs.EvSpan, Stage: obs.StageWALDurable,
+			Client: rep.Client, Req: rep.ID, Dur: s.now.Sub(appendedAt),
+		})
+	}
 }
 
 // diskReserve books size bytes of WAL write on the node's single device and

@@ -63,6 +63,11 @@ var _ obs.Tracer = (*Metrics)(nil)
 // Enabled implements obs.Tracer.
 func (m *Metrics) Enabled() bool { return true }
 
+// WantSpans implements obs.SpanSink: the aggregator folds protocol events
+// into scalar results and ignores spans, so a metrics-only run (every
+// benchmark) must not pay for span emission.
+func (m *Metrics) WantSpans() bool { return false }
+
 // Trace implements obs.Tracer: trace events are folded into the run's
 // aggregate series. Unhandled event types (phase transitions, verdicts,
 // request lifecycle) pass through untouched — they exist for the JSONL

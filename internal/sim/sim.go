@@ -146,6 +146,9 @@ type cpuTask struct {
 	piped bool
 	v     *message.Verified
 	verr  error
+
+	// arrivedAt is when the frame reached the node (ingress-span anchor).
+	arrivedAt time.Time
 }
 
 // cpuQueue is a single-server FIFO CPU queue (one core).
@@ -222,11 +225,18 @@ type simNode struct {
 	// diskBusyUntil serializes flushes on the node's single WAL device.
 	diskBusyUntil time.Time
 	// pendingFlush and flushWaiters hold the group-commit batch that has
-	// been appended but not yet fsynced, and the output emissions waiting
-	// on it; both are lost on crash.
+	// been appended but not yet fsynced, and the outputs waiting on it;
+	// both are lost on crash.
 	pendingFlush []byte
-	flushWaiters []func()
+	flushWaiters []flushWaiter
 	flushArmed   bool
+}
+
+// flushWaiter is one output parked behind the group-commit fsync, with its
+// append time (the wal-durable span anchor).
+type flushWaiter struct {
+	at  time.Time
+	out core.Output
 }
 
 // Sim is one simulation run.
@@ -236,6 +246,10 @@ type Sim struct {
 	ks      *crypto.KeyStore
 	rng     *rand.Rand
 	sink    obs.Tracer // every node's event sink (metrics + optional trace)
+
+	// spans caches obs.WantSpans(sink): the metrics aggregator alone does
+	// not consume spans, so untraced runs skip span emission entirely.
+	spans bool
 
 	events eventHeap
 	seq    uint64
@@ -265,6 +279,7 @@ func New(cfg Config) *Sim {
 	// Every node's events feed the metrics aggregator, and additionally the
 	// configured trace sink (JSONL etc.) when one is installed.
 	s.sink = obs.Multi(s.metrics, cfg.Trace)
+	s.spans = obs.WantSpans(s.sink)
 	for i := 0; i < cluster.N; i++ {
 		id := types.NodeID(i)
 		sn := &simNode{
@@ -406,6 +421,7 @@ func (s *Sim) startNextTask(sn *simNode, q int) {
 		if sn.epoch != ep {
 			return // the node crashed while this task was "running"
 		}
+		s.emitExecuteSpans(sn, out)
 		s.persistThenEmit(sn, out)
 		s.armNodeTimer(sn)
 		s.startNextTask(sn, q)
@@ -429,6 +445,13 @@ func (s *Sim) runTask(sn *simNode, task cpuTask) (time.Duration, core.Output) {
 		req, ok := task.msg.(*message.Request)
 		if !ok {
 			return cost, out
+		}
+		if s.spans {
+			// The serial model charges preverify and apply as one task:
+			// the ingress span is the queue wait, the preverify span the
+			// verification share of the charged cost.
+			pv := s.cfg.Cost.preverifyCost(task.msg, first)
+			s.emitIngressSpans(sn, task, s.now, s.now.Add(pv), pv)
 		}
 		out = sn.node.OnClientRequest(req, s.now)
 	} else {
@@ -483,6 +506,9 @@ func (s *Sim) pipeIngress(sn *simNode, task cpuTask) {
 	}
 	done := start.Add(cost)
 	sn.verify[coreIdx] = done
+	if s.spans && task.isClient {
+		s.emitIngressSpans(sn, task, start, done, cost)
+	}
 	ep := sn.epoch
 	s.schedule(done, func() {
 		if sn.epoch != ep {
@@ -516,6 +542,40 @@ func (s *Sim) verifyDone(sn *simNode, seq uint64, task cpuTask) {
 		delete(sn.reorder, sn.nextApply)
 		sn.nextApply++
 		s.enqueueTask(sn, queueFor(next.msg, s.cluster.Instances()), next)
+	}
+}
+
+// emitIngressSpans emits a client request's ingress span (arrival to the
+// start of preverification) and preverify span (the verification itself).
+// start/done bracket the verification; the At of each span is its end.
+func (s *Sim) emitIngressSpans(sn *simNode, task cpuTask, start, done time.Time, cost time.Duration) {
+	req, ok := task.msg.(*message.Request)
+	if !ok {
+		return
+	}
+	sn.trace.Trace(obs.Event{
+		At: start, Type: obs.EvSpan, Stage: obs.StageIngress,
+		Client: req.Client, Req: req.ID, Dur: start.Sub(task.arrivedAt),
+	})
+	sn.trace.Trace(obs.Event{
+		At: done, Type: obs.EvSpan, Stage: obs.StagePreverify,
+		Client: req.Client, Req: req.ID, Dur: cost,
+	})
+}
+
+// emitExecuteSpans emits one execute span per request executed by a
+// completed task, charged at the modelled per-request execution cost.
+func (s *Sim) emitExecuteSpans(sn *simNode, out core.Output) {
+	if !s.spans || len(out.Executions) == 0 {
+		return
+	}
+	d := s.cfg.Cost.execCost(s.cfg.Workload.RequestSize)
+	for _, ex := range out.Executions {
+		sn.trace.Trace(obs.Event{
+			At: s.now, Type: obs.EvSpan, Stage: obs.StageExecute,
+			Client: ex.Ref.Client, Req: ex.Ref.ID,
+			Trace: obs.TraceID(ex.Ref.Digest), Dur: d,
+		})
 	}
 }
 
@@ -671,7 +731,7 @@ func (s *Sim) deliverToNode(sn *simNode, msg message.Message, from types.NodeID,
 			delete(sn.closed, from)
 		}
 	}
-	task := cpuTask{msg: msg, from: from, isClient: isClient}
+	task := cpuTask{msg: msg, from: from, isClient: isClient, arrivedAt: s.now}
 	if sn.verify != nil {
 		s.pipeIngress(sn, task)
 		return
@@ -695,6 +755,20 @@ func (s *Sim) sendNodeToClient(from *simNode, to types.ClientID, msg message.Mes
 	arrive := l.busyUntil.Add(s.cfg.Cost.LinkLatency)
 	if !s.cfg.UDP {
 		arrive = arrive.Add(s.cfg.Cost.TCPExtraLatency)
+	}
+	if s.spans {
+		if rep, ok := msg.(*message.Reply); ok {
+			// egress: client-NIC queue wait plus serialization; reply: the
+			// wire transit, which only the simulator can observe.
+			from.trace.Trace(obs.Event{
+				At: l.busyUntil, Type: obs.EvSpan, Stage: obs.StageEgress,
+				Client: rep.Client, Req: rep.ID, Dur: l.busyUntil.Sub(s.now),
+			})
+			from.trace.Trace(obs.Event{
+				At: arrive, Type: obs.EvSpan, Stage: obs.StageReply,
+				Client: rep.Client, Req: rep.ID, Dur: arrive.Sub(l.busyUntil),
+			})
+		}
 	}
 	cl := s.clients[to]
 	fromID := from.id

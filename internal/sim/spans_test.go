@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rbft/internal/obs"
+)
+
+// spanCapture collects the full event stream of a run in memory, spans
+// included (it does not implement obs.SpanSink, so WantSpans is true).
+type spanCapture struct {
+	events []obs.Event
+}
+
+func (c *spanCapture) Enabled() bool      { return true }
+func (c *spanCapture) Trace(ev obs.Event) { c.events = append(c.events, ev) }
+
+func (c *spanCapture) spans() []obs.Event {
+	var out []obs.Event
+	for _, ev := range c.events {
+		if ev.Type == obs.EvSpan {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestSpanTraceByteIdentical extends the determinism gate to lifecycle
+// spans: two same-seed runs with a JSONL trace sink attached must produce
+// byte-identical trace files, and those traces must actually contain spans
+// for every pipeline stage the scenario exercises.
+func TestSpanTraceByteIdentical(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		cfg := baseConfig(1, 8, 3, 200)
+		cfg.Durability = DurabilityGroupCommit
+		cfg.Cost.FsyncLatency = 100 * time.Microsecond
+		cfg.Trace = obs.NewJSONLWriter(&buf)
+		New(cfg).Run(1 * time.Second)
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different span traces")
+	}
+	if !bytes.Contains(a, []byte(`"ev":"span"`)) {
+		t.Fatal("trace contains no span events")
+	}
+	for _, stage := range []string{
+		"ingress", "preverify", "propose", "prepare-quorum",
+		"commit-quorum", "order", "wal-durable", "execute", "egress", "reply",
+	} {
+		if !bytes.Contains(a, []byte(`"stage":"`+stage+`"`)) {
+			t.Fatalf("trace has no %s-stage spans", stage)
+		}
+	}
+}
+
+// TestCriticalPathConsistency checks the analysis invariant end to end on a
+// real simulated trace: every reconstructed request's segments sum to its
+// end-to-end latency exactly, and the report covers a meaningful share of
+// the run's completed requests.
+func TestCriticalPathConsistency(t *testing.T) {
+	cap := &spanCapture{}
+	cfg := baseConfig(1, 8, 3, 200)
+	cfg.Trace = cap
+	res := New(cfg).Run(1 * time.Second)
+
+	rep := obs.CriticalPaths(cap.events, len(cap.events))
+	if rep.Requests == 0 {
+		t.Fatal("no completed requests reconstructed from the trace")
+	}
+	if rep.Requests < res.Completed/2 {
+		t.Fatalf("reconstructed %d requests from a run that completed %d", rep.Requests, res.Completed)
+	}
+	if rep.F != 1 || rep.Nodes != 4 {
+		t.Fatalf("inferred nodes=%d f=%d, want 4/1", rep.Nodes, rep.F)
+	}
+	for _, p := range rep.Slowest {
+		var sum time.Duration
+		for _, s := range p.Segments {
+			if s.Dur < 0 {
+				t.Fatalf("negative segment %s=%s for client=%d req=%d", s.Stage, s.Dur, p.Client, p.Req)
+			}
+			sum += s.Dur
+		}
+		if sum != p.Latency {
+			t.Fatalf("client=%d req=%d: segments sum %s != latency %s (%v)",
+				p.Client, p.Req, sum, p.Latency, p.Segments)
+		}
+	}
+}
+
+// TestAttributeNamesInflatedExec injects a grossly inflated application
+// execution cost and checks the attribution pipeline pins the latency on
+// the execute stage.
+func TestAttributeNamesInflatedExec(t *testing.T) {
+	cap := &spanCapture{}
+	cfg := baseConfig(1, 8, 2, 100)
+	cfg.Cost.ExecPerRequest = 2 * time.Millisecond
+	cfg.Trace = cap
+	New(cfg).Run(1 * time.Second)
+
+	rep := obs.Attribute(cap.events, -1)
+	if rep.Dominant != "execute" {
+		t.Fatalf("dominant stage %q, want execute (diffs %+v, segments %+v)",
+			rep.Dominant, rep.Diffs, rep.Segments)
+	}
+}
+
+// TestAttributeNamesSlowDisk injects a slow WAL device and checks the
+// wal-durable stage is named dominant: the fsync wait hits every instance
+// lane's quorum spans symmetrically (so the lane-vs-lane excess cancels),
+// while the reply path's log-before-send wait shows up as an absolute
+// wal-durable segment.
+func TestAttributeNamesSlowDisk(t *testing.T) {
+	cap := &spanCapture{}
+	cfg := baseConfig(1, 8, 2, 100)
+	cfg.Durability = DurabilityGroupCommit
+	cfg.Cost.FsyncLatency = 2 * time.Millisecond
+	cfg.Trace = cap
+	New(cfg).Run(1 * time.Second)
+
+	rep := obs.Attribute(cap.events, -1)
+	if rep.Dominant != "wal-durable" {
+		t.Fatalf("dominant stage %q, want wal-durable (diffs %+v, segments %+v)",
+			rep.Dominant, rep.Diffs, rep.Segments)
+	}
+}
+
+// TestMetricsOnlyRunEmitsNoSpans pins the benchmark-path opt-out: a run
+// whose only sink is the aggregating Metrics tracer must not emit (or pay
+// for) span events.
+func TestMetricsOnlyRunEmitsNoSpans(t *testing.T) {
+	cfg := baseConfig(1, 8, 2, 100)
+	s := New(cfg)
+	if s.spans {
+		t.Fatal("metrics-only run has spans enabled")
+	}
+}

@@ -34,7 +34,17 @@ go test ./internal/message -run '^TestEncodeZeroAlloc$' -count=1 -v
 go test ./internal/message -run '^$' -bench '^(BenchmarkMarshal|BenchmarkEncode)$' -benchtime 100x -benchmem
 go test ./internal/runtime -run '^$' -bench '^BenchmarkEgress$' -benchtime 100x -benchmem
 
+echo "== span-record gate (tracing-off cost must stay trivial) =="
+go test ./internal/obs -run '^$' -bench '^BenchmarkSpanRecord$' -benchtime 100x -benchmem
+
 echo "== bench smoke (BENCH_sim.json) =="
 go run ./cmd/rbft-bench -exp bench -quick -json BENCH_sim.json
+
+echo "== rbft-trace smoke (summary / critical-path / attribute) =="
+go run ./cmd/rbft-bench -exp bench -quick -trace TRACE_smoke.jsonl >/dev/null
+go run ./cmd/rbft-trace summary TRACE_smoke.jsonl >/dev/null
+go run ./cmd/rbft-trace critical-path -top 3 TRACE_smoke.jsonl >/dev/null
+go run ./cmd/rbft-trace attribute TRACE_smoke.jsonl >/dev/null
+rm -f TRACE_smoke.jsonl
 
 echo "CI gate passed."
