@@ -60,6 +60,7 @@ func run() error {
 		pprofOn    = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on the observability address (requires -obs-addr)")
 		recorder   = flag.Int("recorder", obs.DefaultRecorderSize, "flight-recorder capacity in events (0 = disabled)")
 		dataDir    = flag.String("data-dir", "", "durable state directory; when set, protocol state is written to a WAL under it before any message is sent, and a restart recovers from it (empty = in-memory only)")
+		ordering   = flag.String("ordering", "master-only", "ordering mode: master-only (master instance orders everything) or multi-primary (each instance orders a disjoint client partition; all nodes must agree)")
 	)
 	flag.Parse()
 
@@ -126,6 +127,11 @@ func run() error {
 		return err
 	}
 
+	mode, err := types.ParseOrderingMode(*ordering)
+	if err != nil {
+		return err
+	}
+
 	ks := crypto.NewKeyStore([]byte(*secret), cluster.N, *maxClients)
 	cfg := core.Config{
 		Cluster: cluster,
@@ -136,6 +142,7 @@ func run() error {
 			Delta:  *delta,
 		},
 		BatchTimeout: 2 * time.Millisecond,
+		OrderingMode: mode,
 		Durable:      *dataDir != "",
 	}
 	node := core.New(cfg, ks.NodeRing(types.NodeID(*id)))

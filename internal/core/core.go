@@ -10,6 +10,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"rbft/internal/app"
@@ -38,8 +39,15 @@ type Config struct {
 	CheckpointInterval types.SeqNum
 	WatermarkWindow    types.SeqNum
 
+	// OrderingMode selects which instances' orderings reach execution:
+	// types.OrderingMasterOnly (the default — all lanes order everything,
+	// only the master's order executes) or types.OrderingMultiPrimary (each
+	// lane orders a disjoint client partition and a deterministic round-robin
+	// merge feeds execution; see lanes.go and docs/ORDERING.md).
+	OrderingMode types.OrderingMode
+
 	// Monitoring carries the Δ/Λ/Ω monitoring parameters. Instances is
-	// filled in from the cluster configuration.
+	// filled in from the cluster configuration; PerLane follows OrderingMode.
 	Monitoring monitor.Config
 
 	// ReplyCacheSize bounds the per-client reply cache.
@@ -81,6 +89,7 @@ func (c *Config) withDefaults() Config {
 		out.NICClosePeriod = time.Second
 	}
 	out.Monitoring.Instances = out.Cluster.Instances()
+	out.Monitoring.PerLane = out.OrderingMode == types.OrderingMultiPrimary
 	return out
 }
 
@@ -109,7 +118,9 @@ type ClientSend struct {
 	Msg message.Message
 }
 
-// Execution reports a request executed by the master instance on this node.
+// Execution reports a request executed on this node: ordered by the master
+// instance in master-only mode, or released by the lane merge in
+// multi-primary mode.
 type Execution struct {
 	Ref    types.RequestRef
 	Result []byte
@@ -189,6 +200,13 @@ type Node struct {
 	replicas []*pbft.Instance
 	mon      *monitor.Monitor
 
+	// Multi-primary ordering state (nil / zero in master-only mode): the
+	// round-robin merge feeding execution, the pending empty-batch filler
+	// deadline for a stalled idle lane, and the filler pacing interval.
+	merge       *laneMerge
+	fillerAt    time.Time
+	fillerDelay time.Duration
+
 	view types.View
 	cpi  uint64
 
@@ -226,31 +244,41 @@ type Node struct {
 	spansOn      bool
 	dispatchedAt map[types.RequestRef]time.Time
 	metricsOn    bool
-	msgsIn    [64]*obs.Counter
-	msgsOut   [64]*obs.Counter
-	clientOut *obs.Counter
+	msgsIn       [64]*obs.Counter
+	msgsOut      [64]*obs.Counter
+	clientOut    *obs.Counter
+	// executedByLane counts executions by the ordering lane the executing
+	// order came from (always lane 0 in master-only mode).
+	executedByLane []*obs.Counter
 }
 
 // New creates an RBFT node. keys must be the node's own key ring.
 func New(cfg Config, keys *crypto.KeyRing) *Node {
 	c := cfg.withDefaults()
 	n := &Node{
-		cfg:         c,
-		keys:        keys,
-		mon:         monitor.New(c.Monitoring),
-		bodies:      make(map[types.RequestRef]*message.Request),
-		byKey:       make(map[types.RequestKey][]types.RequestRef),
-		propagates:  make(map[types.RequestRef]map[types.NodeID]bool),
-		dispatched:  make(map[types.RequestRef]bool),
-		executed:    make(map[types.RequestKey]bool),
-		clients:     make(map[types.ClientID]*clientState),
-		icVotes:     make(map[uint64]map[types.NodeID]bool),
+		cfg:          c,
+		keys:         keys,
+		mon:          monitor.New(c.Monitoring),
+		bodies:       make(map[types.RequestRef]*message.Request),
+		byKey:        make(map[types.RequestKey][]types.RequestRef),
+		propagates:   make(map[types.RequestRef]map[types.NodeID]bool),
+		dispatched:   make(map[types.RequestRef]bool),
+		executed:     make(map[types.RequestKey]bool),
+		clients:      make(map[types.ClientID]*clientState),
+		icVotes:      make(map[uint64]map[types.NodeID]bool),
 		floodCounts:  make(map[types.NodeID]int),
 		closedUntil:  make(map[types.NodeID]time.Time),
 		tr:           obs.Nop{},
 		dispatchedAt: make(map[types.RequestRef]time.Time),
 	}
 	n.pre = message.NewPreverifier(keys, c.Node, c.Cluster, message.NewVerifyCache(c.VerifyCacheSize))
+	if c.OrderingMode == types.OrderingMultiPrimary {
+		n.merge = newLaneMerge(c.Cluster.Instances())
+		n.fillerDelay = c.BatchTimeout
+		if n.fillerDelay == 0 {
+			n.fillerDelay = 5 * time.Millisecond // pbft's BatchTimeout default
+		}
+	}
 	for i := 0; i < c.Cluster.Instances(); i++ {
 		pc := pbft.Config{
 			Cluster:            c.Cluster,
@@ -303,6 +331,10 @@ func (n *Node) SetRegistry(reg *obs.Registry) {
 		n.msgsOut[t] = reg.Counter(obs.LabeledName("rbft_messages_out_total", "type", t.String()))
 	}
 	n.clientOut = reg.Counter("rbft_client_messages_out_total")
+	n.executedByLane = make([]*obs.Counter, len(n.replicas))
+	for i := range n.replicas {
+		n.executedByLane[i] = reg.Counter(obs.LabeledName("rbft_executed_total", "lane", fmt.Sprintf("%d", i)))
+	}
 	n.pre.Cache().SetCounters(
 		reg.Counter("rbft_sigcache_hits_total"),
 		reg.Counter("rbft_sigcache_misses_total"),
@@ -392,6 +424,7 @@ func (n *Node) NextWake() time.Time {
 		consider(r.NextWake())
 	}
 	consider(n.mon.NextWake())
+	consider(n.fillerAt)
 	return wake
 }
 
@@ -412,6 +445,9 @@ func (n *Node) tick(now time.Time) Output {
 		if !w.IsZero() && !now.Before(w) {
 			out.merge(n.absorb(types.InstanceID(i), r.Tick(now), now))
 		}
+	}
+	if n.multiPrimary() {
+		out.merge(n.tickFiller(now))
 	}
 	w := n.mon.NextWake()
 	if !w.IsZero() && !now.Before(w) {
@@ -648,8 +684,10 @@ func (n *Node) senderSet(ref types.RequestRef) map[types.NodeID]bool {
 	return senders
 }
 
-// maybeDispatch hands the request to the f+1 local replicas once f+1
-// PROPAGATE copies (including our own) have been collected.
+// maybeDispatch runs the Dispatch module once f+1 PROPAGATE copies
+// (including our own) have been collected: in master-only mode the request
+// goes to all f+1 local replicas for redundant ordering; in multi-primary
+// mode only to the lane owning the client's partition.
 func (n *Node) maybeDispatch(ref types.RequestRef, now time.Time) Output {
 	var out Output
 	if n.dispatched[ref] {
@@ -661,6 +699,17 @@ func (n *Node) maybeDispatch(ref types.RequestRef, now time.Time) Output {
 	n.dispatched[ref] = true
 	if n.spansOn {
 		n.dispatchedAt[ref] = now
+	}
+	if n.multiPrimary() {
+		lane := types.PartitionOf(ref.Client, len(n.replicas))
+		n.mon.RequestDispatchedTo(lane, ref, now)
+		if n.tr.Enabled() {
+			n.tr.Trace(obs.Event{
+				At: now, Type: obs.EvRequestDispatched, Client: ref.Client, Req: ref.ID,
+			})
+		}
+		out.merge(n.absorb(lane, n.replicas[lane].AddRequest(ref, now), now))
+		return out
 	}
 	n.mon.RequestDispatched(ref, now)
 	if n.tr.Enabled() {
@@ -692,8 +741,9 @@ func (n *Node) applyInstanceMessage(msg message.Message, from types.NodeID, now 
 }
 
 // absorb converts a replica's output into node output: forwards its
-// messages, feeds deliveries to the monitor, and executes master-instance
-// batches.
+// messages, feeds deliveries to the monitor, and routes delivered batches to
+// execution — directly for master-instance batches in master-only mode,
+// through the round-robin lane merge in multi-primary mode.
 func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Output {
 	var out Output
 	out.Records = append(out.Records, res.Records...)
@@ -727,20 +777,33 @@ func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Out
 				n.lastSuspect = verdict
 				out.merge(n.voteInstanceChange(verdict.Reason, now))
 			}
-			if inst == types.MasterInstance {
-				out.merge(n.execute(ref, now))
+			if !n.multiPrimary() && inst == types.MasterInstance {
+				out.merge(n.execute(ref, inst, now))
 			}
 		}
+		if n.multiPrimary() {
+			for _, mb := range n.merge.push(inst, batch.Seq, batch.Refs) {
+				n.journal(&out, wal.Record{Kind: wal.KindMerged, Instance: mb.lane, Seq: mb.seq})
+				for _, ref := range mb.refs {
+					out.merge(n.execute(ref, mb.lane, now))
+				}
+			}
+		}
+	}
+	if n.multiPrimary() {
+		n.updateFiller(now)
 	}
 	return out
 }
 
-// execute runs the Execution module for one master-ordered request. The
-// executed set is keyed by (client, id): if an equivocating client signed
-// several bodies under one id, only the first master-ordered one executes —
-// and since the master order is identical everywhere, every correct node
+// execute runs the Execution module for one request in the agreed execution
+// order — the master's order in master-only mode, the lane merge's order in
+// multi-primary mode; lane records which ordering lane released the request.
+// The executed set is keyed by (client, id): if an equivocating client signed
+// several bodies under one id, only the first ordered one executes — and
+// since the execution order is identical everywhere, every correct node
 // picks the same body.
-func (n *Node) execute(ref types.RequestRef, now time.Time) Output {
+func (n *Node) execute(ref types.RequestRef, lane types.InstanceID, now time.Time) Output {
 	var out Output
 	key := ref.Key()
 	if n.executed[key] {
@@ -755,8 +818,11 @@ func (n *Node) execute(ref types.RequestRef, now time.Time) Output {
 	n.executed[key] = true
 	n.journal(&out, wal.Record{
 		Kind: wal.KindExecuted, Client: ref.Client, Req: ref.ID,
-		Digest: ref.Digest, Op: body.Op,
+		Digest: ref.Digest, Op: body.Op, Instance: lane,
 	})
+	if n.metricsOn && n.executedByLane != nil {
+		n.executedByLane[lane].Inc()
+	}
 	result := n.cfg.App.Execute(ref.Client, ref.ID, body.Op)
 	if n.tr.Enabled() {
 		n.tr.Trace(obs.Event{

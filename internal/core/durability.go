@@ -57,6 +57,14 @@ func (n *Node) Restore(replay func(func(wal.Record) error) error) (RestoreStats,
 			if redone {
 				stats.Executed++
 			}
+		case wal.KindMerged:
+			if n.merge == nil {
+				return fmt.Errorf("core: restore: merged record in master-only mode")
+			}
+			if int(rec.Instance) >= len(n.replicas) || rec.Instance < 0 {
+				return fmt.Errorf("core: restore: merged record for lane %d, node has %d", rec.Instance, len(n.replicas))
+			}
+			n.merge.restoreCursor(rec.Instance, rec.Seq)
 		default:
 			if int(rec.Instance) >= len(n.replicas) || rec.Instance < 0 {
 				return fmt.Errorf("core: restore: record for instance %d, node has %d", rec.Instance, len(n.replicas))
@@ -70,6 +78,17 @@ func (n *Node) Restore(replay func(func(wal.Record) error) error) (RestoreStats,
 	}
 	for _, r := range n.replicas {
 		r.FinishRestore(n.view)
+	}
+	if n.merge != nil {
+		// Clamp merge cursors to each lane's stable-checkpoint horizon
+		// (LastDelivered == the replayed stable seq right after
+		// FinishRestore): sequences below it are beyond fetch, so the
+		// merge must not wait on them. See laneMerge.finishRestore.
+		stable := make([]types.SeqNum, len(n.replicas))
+		for i, r := range n.replicas {
+			stable[i] = r.LastDelivered()
+		}
+		n.merge.finishRestore(stable)
 	}
 	stats.View = n.view
 	stats.CPI = n.cpi

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rbft/internal/sim"
+	"rbft/internal/types"
 )
 
 // BenchScenario is one named benchmark configuration, exposed (rather than
@@ -49,7 +50,38 @@ func BenchScenarios(o Options) []BenchScenario {
 		walScenario("wal-group-commit", sim.DurabilityGroupCommit, o),
 		egressScenario("egress-per-message", 0, o),
 		egressScenario("egress-coalesced", egressCoalesce, o),
+		orderingScenario("ordering-master-only", types.OrderingMasterOnly, o),
+		orderingScenario("ordering-multi-primary", types.OrderingMultiPrimary, o),
 	}
+}
+
+// orderingPerRefProcess is the per-reference ordering bookkeeping cost of the
+// ordering bench pair, raised from the default 300ns to a deliberately heavy
+// 30µs so the per-instance ordering core is the bottleneck (a primary's core
+// pays it twice per request: once proposing, once applying). With ordering
+// bound, the pair measures what partitioned multi-primary ordering buys:
+// each lane carries 1/(f+1) of the load, so the per-lane core saturates at
+// (f+1)× the master-only rate.
+const orderingPerRefProcess = 30 * time.Microsecond
+
+// orderingOfferedLoad oversubscribes the master-only ordering capacity
+// (~35 kreq/s at 30µs/ref once batch overheads are counted) by ~2× so the
+// pair measures ordering capacity, not offered load, while staying under the
+// multi-primary cap.
+const orderingOfferedLoad = 64_000
+
+// orderingScenario builds an ordering-bound scenario: per-reference ordering
+// cost raised until the instance cores are the bottleneck, verification
+// pipelined onto parallel cores so ingress is not. The pair (master-only vs
+// multi-primary) quantifies what ordering disjoint partitions on all f+1
+// instances buys over funnelling every request through the master lane.
+func orderingScenario(name string, mode types.OrderingMode, o Options) BenchScenario {
+	o = o.withDefaults()
+	cfg := rbftConfig(1, 8, orderingOfferedLoad, o)
+	cfg.Cost.PerRefProcess = orderingPerRefProcess
+	cfg.VerifyCores = pipelineParallelCores
+	cfg.OrderingMode = mode
+	return BenchScenario{Name: name, Config: cfg, RunTime: o.RunTime}
 }
 
 // egressPacketOverheadBytes is the modelled per-physical-frame wire overhead

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rbft/internal/sim"
+	"rbft/internal/types"
 )
 
 // TestBenchPipelineSpeedup pins the headline claim of the staged ingress
@@ -37,7 +38,7 @@ func TestBenchScenariosIncludePipeline(t *testing.T) {
 	for _, sc := range BenchScenarios(Options{Quick: true}) {
 		names[sc.Name] = true
 	}
-	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel", "wal-serial-fsync", "wal-group-commit", "egress-per-message", "egress-coalesced"} {
+	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel", "wal-serial-fsync", "wal-group-commit", "egress-per-message", "egress-coalesced", "ordering-master-only", "ordering-multi-primary"} {
 		if !names[want] {
 			t.Errorf("bench suite is missing scenario %q", want)
 		}
@@ -65,6 +66,35 @@ func TestBenchEgressCoalescingSpeedup(t *testing.T) {
 	if ratio < 1.3 {
 		t.Fatalf("coalesced/per-message speedup %.2fx, want >= 1.3x (per-message %.0f, coalesced %.0f req/s)",
 			ratio, perMessage.Throughput, coalesced.Throughput)
+	}
+}
+
+// TestBenchMultiPrimarySpeedup pins the headline claim of multi-primary
+// ordering: on an ordering-bound configuration (per-reference ordering cost
+// dominating, verification pipelined off the instance cores), ordering
+// disjoint client partitions on all f+1 instances must buy at least 1.5x
+// throughput over funnelling everything through the master lane, and must do
+// so without tripping the per-lane Δ test. Deterministic simulation makes
+// this a stable bound.
+func TestBenchMultiPrimarySpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	o := Options{Quick: true}
+	master := RunBench(orderingScenario("ordering-master-only", types.OrderingMasterOnly, o))
+	multi := RunBench(orderingScenario("ordering-multi-primary", types.OrderingMultiPrimary, o))
+	if master.Throughput <= 0 {
+		t.Fatalf("master-only scenario completed no requests: %+v", master)
+	}
+	ratio := multi.Throughput / master.Throughput
+	t.Logf("ordering-master-only %.0f req/s, ordering-multi-primary %.0f req/s, speedup %.2fx",
+		master.Throughput, multi.Throughput, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("multi-primary/master-only speedup %.2fx, want >= 1.5x (master %.0f, multi %.0f req/s)",
+			ratio, master.Throughput, multi.Throughput)
+	}
+	if multi.InstanceChanges != 0 {
+		t.Fatalf("multi-primary run triggered %d instance changes on a fault-free cluster", multi.InstanceChanges)
 	}
 }
 

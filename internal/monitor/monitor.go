@@ -82,10 +82,20 @@ type Config struct {
 	Omega time.Duration
 	// MinRequests is the minimum number of backup-ordered requests in a
 	// period before the Δ test is evaluated, suppressing idle-period noise.
+	// In per-lane mode it is the minimum number of requests dispatched to a
+	// lane before that lane participates in the Δ comparison.
 	MinRequests uint64
 	// RecordLatencies keeps a log of every master-ordered request's
 	// ordering latency (figure 12 plots this series).
 	RecordLatencies bool
+	// PerLane adapts the Δ test for multi-primary ordering, where each
+	// instance orders a disjoint request partition: instances no longer see
+	// the same stream, so raw count ratios are meaningless. Instead the
+	// monitor compares per-lane completion ratios (ordered / dispatched):
+	// a lane completing a much smaller fraction of its own partition than
+	// the best lane marks a slow partition owner. The Λ and Ω gates also
+	// evaluate on every lane's deliveries rather than the master's only.
+	PerLane bool
 }
 
 // LatencyRecord is one master-ordered request's ordering latency.
@@ -132,6 +142,7 @@ type Monitor struct {
 	cfg Config
 
 	counts      []uint64 // ordered requests per instance, current period
+	dispatched  []uint64 // per-lane dispatches, current period (PerLane only)
 	periodStart time.Time
 	started     bool
 
@@ -154,6 +165,7 @@ func New(cfg Config) *Monitor {
 	return &Monitor{
 		cfg:        c,
 		counts:     make([]uint64, c.Instances),
+		dispatched: make([]uint64, c.Instances),
 		throughput: make([]float64, c.Instances),
 		dispatch:   make(map[types.RequestKey]time.Time),
 		clients:    make(map[types.ClientID]*clientLat),
@@ -189,6 +201,17 @@ func (m *Monitor) RequestDispatched(ref types.RequestRef, now time.Time) {
 	}
 }
 
+// RequestDispatchedTo records a partition-targeted dispatch: the node handed
+// the request to the single lane owning its client's partition. Besides the
+// dispatch-time bookkeeping it counts the dispatch against the lane so the
+// per-lane Δ test can compare completion ratios.
+func (m *Monitor) RequestDispatchedTo(lane types.InstanceID, ref types.RequestRef, now time.Time) {
+	m.RequestDispatched(ref, now)
+	if int(lane) < len(m.dispatched) {
+		m.dispatched[lane]++
+	}
+}
+
 // RequestOrdered records that instance inst delivered the request, returning
 // a verdict from the latency tests when inst is the master.
 func (m *Monitor) RequestOrdered(inst types.InstanceID, ref types.RequestRef, now time.Time) Verdict {
@@ -213,11 +236,14 @@ func (m *Monitor) RequestOrdered(inst types.InstanceID, ref types.RequestRef, no
 		cl.count[inst]++
 	}
 
-	if inst != types.MasterInstance {
+	// In master-only mode a request "completes" when the master orders it;
+	// in per-lane mode it completes when its owning lane (the only one it
+	// was dispatched to) delivers it.
+	if !m.cfg.PerLane && inst != types.MasterInstance {
 		return Verdict{}
 	}
-	// The request has completed its master ordering; forget its dispatch
-	// time so the map stays bounded.
+	// The request has completed its ordering; forget its dispatch time so
+	// the map stays bounded.
 	delete(m.dispatch, ref.Key())
 
 	if m.cfg.RecordLatencies {
@@ -306,7 +332,9 @@ func (m *Monitor) Tick(now time.Time) Verdict {
 	masterCount := m.counts[types.MasterInstance]
 
 	verdict := Verdict{Ratio: 1}
-	if backupBest >= m.cfg.MinRequests {
+	if m.cfg.PerLane {
+		verdict = m.perLaneVerdict()
+	} else if backupBest >= m.cfg.MinRequests {
 		ratio := float64(masterCount) / float64(backupBest)
 		verdict.Ratio = ratio
 		if ratio < m.cfg.Delta {
@@ -324,8 +352,40 @@ func (m *Monitor) Tick(now time.Time) Verdict {
 
 	for i := range m.counts {
 		m.counts[i] = 0
+		m.dispatched[i] = 0
 	}
 	m.periodStart = now
+	return verdict
+}
+
+// perLaneVerdict runs the partition-aware Δ test: each lane's completion
+// ratio (ordered / dispatched this period) is compared, and the period is
+// suspicious when the worst lane completes less than Δ of the best lane's
+// fraction. Only lanes with at least MinRequests dispatches participate, so
+// an idle or lightly-loaded partition neither accuses nor excuses anyone.
+func (m *Monitor) perLaneVerdict() Verdict {
+	verdict := Verdict{Ratio: 1}
+	best, worst := -1.0, -1.0
+	for i := range m.counts {
+		if m.dispatched[i] < m.cfg.MinRequests {
+			continue
+		}
+		r := float64(m.counts[i]) / float64(m.dispatched[i])
+		if best < 0 || r > best {
+			best = r
+		}
+		if worst < 0 || r < worst {
+			worst = r
+		}
+	}
+	if best <= 0 {
+		return verdict
+	}
+	verdict.Ratio = worst / best
+	if verdict.Ratio < m.cfg.Delta {
+		verdict.Suspicious = true
+		verdict.Reason = ReasonThroughput
+	}
 	return verdict
 }
 
@@ -348,6 +408,7 @@ func (m *Monitor) LatencyLog() []LatencyRecord {
 func (m *Monitor) Reset(now time.Time) {
 	for i := range m.counts {
 		m.counts[i] = 0
+		m.dispatched[i] = 0
 	}
 	m.periodStart = now
 	m.clients = make(map[types.ClientID]*clientLat)

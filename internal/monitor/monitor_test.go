@@ -230,3 +230,94 @@ func TestMasterSilentRatioZero(t *testing.T) {
 		t.Fatalf("silent master: verdict = %+v, want ratio 0 suspicion", v)
 	}
 }
+
+// TestPerLaneDeltaFiresOnSlowPartitionOwner: in per-lane mode each instance
+// orders a disjoint partition, so the Δ test compares per-lane completion
+// ratios (ordered/dispatched); a lane completing a much smaller fraction of
+// its own partition marks its owner.
+func TestPerLaneDeltaFiresOnSlowPartitionOwner(t *testing.T) {
+	m := New(Config{Instances: 2, Period: 100 * time.Millisecond, Delta: 0.9, MinRequests: 5, PerLane: true})
+	now := time.Unix(0, 0)
+	for i := 0; i < 20; i++ {
+		// Even clients on lane 0, odd on lane 1 — lane 1 orders only 25%.
+		r0 := ref(2, types.RequestID(i))
+		m.RequestDispatchedTo(0, r0, now)
+		m.RequestOrdered(0, r0, now)
+		r1 := ref(1, types.RequestID(i))
+		m.RequestDispatchedTo(1, r1, now)
+		if i < 5 {
+			m.RequestOrdered(1, r1, now)
+		}
+	}
+	v := m.Tick(now.Add(100 * time.Millisecond))
+	if !v.Suspicious || v.Reason != ReasonThroughput {
+		t.Fatalf("verdict = %+v, want throughput suspicion", v)
+	}
+	if v.Ratio < 0.2 || v.Ratio > 0.3 {
+		t.Fatalf("ratio = %v, want 0.25 (worst/best completion)", v.Ratio)
+	}
+}
+
+// TestPerLaneDeltaToleratesImbalancedPartitions: raw count ratios would
+// accuse a lane that simply owns a smaller partition; completion ratios must
+// not.
+func TestPerLaneDeltaToleratesImbalancedPartitions(t *testing.T) {
+	m := New(Config{Instances: 2, Period: 100 * time.Millisecond, Delta: 0.9, MinRequests: 5, PerLane: true})
+	now := time.Unix(0, 0)
+	// Lane 0 owns 4x the load of lane 1; both complete everything.
+	for i := 0; i < 20; i++ {
+		r := ref(2, types.RequestID(i))
+		m.RequestDispatchedTo(0, r, now)
+		m.RequestOrdered(0, r, now)
+	}
+	for i := 0; i < 5; i++ {
+		r := ref(1, types.RequestID(i))
+		m.RequestDispatchedTo(1, r, now)
+		m.RequestOrdered(1, r, now)
+	}
+	v := m.Tick(now.Add(100 * time.Millisecond))
+	if v.Suspicious {
+		t.Fatalf("verdict = %+v: imbalanced but healthy partitions accused", v)
+	}
+	if v.Ratio != 1 {
+		t.Fatalf("ratio = %v, want 1", v.Ratio)
+	}
+}
+
+// TestPerLaneDeltaSuppressedBelowMinRequests: a lane with too few dispatches
+// in the period neither accuses nor excuses.
+func TestPerLaneDeltaSuppressedBelowMinRequests(t *testing.T) {
+	m := New(Config{Instances: 2, Period: 100 * time.Millisecond, Delta: 0.9, MinRequests: 10, PerLane: true})
+	now := time.Unix(0, 0)
+	for i := 0; i < 20; i++ {
+		r := ref(2, types.RequestID(i))
+		m.RequestDispatchedTo(0, r, now)
+		m.RequestOrdered(0, r, now)
+	}
+	// Lane 1: 5 dispatches (below MinRequests), none ordered.
+	for i := 0; i < 5; i++ {
+		m.RequestDispatchedTo(1, ref(1, types.RequestID(i)), now)
+	}
+	v := m.Tick(now.Add(100 * time.Millisecond))
+	if v.Suspicious {
+		t.Fatalf("verdict = %+v, want suppression below MinRequests", v)
+	}
+}
+
+// TestPerLaneBackupOrderingCompletesRequest: in per-lane mode a backup
+// lane's delivery completes the request — the dispatch entry is dropped and
+// the latency tests run on it.
+func TestPerLaneBackupOrderingCompletesRequest(t *testing.T) {
+	m := New(Config{Instances: 2, Period: 100 * time.Millisecond, Delta: 0.9, MinRequests: 5,
+		PerLane: true, Lambda: time.Millisecond})
+	now := time.Unix(0, 0)
+	r := ref(1, 1)
+	m.RequestDispatchedTo(1, r, now)
+	v := m.RequestOrdered(1, r, now.Add(5*time.Millisecond))
+	if !v.Suspicious || v.Reason != ReasonLatency {
+		t.Fatalf("verdict = %+v, want Λ violation on the owning backup lane", v)
+	}
+	if _, ok := m.dispatch[r.Key()]; ok {
+		t.Fatal("completed request still tracked in the dispatch map")
+	}
+}

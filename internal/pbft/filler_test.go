@@ -1,0 +1,63 @@
+package pbft
+
+import (
+	"testing"
+
+	"rbft/internal/types"
+)
+
+// TestProposeFillerDeliversEmptyBatch: a primary's filler proposal runs the
+// full three-phase protocol and every replica delivers an empty batch — the
+// skip-empty-lane signal the multi-primary merge relies on.
+func TestProposeFillerDeliversEmptyBatch(t *testing.T) {
+	tc := newTestCluster(t, 1, nil)
+	tc.collect(0, tc.replicas[0].ProposeFiller(tc.now))
+	tc.run()
+	for n, batches := range tc.delivered {
+		if len(batches) != 1 {
+			t.Fatalf("node %d delivered %d batches, want 1", n, len(batches))
+		}
+		b := batches[0]
+		if b.Seq != 1 || len(b.Refs) != 0 {
+			t.Fatalf("node %d delivered seq %d with %d refs, want empty batch at seq 1", n, b.Seq, len(b.Refs))
+		}
+	}
+	if len(tc.delivered) != tc.cfg.N {
+		t.Fatalf("%d nodes delivered, want %d", len(tc.delivered), tc.cfg.N)
+	}
+}
+
+// TestProposeFillerGuards: fillers are only proposed by the primary, one at
+// a time, and never while real requests are pending (a real batch is always
+// preferred over an empty one).
+func TestProposeFillerGuards(t *testing.T) {
+	tc := newTestCluster(t, 1, nil)
+
+	// Non-primary: nothing.
+	if out := tc.replicas[1].ProposeFiller(tc.now); len(out.Msgs) != 0 {
+		t.Fatal("non-primary proposed a filler")
+	}
+
+	// Pending real requests: nothing (the real batch wins).
+	primary := tc.replicas[0]
+	ref := types.RequestRef{Client: 1, ID: 1, Digest: types.Digest{1}}
+	primary.AddRequest(ref, tc.now)
+	if out := primary.ProposeFiller(tc.now); len(out.Msgs) != 0 {
+		t.Fatal("filler proposed while a real request is pending")
+	}
+	// Flush the pending request through.
+	for n := 1; n < tc.cfg.N; n++ {
+		tc.collect(types.NodeID(n), tc.replicas[n].AddRequest(ref, tc.now))
+	}
+	tc.run()
+
+	// One filler in flight: a second ProposeFiller before delivery must not
+	// stack another empty proposal behind it.
+	out := primary.ProposeFiller(tc.now)
+	if len(out.Msgs) == 0 {
+		t.Fatal("idle primary proposed no filler")
+	}
+	if second := primary.ProposeFiller(tc.now); len(second.Msgs) != 0 {
+		t.Fatal("second filler proposed while the first is undelivered")
+	}
+}

@@ -480,6 +480,45 @@ func (in *Instance) cutBatch(now time.Time) Output {
 	return out
 }
 
+// NextSeq returns the sequence number this replica would assign to its next
+// proposal as primary.
+func (in *Instance) NextSeq() types.SeqNum { return in.nextSeq }
+
+// ProposeFiller proposes an empty batch at the next sequence number. Under
+// multi-primary ordering the node calls this when the execution merge is
+// stalled waiting on this idle lane: an empty batch runs the full three-phase
+// protocol, so every correct node agrees the lane's cursor advances past a
+// sequence that ordered nothing (core's skip-empty-lane rule). The trigger is
+// local and timing-dependent, but only the agreed result enters the merge, so
+// determinism of the execution order is unaffected.
+//
+// It is a no-op unless this replica is the primary, idle (nothing pending,
+// nothing proposed-but-undelivered) and inside the watermark window — a lane
+// with work in flight will advance the cursor by itself.
+func (in *Instance) ProposeFiller(now time.Time) Output {
+	var out Output
+	if !in.IsPrimary() || in.inViewChange || len(in.pending) > 0 {
+		return out
+	}
+	if in.nextSeq != in.lastDelivered+1 {
+		return out
+	}
+	if in.nextSeq > in.stableSeq+in.cfg.WatermarkWindow {
+		return out
+	}
+	pp := &message.PrePrepare{
+		Instance: in.cfg.Instance,
+		View:     in.view,
+		Seq:      in.nextSeq,
+		Node:     in.cfg.Node,
+	}
+	in.nextSeq++
+	in.stats.Proposed++
+	in.lastPropose = now
+	out.merge(in.emitPrePrepare(pp, now, time.Time{}))
+	return out
+}
+
 // prePrepareDelayFor computes the attack delay applicable to a batch.
 func (in *Instance) prePrepareDelayFor(batch []types.RequestRef) time.Duration {
 	if in.behavior.PrePrepareDelay == 0 {

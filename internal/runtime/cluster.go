@@ -40,6 +40,10 @@ type ClusterOptions struct {
 	Transport TransportKind
 	// NewApp builds each node's application instance (default app.Null).
 	NewApp func(n types.NodeID) app.Application
+	// OrderingMode selects which instances' orderings reach execution
+	// (default master-only; see docs/ORDERING.md). Applies to every node:
+	// the mode is a cluster-wide protocol parameter.
+	OrderingMode types.OrderingMode
 	// Tune adjusts each node's configuration before start.
 	Tune func(c *core.Config)
 	// Secret seeds the cluster key store.
@@ -147,6 +151,7 @@ func (lc *LocalCluster) startNode(id types.NodeID, tr transport.Transport) error
 			MinRequests: 32,
 		},
 		BatchTimeout: 2 * time.Millisecond,
+		OrderingMode: lc.opts.OrderingMode,
 		Durable:      lc.opts.DataDir != "",
 	}
 	if lc.opts.NewApp != nil {

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"rbft/internal/obs"
+	"rbft/internal/types"
+)
+
+// multiPrimaryScenario is the multi-primary counterpart of the determinism
+// scenarios: several clients spread across both partitions under a seeded
+// jittered load.
+func multiPrimaryScenario(seed int64) Config {
+	cfg := baseConfig(1, 8, 4, 500)
+	cfg.Seed = seed
+	cfg.OrderingMode = types.OrderingMultiPrimary
+	cfg.TrackClientLatency = true
+	return cfg
+}
+
+// TestMultiPrimaryByteIdenticalAcrossRuns extends the determinism gate to
+// multi-primary ordering: the lane merge, partition dispatch and filler
+// batches must all be pure functions of the seeded event order.
+func TestMultiPrimaryByteIdenticalAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		return serialize(t, New(multiPrimaryScenario(7)).Run(2*time.Second))
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different multi-primary traces:\n run1: %s\n run2: %s", a, b)
+	}
+	var res Result
+	if err := json.Unmarshal(a, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("multi-primary scenario completed no requests")
+	}
+	// Every lane ordered part of the workload: the defining property of the
+	// mode. Master-only runs leave the backup instances ordering the same
+	// refs; here each instance orders its own disjoint partition.
+	for n, perInst := range res.OrderedPerNodeInstance {
+		for inst, count := range perInst {
+			if count == 0 {
+				t.Fatalf("node %d instance %d ordered nothing; partitions did not spread", n, inst)
+			}
+		}
+	}
+	if len(res.InstanceChanges) != 0 {
+		t.Fatalf("fault-free multi-primary run recorded %d instance changes", len(res.InstanceChanges))
+	}
+	c := serialize(t, New(multiPrimaryScenario(8)).Run(2*time.Second))
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced byte-identical multi-primary traces; the check is vacuous")
+	}
+}
+
+// multiPrimaryCrashScenario crashes a node mid-run while the lane merge is
+// active, with the modelled WAL on, so recovery must rebuild the per-lane
+// merge cursors from KindMerged records.
+func multiPrimaryCrashScenario(seed int64) Config {
+	cfg := multiPrimaryScenario(seed)
+	cfg.Durability = DurabilityGroupCommit
+	cfg.Cost.FsyncLatency = 100 * time.Microsecond
+	cfg.Cost.DiskBandwidth = 500e6
+	cfg.CheckpointInterval = 16
+	cfg.Crashes = []Crash{
+		{Node: 2, At: time.Unix(0, 0).Add(600 * time.Millisecond), Down: 250 * time.Millisecond},
+	}
+	return cfg
+}
+
+// TestMultiPrimaryCrashRestart kills a node mid-merge and checks recovery:
+// the run stays deterministic, no node ever double-executes a request, the
+// surviving nodes' merged execution orders are identical, neither partition
+// is skipped, and the crashed node resumes executing after its restart.
+func TestMultiPrimaryCrashRestart(t *testing.T) {
+	run := func() ([]byte, *Result) {
+		var buf bytes.Buffer
+		w := obs.NewJSONLWriter(&buf)
+		cfg := multiPrimaryCrashScenario(11)
+		cfg.Trace = w
+		res := New(cfg).Run(2 * time.Second)
+		if err := w.Err(); err != nil {
+			t.Fatalf("trace writer: %v", err)
+		}
+		return buf.Bytes(), res
+	}
+	a, res := run()
+	b, _ := run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different multi-primary crash/restart traces")
+	}
+	if !bytes.Contains(a, []byte("node-crash")) || !bytes.Contains(a, []byte("node-restart")) {
+		t.Fatal("trace carries no crash/restart events; the gate is not exercising recovery")
+	}
+	if res.Completed == 0 {
+		t.Fatal("crash scenario completed no requests")
+	}
+
+	events, err := obs.ReadTrace(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("reading trace back: %v", err)
+	}
+	type nodeReq struct {
+		node   types.NodeID
+		client types.ClientID
+		req    types.RequestID
+	}
+	seen := make(map[nodeReq]int)
+	order := make(map[types.NodeID][]nodeReq)
+	var restartAt time.Time
+	crashed := types.NodeID(2)
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.EvExecuted:
+			k := nodeReq{ev.Node, ev.Client, ev.Req}
+			seen[k]++
+			if seen[k] > 1 {
+				t.Fatalf("node %d executed client %d request %d twice", ev.Node, ev.Client, ev.Req)
+			}
+			order[ev.Node] = append(order[ev.Node], k)
+		case obs.EvNodeRestart:
+			if ev.Node == crashed {
+				restartAt = ev.At
+			}
+		}
+	}
+	// The never-crashed nodes must agree on the merged execution order
+	// exactly (node 0 vs 1 vs 3; node 2 crashed).
+	ref := order[0]
+	if len(ref) == 0 {
+		t.Fatal("node 0 executed nothing")
+	}
+	for _, n := range []types.NodeID{1, 3} {
+		got := order[n]
+		if len(got) != len(ref) {
+			t.Fatalf("node %d executed %d requests, node 0 executed %d", n, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].client != ref[i].client || got[i].req != ref[i].req {
+				t.Fatalf("node %d merged order diverges from node 0 at %d: %v vs %v", n, i, got[i], ref[i])
+			}
+		}
+	}
+	// Neither partition was skipped: both lanes keep ordering on every node
+	// and both partitions' clients appear in the executed stream.
+	lanes := make(map[types.InstanceID]bool)
+	for _, k := range ref {
+		lanes[types.PartitionOf(k.client, 2)] = true
+	}
+	if !lanes[0] || !lanes[1] {
+		t.Fatalf("executed stream covers lanes %v, want both partitions", lanes)
+	}
+	// The crashed node resumed: it executes again after its restart.
+	if restartAt.IsZero() {
+		t.Fatal("no restart event for the crashed node")
+	}
+	resumed := false
+	for _, ev := range events {
+		if ev.Type == obs.EvExecuted && ev.Node == crashed && ev.At.After(restartAt) {
+			resumed = true
+			break
+		}
+	}
+	if !resumed {
+		t.Fatal("crashed node never executed after its restart")
+	}
+}

@@ -72,6 +72,10 @@ type Config struct {
 	// BatchSize and BatchTimeout configure the ordering instances.
 	BatchSize    int
 	BatchTimeout time.Duration
+	// OrderingMode selects master-only (default) or multi-primary ordering
+	// (core.Config.OrderingMode): in multi-primary mode each instance orders
+	// a disjoint client partition and a deterministic merge feeds execution.
+	OrderingMode types.OrderingMode
 	// Monitoring carries Δ/Λ/Ω; Instances is filled in automatically.
 	Monitoring monitor.Config
 	// CheckpointInterval and WatermarkWindow tune log GC.
@@ -310,6 +314,7 @@ func (s *Sim) newCoreNode(id types.NodeID) *core.Node {
 		Node:               id,
 		BatchSize:          s.cfg.BatchSize,
 		BatchTimeout:       s.cfg.BatchTimeout,
+		OrderingMode:       s.cfg.OrderingMode,
 		CheckpointInterval: s.cfg.CheckpointInterval,
 		WatermarkWindow:    s.cfg.WatermarkWindow,
 		Monitoring:         s.cfg.Monitoring,

@@ -161,3 +161,59 @@ func (c Config) AllNodes() []NodeID {
 // master is fixed (instance 0); instance changes replace its primary by
 // advancing the shared view rather than by re-electing the master.
 const MasterInstance InstanceID = 0
+
+// OrderingMode selects which instances' orderings reach execution.
+type OrderingMode int
+
+const (
+	// OrderingMasterOnly is the paper's design: all f+1 instances order
+	// every request, only the master's order executes. The default.
+	OrderingMasterOnly OrderingMode = iota
+	// OrderingMultiPrimary partitions the request space over the f+1
+	// instances (PartitionOf) so each lane orders a disjoint subset, and a
+	// deterministic round-robin merge of the lane streams feeds execution.
+	OrderingMultiPrimary
+)
+
+// String returns the flag/config spelling of the mode.
+func (m OrderingMode) String() string {
+	switch m {
+	case OrderingMasterOnly:
+		return "master-only"
+	case OrderingMultiPrimary:
+		return "multi-primary"
+	default:
+		return fmt.Sprintf("ordering-mode(%d)", int(m))
+	}
+}
+
+// ParseOrderingMode maps a flag value back to the mode.
+func ParseOrderingMode(s string) (OrderingMode, error) {
+	switch s {
+	case "master-only":
+		return OrderingMasterOnly, nil
+	case "multi-primary":
+		return OrderingMultiPrimary, nil
+	default:
+		return OrderingMasterOnly, fmt.Errorf("unknown ordering mode %q (want master-only or multi-primary)", s)
+	}
+}
+
+// PartitionOf returns the instance that owns a client's requests under
+// multi-primary ordering. Like the threshold helpers above, this is the only
+// place partition-assignment arithmetic is spelled out: the quorumsafety
+// analyzer rejects raw `x % instances` expressions outside this package, so
+// dispatch, re-proposal and recovery can never disagree about ownership.
+//
+// The map is a plain modulo over the dense deployment-assigned client-id
+// space: balanced by construction and — deliberately — independent of the
+// view and the instance-change counter. Prepared batches that survive a view
+// change via NEW-VIEW re-proposal must commit unchanged, which a shifting
+// partition map would violate; an instance change instead remaps *ownership*
+// of each lane by rotating which node hosts its primary (PrimaryOf).
+func PartitionOf(c ClientID, instances int) InstanceID {
+	if instances <= 1 {
+		return MasterInstance
+	}
+	return InstanceID(uint64(c) % uint64(instances))
+}

@@ -31,6 +31,8 @@ func FuzzWALReplay(f *testing.F) {
 		{Kind: KindNewView, Instance: 0, View: 4},
 		{Kind: KindInstanceChange, CPI: 3, View: 4},
 		{Kind: KindExecuted, Client: 11, Req: 12, Digest: types.Digest{5}, Op: []byte("op")},
+		{Kind: KindExecuted, Client: 13, Req: 14, Digest: types.Digest{6}, Op: []byte("op2"), Instance: 1},
+		{Kind: KindMerged, Instance: 1, Seq: 7},
 	})
 	// Seed corpus: the valid stream, truncations, bit flips, and junk.
 	f.Add(valid)

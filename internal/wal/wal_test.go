@@ -30,6 +30,35 @@ func sampleRecords() []Record {
 		{Kind: KindNewView, Instance: 0, View: 4},
 		{Kind: KindInstanceChange, CPI: 3, View: 4},
 		{Kind: KindExecuted, Client: 11, Req: 12, Digest: d2, Op: []byte("op-bytes")},
+		{Kind: KindExecuted, Client: 13, Req: 14, Digest: d1, Op: []byte("lane-op"), Instance: 1},
+		{Kind: KindMerged, Instance: 1, Seq: 42},
+	}
+}
+
+// TestExecutedLaneEncodingCanonical pins the backward-compatibility contract
+// of the KindExecuted lane field: lane 0 encodes exactly as before the field
+// existed, and the one non-canonical spelling (an explicit trailing zero) is
+// rejected so every accepted record re-encodes to the same bytes.
+func TestExecutedLaneEncodingCanonical(t *testing.T) {
+	zeroLane := Record{Kind: KindExecuted, Client: 1, Req: 2, Digest: types.Digest{3}, Op: []byte("x")}
+	withLane := zeroLane
+	withLane.Instance = 1
+	a := EncodeRecords(nil, []Record{zeroLane})
+	b := EncodeRecords(nil, []Record{withLane})
+	if len(b) != len(a)+4 {
+		t.Fatalf("lane field size: len(with)=%d len(without)=%d, want +4", len(b), len(a))
+	}
+	// Hand-build the non-canonical spelling: the zero-lane record with an
+	// explicit zero lane field appended (length and CRC refreshed).
+	payload := appendRecord(nil, &zeroLane)
+	payload = appendU32(payload, 0)
+	frame := make([]byte, 8, 8+len(payload))
+	putU32 := func(b []byte, v uint32) { b[0] = byte(v >> 24); b[1] = byte(v >> 16); b[2] = byte(v >> 8); b[3] = byte(v) }
+	putU32(frame[0:4], uint32(len(payload)))
+	putU32(frame[4:8], crcOf(payload))
+	frame = append(frame, payload...)
+	if _, _, err := DecodeRecords(frame); err == nil {
+		t.Fatal("explicit zero lane decoded; must be rejected as non-canonical")
 	}
 }
 

@@ -26,6 +26,14 @@
 //     q is quorum-derived re-derive an unnamed threshold from a named one;
 //     if a protocol change needs a new threshold, it gets a name and a
 //     comment in internal/types.
+//
+//   - raw partition arithmetic: `x % instances` where the divisor is the
+//     ordering-lane count (an Instances() call, resolved through copies and
+//     conversions, or a variable named instances). Multi-primary safety
+//     depends on every node computing the same client→lane map, so the map
+//     is spelled out exactly once, in types.PartitionOf; a stray modulo
+//     that drifts from it (different hash, different divisor) silently
+//     splits execution orders between nodes.
 package quorumsafety
 
 import (
@@ -112,6 +120,8 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 			checkAdjustment(pass, du, be)
 		case token.GTR, token.LEQ:
 			checkComparison(pass, du, be)
+		case token.REM:
+			checkPartition(pass, du, be)
 		}
 		return true
 	})
@@ -252,6 +262,82 @@ func checkComparison(pass *framework.Pass, du *framework.DefUse, be *ast.BinaryE
 		hint = "`count <= quorum` accepts one message short of the threshold; the protocol idiom is `count < quorum`"
 	}
 	pass.Reportf(be.Pos(), "suspicious %s comparison against a quorum-derived value: %s", be.Op, hint)
+}
+
+// ---- partition arithmetic ----
+
+// isInstancesCall matches a call whose result is the ordering-lane count:
+// types.Config.Instances() (or the fixture's function form), seen through
+// any number of type conversions (uint64(cfg.Instances())).
+func isInstancesCall(pass *framework.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "Instances" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Instances" {
+			return true
+		}
+	}
+	if len(call.Args) == 1 {
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return isInstancesCall(pass, call.Args[0]) || isInstanceCount(pass, call.Args[0])
+		}
+	}
+	return false
+}
+
+// isInstanceCount reports whether e denotes the lane count by name: an
+// integer identifier or selector named instances (the conventional name for
+// the PartitionOf divisor).
+func isInstanceCount(pass *framework.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	if name != "instances" && name != "Instances" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// instancesDerived reports whether e's value may be the ordering-lane count,
+// resolving copies through the def-use layer.
+func instancesDerived(pass *framework.Pass, du *framework.DefUse, e ast.Expr) bool {
+	if isInstancesCall(pass, e) || isInstanceCount(pass, e) {
+		return true
+	}
+	for _, origin := range du.Origins(e) {
+		if isInstancesCall(pass, origin) || isInstanceCount(pass, origin) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPartition flags `x % instances`: the client→lane partition map must
+// come from types.PartitionOf so every node computes the same one.
+func checkPartition(pass *framework.Pass, du *framework.DefUse, be *ast.BinaryExpr) {
+	if !instancesDerived(pass, du, be.Y) {
+		return
+	}
+	pass.Reportf(be.Pos(), "raw partition arithmetic %% against the instance count; use types.PartitionOf (internal/types is the only place the client-to-lane map is spelled out)")
 }
 
 // checkAdjustment flags quorum ± 1 (and 1 + quorum) re-derivations.

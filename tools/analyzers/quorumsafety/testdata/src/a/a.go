@@ -82,3 +82,26 @@ func suppressed(count int, cfg types.Config) bool {
 	//rbft:ignore quorumsafety -- deliberately strict: test fixture
 	return count > cfg.Quorum()
 }
+
+// partitions: `x % instances` must go through types.PartitionOf — direct
+// calls, copies, conversions, and the conventionally named variable all
+// count as the instance-count divisor.
+func partitions(client uint64, instances int, cfg types.Config) {
+	_ = client % uint64(cfg.Instances()) // want `raw partition arithmetic % against the instance count`
+	lanes := cfg.Instances()
+	_ = int(client) % lanes                        // want `raw partition arithmetic % against the instance count`
+	_ = client % uint64(instances)                 // want `raw partition arithmetic % against the instance count`
+	_ = types.PartitionOf(client, cfg.Instances()) // approved spelling: silent
+}
+
+// unrelatedModulo must stay silent: the divisor is not the lane count.
+func unrelatedModulo(seq, cap int) int {
+	next := (seq + 1) % cap
+	return next % 10
+}
+
+// suppressedPartition: a justified raw modulo stays, with a reason.
+func suppressedPartition(client uint64, cfg types.Config) uint64 {
+	//rbft:ignore quorumsafety -- deliberately raw: test fixture
+	return client % uint64(cfg.Instances())
+}

@@ -31,3 +31,9 @@ func (c Config) WeakQuorum() int { return WeakQuorum(c.F) }
 // Instances counts ordering lanes (numerically f+1, semantically not a
 // quorum) — the analyzer must NOT treat it as quorum-derived.
 func (c Config) Instances() int { return c.F + 1 }
+
+// PartitionOf mirrors the real partition map: the one approved spelling of
+// client-to-lane arithmetic.
+func PartitionOf(client uint64, instances int) int {
+	return int(client % uint64(instances))
+}
