@@ -46,21 +46,22 @@ func main() {
 
 func run() error {
 	var (
-		id         = flag.Int("id", 0, "this node's id (0..N-1)")
-		f          = flag.Int("f", 1, "tolerated faults (cluster has 3f+1 nodes)")
-		listen     = flag.String("listen", "127.0.0.1:7000", "listen address")
-		peers      = flag.String("peers", "", "comma-separated node addresses, index = node id (including this node)")
-		clients    = flag.String("clients", "", "comma-separated client addresses as id=addr pairs (optional; clients can also be added while running via repeated flags)")
-		secret     = flag.String("secret", "rbft-demo-secret", "cluster key-derivation secret (all nodes and clients must agree)")
-		udp        = flag.Bool("udp", false, "use UDP instead of TCP")
-		maxClients = flag.Int("max-clients", 64, "client id space")
-		delta      = flag.Float64("delta", 0.9, "monitoring Delta threshold")
-		period     = flag.Duration("period", 250*time.Millisecond, "monitoring period")
-		obsAddr    = flag.String("obs-addr", "", "observability HTTP listen address serving /metrics and /debug/events (empty = disabled)")
-		pprofOn    = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on the observability address (requires -obs-addr)")
-		recorder   = flag.Int("recorder", obs.DefaultRecorderSize, "flight-recorder capacity in events (0 = disabled)")
-		dataDir    = flag.String("data-dir", "", "durable state directory; when set, protocol state is written to a WAL under it before any message is sent, and a restart recovers from it (empty = in-memory only)")
-		ordering   = flag.String("ordering", "master-only", "ordering mode: master-only (master instance orders everything) or multi-primary (each instance orders a disjoint client partition; all nodes must agree)")
+		id          = flag.Int("id", 0, "this node's id (0..N-1)")
+		f           = flag.Int("f", 1, "tolerated faults (cluster has 3f+1 nodes)")
+		listen      = flag.String("listen", "127.0.0.1:7000", "listen address")
+		peers       = flag.String("peers", "", "comma-separated node addresses, index = node id (including this node)")
+		clients     = flag.String("clients", "", "comma-separated client addresses as id=addr pairs (optional; clients can also be added while running via repeated flags)")
+		secret      = flag.String("secret", "rbft-demo-secret", "cluster key-derivation secret (all nodes and clients must agree)")
+		udp         = flag.Bool("udp", false, "use UDP instead of TCP")
+		maxClients  = flag.Int("max-clients", 64, "client id space")
+		delta       = flag.Float64("delta", 0.9, "monitoring Delta threshold")
+		period      = flag.Duration("period", 250*time.Millisecond, "monitoring period")
+		obsAddr     = flag.String("obs-addr", "", "observability HTTP listen address serving /metrics and /debug/events (empty = disabled)")
+		pprofOn     = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on the observability address (requires -obs-addr)")
+		recorder    = flag.Int("recorder", obs.DefaultRecorderSize, "flight-recorder capacity in events (0 = disabled)")
+		dataDir     = flag.String("data-dir", "", "durable state directory; when set, protocol state is written to a WAL under it before any message is sent, and a restart recovers from it (empty = in-memory only)")
+		ordering    = flag.String("ordering", "master-only", "ordering mode: master-only (master instance orders everything) or multi-primary (each instance orders a disjoint client partition; all nodes must agree)")
+		execWorkers = flag.Int("exec-workers", 0, "parallel execution workers: 0 or 1 applies requests serially; >= 2 applies non-conflicting requests concurrently in waves (the KV app declares conflicts per key)")
 	)
 	flag.Parse()
 
@@ -143,6 +144,7 @@ func run() error {
 		},
 		BatchTimeout: 2 * time.Millisecond,
 		OrderingMode: mode,
+		ExecWorkers:  *execWorkers,
 		Durable:      *dataDir != "",
 	}
 	node := core.New(cfg, ks.NodeRing(types.NodeID(*id)))

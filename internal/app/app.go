@@ -19,9 +19,25 @@ type Application interface {
 	Execute(client types.ClientID, id types.RequestID, op []byte) []byte
 }
 
+// ConflictKeyer is the optional interface an Application implements to opt
+// into parallel execution (internal/exec, docs/EXECUTION.md). Keys declares
+// the state an operation touches: two operations conflict when one writes a
+// key the other reads or writes. The contract is strict — Execute may only
+// read state named in reads∪writes and only mutate state named in writes,
+// for every possible op (including malformed ones; return nil,nil for an op
+// that touches nothing). An undeclared access makes concurrent execution
+// diverge across replicas. Applications that do not implement ConflictKeyer
+// are applied serially, byte-identical to a scheduler-less node.
+type ConflictKeyer interface {
+	// Keys returns the read-set and write-set of op. It must be a pure
+	// function of the op bytes and must not touch application state.
+	Keys(op []byte) (reads, writes []string)
+}
+
 // Null is an application that does nothing and replies with a fixed
 // acknowledgement. It is the workload used by the throughput benchmarks,
-// where execution cost is modelled separately.
+// where execution cost is modelled separately. It deliberately does NOT
+// implement ConflictKeyer, making it the canonical serial-fallback app.
 type Null struct{}
 
 var _ Application = Null{}
@@ -42,6 +58,7 @@ type Counter struct {
 }
 
 var _ Application = (*Counter)(nil)
+var _ ConflictKeyer = (*Counter)(nil)
 
 // NewCounter creates an empty counter application.
 func NewCounter() *Counter {
@@ -65,6 +82,19 @@ func (c *Counter) Execute(client types.ClientID, id types.RequestID, op []byte) 
 	return out
 }
 
+// counterLogKey is the single write key every Counter operation declares.
+var counterLogKey = []string{"log"}
+
+// Keys implements ConflictKeyer. Every operation writes the order-sensitive
+// fingerprint, so all operations conflict and the execution scheduler
+// degenerates to serial in-order apply — exactly what the fingerprint
+// requires. The Counter exists to detect ordering divergence; declaring
+// per-client keys would let the scheduler reorder across clients and destroy
+// the property the integration tests rely on.
+func (c *Counter) Keys([]byte) (reads, writes []string) {
+	return nil, counterLogKey
+}
+
 // Total returns the current total for a client.
 func (c *Counter) Total(client types.ClientID) uint64 {
 	c.mu.Lock()
@@ -80,54 +110,170 @@ func (c *Counter) Fingerprint() uint64 {
 }
 
 // KV is a replicated key-value store with GET/PUT/DEL operations encoded as
-// text: "PUT key value", "GET key", "DEL key". It backs the kvstore example.
+// text: "PUT key value", "GET key", "DEL key". Verbs are case-insensitive
+// ("put k v" works); keys and values are case-sensitive and taken verbatim
+// ("K" and "k" are different keys). A PUT value is everything after the
+// second space, spaces included. Empty or whitespace-only operations are
+// rejected explicitly. It backs the kvstore example.
+//
+// The store is sharded: each key lives in one of kvShards independently
+// locked segments, so non-conflicting operations scheduled concurrently by
+// internal/exec really do apply in parallel.
 type KV struct {
+	shards [kvShards]kvShard
+}
+
+// kvShards is the fixed shard count; a power of two so shardOf is a mask.
+const kvShards = 16
+
+type kvShard struct {
 	mu   sync.Mutex
 	data map[string]string
 }
 
 var _ Application = (*KV)(nil)
+var _ ConflictKeyer = (*KV)(nil)
 
 // NewKV creates an empty key-value store.
 func NewKV() *KV {
-	return &KV{data: make(map[string]string)}
+	kv := &KV{}
+	for i := range kv.shards {
+		kv.shards[i].data = make(map[string]string)
+	}
+	return kv
+}
+
+// shardOf maps a key to its segment (FNV-1a, masked).
+func (kv *KV) shardOf(key string) *kvShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &kv.shards[h&(kvShards-1)]
+}
+
+// kvVerb classifies one operation. parseOp is the single parser shared by
+// Execute and Keys so the declared conflict keys can never diverge from the
+// state Execute actually touches.
+type kvVerb int
+
+const (
+	kvEmpty kvVerb = iota // empty or whitespace-only op
+	kvBadPut
+	kvBadGet
+	kvBadDel
+	kvUnknown
+	kvPut
+	kvGet
+	kvDel
+)
+
+// parseOp splits op into verb, key and value. Verbs match case-insensitively;
+// the key (parts[1]) and value (parts[2], spaces preserved) are verbatim.
+func parseOp(op []byte) (verb kvVerb, key, value, rawVerb string) {
+	s := string(op)
+	if strings.TrimSpace(s) == "" {
+		return kvEmpty, "", "", ""
+	}
+	parts := strings.SplitN(s, " ", 3)
+	rawVerb = parts[0]
+	switch strings.ToUpper(rawVerb) {
+	case "PUT":
+		if len(parts) != 3 {
+			return kvBadPut, "", "", rawVerb
+		}
+		return kvPut, parts[1], parts[2], rawVerb
+	case "GET":
+		if len(parts) != 2 {
+			return kvBadGet, "", "", rawVerb
+		}
+		return kvGet, parts[1], "", rawVerb
+	case "DEL":
+		if len(parts) != 2 {
+			return kvBadDel, "", "", rawVerb
+		}
+		return kvDel, parts[1], "", rawVerb
+	default:
+		return kvUnknown, "", "", rawVerb
+	}
 }
 
 // Execute implements Application.
 func (kv *KV) Execute(_ types.ClientID, _ types.RequestID, op []byte) []byte {
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
-	parts := strings.SplitN(string(op), " ", 3)
-	switch strings.ToUpper(parts[0]) {
-	case "PUT":
-		if len(parts) != 3 {
-			return []byte("ERR usage: PUT key value")
-		}
-		kv.data[parts[1]] = parts[2]
+	verb, key, value, rawVerb := parseOp(op)
+	switch verb {
+	case kvPut:
+		sh := kv.shardOf(key)
+		sh.mu.Lock()
+		sh.data[key] = value
+		sh.mu.Unlock()
 		return []byte("OK")
-	case "GET":
-		if len(parts) != 2 {
-			return []byte("ERR usage: GET key")
-		}
-		v, ok := kv.data[parts[1]]
+	case kvGet:
+		sh := kv.shardOf(key)
+		sh.mu.Lock()
+		v, ok := sh.data[key]
+		sh.mu.Unlock()
 		if !ok {
 			return []byte("NOT_FOUND")
 		}
 		return []byte(v)
-	case "DEL":
-		if len(parts) != 2 {
-			return []byte("ERR usage: DEL key")
-		}
-		delete(kv.data, parts[1])
+	case kvDel:
+		sh := kv.shardOf(key)
+		sh.mu.Lock()
+		delete(sh.data, key)
+		sh.mu.Unlock()
 		return []byte("OK")
+	case kvEmpty:
+		return []byte("ERR empty op")
+	case kvBadPut:
+		return []byte("ERR usage: PUT key value")
+	case kvBadGet:
+		return []byte("ERR usage: GET key")
+	case kvBadDel:
+		return []byte("ERR usage: DEL key")
 	default:
-		return []byte(fmt.Sprintf("ERR unknown op %q", parts[0]))
+		return []byte(fmt.Sprintf("ERR unknown op %q", rawVerb))
+	}
+}
+
+// Keys implements ConflictKeyer: GET reads its key; PUT and DEL write theirs.
+// Malformed, empty and unknown operations touch no state and declare nothing,
+// so they commute with everything.
+func (kv *KV) Keys(op []byte) (reads, writes []string) {
+	verb, key, _, _ := parseOp(op)
+	switch verb {
+	case kvGet:
+		return []string{key}, nil
+	case kvPut, kvDel:
+		return nil, []string{key}
+	default:
+		return nil, nil
 	}
 }
 
 // Len returns the number of stored keys.
 func (kv *KV) Len() int {
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
-	return len(kv.data)
+	n := 0
+	for i := range kv.shards {
+		sh := &kv.shards[i]
+		sh.mu.Lock()
+		n += len(sh.data)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot copies the full store (tests compare replica states with it).
+func (kv *KV) Snapshot() map[string]string {
+	out := make(map[string]string)
+	for i := range kv.shards {
+		sh := &kv.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.data {
+			out[k] = v
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }

@@ -3,6 +3,7 @@ package app
 import (
 	"bytes"
 	"encoding/binary"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -114,6 +115,149 @@ func TestKVDeterministic(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestKVRejectsEmptyOps: empty and whitespace-only operations are rejected
+// explicitly instead of being misparsed as an unknown verb.
+func TestKVRejectsEmptyOps(t *testing.T) {
+	kv := NewKV()
+	for _, op := range []string{"", " ", "   ", "\t", " \t "} {
+		if got := kv.Execute(1, 1, []byte(op)); string(got) != "ERR empty op" {
+			t.Errorf("Execute(%q) = %q, want ERR empty op", op, got)
+		}
+	}
+	if kv.Len() != 0 {
+		t.Fatalf("rejected ops mutated the store: Len = %d", kv.Len())
+	}
+}
+
+// TestKVEdgeCases pins the parser contract: keys case-sensitive, verbs not;
+// values keep every space after the second one; deleting a missing key is
+// still OK (DEL is idempotent, as replayed operations must be).
+func TestKVEdgeCases(t *testing.T) {
+	kv := NewKV()
+	steps := []struct {
+		op   string
+		want string
+	}{
+		{"DEL missing", "OK"},  // idempotent delete
+		{"PUT k v", "OK"},      // lower-case key...
+		{"GET K", "NOT_FOUND"}, // ...is not the upper-case key
+		{"pUt K other", "OK"},  // mixed-case verb, distinct key
+		{"GET k", "v"},
+		{"GET K", "other"},
+		{"PUT s  two  spaces ", "OK"}, // value " two  spaces " verbatim
+		{"GET s", " two  spaces "},
+		{"PUT s ", "OK"}, // trailing space: the value is the empty string
+		{"GET s", ""},
+		{"GET k extra", "ERR usage: GET key"}, // arity checked, not ignored
+		{"DEL k extra", "ERR usage: DEL key"},
+		{"PUT k", "ERR usage: PUT key value"},
+	}
+	for _, st := range steps {
+		if got := kv.Execute(1, 1, []byte(st.op)); string(got) != st.want {
+			t.Errorf("Execute(%q) = %q, want %q", st.op, got, st.want)
+		}
+	}
+}
+
+// TestKVKeys pins the ConflictKeyer contract Execute relies on: GET reads
+// its key, PUT/DEL write theirs, and everything that touches no state
+// declares nothing.
+func TestKVKeys(t *testing.T) {
+	kv := NewKV()
+	tests := []struct {
+		op     string
+		reads  []string
+		writes []string
+	}{
+		{"GET k", []string{"k"}, nil},
+		{"get K", []string{"K"}, nil},
+		{"PUT k v", nil, []string{"k"}},
+		{"del k", nil, []string{"k"}},
+		{"", nil, nil},
+		{"   ", nil, nil},
+		{"PUT k", nil, nil},
+		{"GET", nil, nil},
+		{"NOPE x", nil, nil},
+	}
+	for _, tt := range tests {
+		reads, writes := kv.Keys([]byte(tt.op))
+		if !equalStrings(reads, tt.reads) || !equalStrings(writes, tt.writes) {
+			t.Errorf("Keys(%q) = %v, %v, want %v, %v", tt.op, reads, writes, tt.reads, tt.writes)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKVSnapshot: the snapshot is a complete, detached copy of the store.
+func TestKVSnapshot(t *testing.T) {
+	kv := NewKV()
+	kv.Execute(1, 1, []byte("PUT a 1"))
+	kv.Execute(1, 2, []byte("PUT b 2"))
+	kv.Execute(1, 3, []byte("DEL a"))
+	snap := kv.Snapshot()
+	if len(snap) != 1 || snap["b"] != "2" {
+		t.Fatalf("Snapshot = %v, want {b:2}", snap)
+	}
+	snap["b"] = "mutated"
+	if got := kv.Execute(1, 4, []byte("GET b")); string(got) != "2" {
+		t.Fatalf("mutating the snapshot changed the store: GET b = %q", got)
+	}
+}
+
+// TestCounterKeysForceSerial: every Counter op declares the same write key,
+// so the parallel scheduler must place any two ops in conflict — the
+// property that keeps the order-sensitive fingerprint meaningful.
+func TestCounterKeysForceSerial(t *testing.T) {
+	c := NewCounter()
+	r1, w1 := c.Keys(nil)
+	r2, w2 := c.Keys([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if len(r1) != 0 || len(r2) != 0 {
+		t.Fatalf("Counter declared reads: %v / %v", r1, r2)
+	}
+	if len(w1) != 1 || len(w2) != 1 || w1[0] != w2[0] {
+		t.Fatalf("Counter ops must share one write key, got %v / %v", w1, w2)
+	}
+}
+
+// TestCounterConcurrentClients: totals stay per-client and exact under
+// concurrent Execute calls from many goroutines (the app must be internally
+// thread-safe even though the scheduler serialises conflicting ops — a
+// misdeclared keyer should corrupt state detectably, not silently).
+func TestCounterConcurrentClients(t *testing.T) {
+	c := NewCounter()
+	const clients, perClient = 8, 200
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			op := make([]byte, 8)
+			binary.BigEndian.PutUint64(op, uint64(cl+1))
+			for i := 0; i < perClient; i++ {
+				c.Execute(types.ClientID(cl), types.RequestID(i), op)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	for cl := 0; cl < clients; cl++ {
+		want := uint64(cl+1) * perClient
+		if got := c.Total(types.ClientID(cl)); got != want {
+			t.Errorf("Total(%d) = %d, want %d", cl, got, want)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"rbft/internal/app"
 	"rbft/internal/crypto"
+	"rbft/internal/exec"
 	"rbft/internal/message"
 	"rbft/internal/monitor"
 	"rbft/internal/obs"
@@ -45,6 +46,15 @@ type Config struct {
 	// lane orders a disjoint client partition and a deterministic round-robin
 	// merge feeds execution; see lanes.go and docs/ORDERING.md).
 	OrderingMode types.OrderingMode
+
+	// ExecWorkers is the worker-shard count of the parallel execution
+	// scheduler (internal/exec, docs/EXECUTION.md). The parallel path
+	// engages only when ExecWorkers >= 2 AND App implements
+	// app.ConflictKeyer; otherwise ordered requests apply serially,
+	// byte-identical to a scheduler-less node. Replay after a crash is
+	// always serial — wave execution is equivalent to the journaled order by
+	// construction, so nothing extra is logged.
+	ExecWorkers int
 
 	// Monitoring carries the Δ/Λ/Ω monitoring parameters. Instances is
 	// filled in from the cluster configuration; PerLane follows OrderingMode.
@@ -124,6 +134,9 @@ type ClientSend struct {
 type Execution struct {
 	Ref    types.RequestRef
 	Result []byte
+	// Wave indexes Output.ExecWaves: the parallel-execution wave that
+	// applied this request. Always 0 on the serial path (ExecWaves nil).
+	Wave int
 }
 
 // ICEvent reports a completed protocol instance change.
@@ -153,11 +166,27 @@ type Output struct {
 	// Records are durability records the driver must make crash-safe
 	// *before* transmitting NodeMsgs/ClientMsgs (only when Config.Durable).
 	Records []wal.Record
+	// ExecWaves holds the parallel execution plan of this step's
+	// Executions: entry w is the number of requests applied in wave w
+	// (Execution.Wave indexes it). Nil on the serial path. Drivers that
+	// model execution cost (internal/sim) charge each wave as one round of
+	// ceil(size/workers) parallel applies.
+	ExecWaves []int
 }
 
 func (o *Output) merge(other Output) {
 	o.NodeMsgs = append(o.NodeMsgs, other.NodeMsgs...)
 	o.ClientMsgs = append(o.ClientMsgs, other.ClientMsgs...)
+	if len(other.ExecWaves) > 0 {
+		// Re-base the incoming executions' wave indices onto this output's
+		// wave list so indices stay valid after concatenation.
+		if base := len(o.ExecWaves); base > 0 {
+			for i := range other.Executions {
+				other.Executions[i].Wave += base
+			}
+		}
+		o.ExecWaves = append(o.ExecWaves, other.ExecWaves...)
+	}
 	o.Executions = append(o.Executions, other.Executions...)
 	o.InstanceChanges = append(o.InstanceChanges, other.InstanceChanges...)
 	o.NICCloses = append(o.NICCloses, other.NICCloses...)
@@ -199,6 +228,12 @@ type Node struct {
 
 	replicas []*pbft.Instance
 	mon      *monitor.Monitor
+
+	// sched is the parallel execution engine (docs/EXECUTION.md). When it
+	// reports Parallel() == false — no ConflictKeyer app or ExecWorkers < 2
+	// — execution takes the per-request serial path, byte-identical to a
+	// scheduler-less node.
+	sched *exec.Scheduler
 
 	// Multi-primary ordering state (nil / zero in master-only mode): the
 	// round-robin merge feeding execution, the pending empty-batch filler
@@ -250,6 +285,11 @@ type Node struct {
 	// executedByLane counts executions by the ordering lane the executing
 	// order came from (always lane 0 in master-only mode).
 	executedByLane []*obs.Counter
+	// Parallel-execution counters (nil until SetRegistry): waves applied,
+	// requests deferred by a conflict, requests that shared a wave.
+	execWaves     *obs.Counter
+	execConflicts *obs.Counter
+	execParallel  *obs.Counter
 }
 
 // New creates an RBFT node. keys must be the node's own key ring.
@@ -272,6 +312,7 @@ func New(cfg Config, keys *crypto.KeyRing) *Node {
 		dispatchedAt: make(map[types.RequestRef]time.Time),
 	}
 	n.pre = message.NewPreverifier(keys, c.Node, c.Cluster, message.NewVerifyCache(c.VerifyCacheSize))
+	n.sched = exec.New(c.App, c.ExecWorkers)
 	if c.OrderingMode == types.OrderingMultiPrimary {
 		n.merge = newLaneMerge(c.Cluster.Instances())
 		n.fillerDelay = c.BatchTimeout
@@ -335,6 +376,9 @@ func (n *Node) SetRegistry(reg *obs.Registry) {
 	for i := range n.replicas {
 		n.executedByLane[i] = reg.Counter(obs.LabeledName("rbft_executed_total", "lane", fmt.Sprintf("%d", i)))
 	}
+	n.execWaves = reg.Counter("rbft_exec_waves_total")
+	n.execConflicts = reg.Counter("rbft_exec_conflicts_total")
+	n.execParallel = reg.Counter("rbft_exec_parallel_total")
 	n.pre.Cache().SetCounters(
 		reg.Counter("rbft_sigcache_hits_total"),
 		reg.Counter("rbft_sigcache_misses_total"),
@@ -761,6 +805,10 @@ func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Out
 				Seq: batch.Seq, View: batch.View, Count: len(batch.Refs),
 			})
 		}
+		// With the parallel scheduler engaged, the batch's executable refs
+		// are collected and handed to the wave scheduler whole; the serial
+		// path below keeps the original per-ref flow byte-for-byte.
+		var execRefs []types.RequestRef
 		for _, ref := range batch.Refs {
 			if n.spansOn {
 				if at, ok := n.dispatchedAt[ref]; ok {
@@ -778,12 +826,23 @@ func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Out
 				out.merge(n.voteInstanceChange(verdict.Reason, now))
 			}
 			if !n.multiPrimary() && inst == types.MasterInstance {
-				out.merge(n.execute(ref, inst, now))
+				if n.sched.Parallel() {
+					execRefs = append(execRefs, ref)
+				} else {
+					out.merge(n.execute(ref, inst, now))
+				}
 			}
+		}
+		if len(execRefs) > 0 {
+			out.merge(n.executeWaves(execRefs, inst, now))
 		}
 		if n.multiPrimary() {
 			for _, mb := range n.merge.push(inst, batch.Seq, batch.Refs) {
 				n.journal(&out, wal.Record{Kind: wal.KindMerged, Instance: mb.lane, Seq: mb.seq})
+				if n.sched.Parallel() {
+					out.merge(n.executeWaves(mb.refs, mb.lane, now))
+					continue
+				}
 				for _, ref := range mb.refs {
 					out.merge(n.execute(ref, mb.lane, now))
 				}
@@ -849,6 +908,87 @@ func (n *Node) execute(ref types.RequestRef, lane types.InstanceID, now time.Tim
 		cs.pendingBodies--
 	}
 	delete(n.byKey, key)
+	return out
+}
+
+// executeWaves runs the Execution module for one ordered batch through the
+// parallel scheduler. The per-request effects — executed-set marking,
+// journaling, reply caching, propagation-state release — are identical to
+// n.execute and happen in sequence order on this (single-threaded) node;
+// only the App.Execute calls fan out across worker shards, in waves of
+// non-conflicting requests, so goroutine interleaving can never reach the
+// node's state, trace or WAL. Requests already executed, duplicated within
+// the batch, or lacking a digest-matching body are filtered exactly as the
+// serial path filters them.
+func (n *Node) executeWaves(refs []types.RequestRef, lane types.InstanceID, now time.Time) Output {
+	var out Output
+	type pendingExec struct {
+		ref  types.RequestRef
+		body *message.Request
+	}
+	var batch []pendingExec
+	for _, ref := range refs {
+		key := ref.Key()
+		if n.executed[key] {
+			continue
+		}
+		body := n.bodies[ref]
+		if body == nil || body.OpDigest() != ref.Digest {
+			// Cannot happen for requests dispatched by this node (dispatch
+			// requires the body); guards against divergent state.
+			continue
+		}
+		n.executed[key] = true
+		n.journal(&out, wal.Record{
+			Kind: wal.KindExecuted, Client: ref.Client, Req: ref.ID,
+			Digest: ref.Digest, Op: body.Op, Instance: lane,
+		})
+		if n.metricsOn && n.executedByLane != nil {
+			n.executedByLane[lane].Inc()
+		}
+		batch = append(batch, pendingExec{ref: ref, body: body})
+	}
+	if len(batch) == 0 {
+		return out
+	}
+	ops := make([]exec.Op, len(batch))
+	for i, p := range batch {
+		ops[i] = exec.Op{Client: p.ref.Client, ID: p.ref.ID, Body: p.body.Op}
+	}
+	res := n.sched.ExecuteBatch(ops)
+	out.ExecWaves = res.Waves
+	if n.metricsOn && n.execWaves != nil {
+		n.execWaves.Add(uint64(len(res.Waves)))
+		n.execConflicts.Add(uint64(res.Conflicts))
+		n.execParallel.Add(uint64(res.Parallel))
+	}
+	for i, p := range batch {
+		ref, result := p.ref, res.Results[i]
+		if n.tr.Enabled() {
+			n.tr.Trace(obs.Event{
+				At: now, Type: obs.EvExecuted, Client: ref.Client, Req: ref.ID,
+			})
+		}
+		cs := n.client(ref.Client)
+		cs.replies = append(cs.replies, cachedReply{id: ref.ID, result: result})
+		if len(cs.replies) > n.cfg.ReplyCacheSize {
+			drop := cs.replies[0]
+			cs.replies = cs.replies[1:]
+			delete(n.executed, types.RequestKey{Client: ref.Client, ID: drop.id})
+		}
+		out.Executions = append(out.Executions, Execution{Ref: ref, Result: result, Wave: res.Wave[i]})
+		out.ClientMsgs = append(out.ClientMsgs, n.replyTo(ref.Client, ref.ID, result))
+
+		key := ref.Key()
+		for _, sibling := range n.byKey[key] {
+			delete(n.bodies, sibling)
+			delete(n.propagates, sibling)
+			delete(n.dispatched, sibling)
+			delete(n.dispatchedAt, sibling)
+			cs.pendingBodies--
+		}
+		delete(n.byKey, key)
+	}
 	return out
 }
 

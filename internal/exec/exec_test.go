@@ -1,0 +1,210 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rbft/internal/app"
+	"rbft/internal/types"
+)
+
+// kvOps builds a batch of KV ops from compact specs ("P k v", "G k", "D k").
+func kvOps(t *testing.T, specs ...string) []Op {
+	t.Helper()
+	ops := make([]Op, len(specs))
+	for i, sp := range specs {
+		var body string
+		if sp == "" {
+			ops[i] = Op{Client: types.ClientID(i % 5), ID: types.RequestID(i)}
+			continue
+		}
+		switch sp[0] {
+		case 'P':
+			body = "PUT" + sp[1:]
+		case 'G':
+			body = "GET" + sp[1:]
+		case 'D':
+			body = "DEL" + sp[1:]
+		default:
+			body = sp
+		}
+		ops[i] = Op{Client: types.ClientID(i % 5), ID: types.RequestID(i), Body: []byte(body)}
+	}
+	return ops
+}
+
+func TestPlanWavesConflicts(t *testing.T) {
+	kv := app.NewKV()
+	tests := []struct {
+		name      string
+		specs     []string
+		wantWave  []int
+		wantConfl int
+	}{
+		{
+			name:     "disjoint writes share wave 0",
+			specs:    []string{"P a 1", "P b 2", "P c 3"},
+			wantWave: []int{0, 0, 0},
+		},
+		{
+			name:      "write-write chains",
+			specs:     []string{"P a 1", "P a 2", "P a 3"},
+			wantWave:  []int{0, 1, 2},
+			wantConfl: 2,
+		},
+		{
+			name:      "read waits for write, reads share",
+			specs:     []string{"P a 1", "G a", "G a"},
+			wantWave:  []int{0, 1, 1},
+			wantConfl: 2,
+		},
+		{
+			name:      "write waits for every earlier read",
+			specs:     []string{"G a", "G a", "P a 1"},
+			wantWave:  []int{0, 0, 1},
+			wantConfl: 1,
+		},
+		{
+			name:      "delete conflicts like a write",
+			specs:     []string{"P a 1", "D a", "G a"},
+			wantWave:  []int{0, 1, 2},
+			wantConfl: 2,
+		},
+		{
+			name:     "malformed ops touch nothing and commute",
+			specs:    []string{"P a 1", "", "NOPE x", "P a 2"},
+			wantWave: []int{0, 0, 0, 1},
+			// only the second PUT conflicts
+			wantConfl: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ops := kvOps(t, tt.specs...)
+			wave, waves, conflicts := PlanWaves(kv, ops)
+			for i, w := range wave {
+				if w != tt.wantWave[i] {
+					t.Errorf("op %d (%q): wave %d, want %d", i, ops[i].Body, w, tt.wantWave[i])
+				}
+			}
+			if conflicts != tt.wantConfl {
+				t.Errorf("conflicts = %d, want %d", conflicts, tt.wantConfl)
+			}
+			total := 0
+			for _, n := range waves {
+				total += n
+			}
+			if total != len(ops) {
+				t.Errorf("wave sizes sum to %d, want %d", total, len(ops))
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerial: for a mixed batch, the parallel scheduler must
+// produce the byte-exact replies and final state of serial in-order apply,
+// for every worker count.
+func TestParallelMatchesSerial(t *testing.T) {
+	specs := []string{
+		"P a 1", "P b 2", "G a", "P a 3", "G a", "G b", "D b", "G b",
+		"P c x", "P d y", "G c", "", "NOPE", "P a 4", "G a", "D zz",
+	}
+	ref := app.NewKV()
+	serial := New(ref, 0)
+	want := serial.ExecuteBatch(kvOps(t, specs...))
+
+	for _, workers := range []int{2, 3, 8, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			kv := app.NewKV()
+			s := New(kv, workers)
+			if !s.Parallel() {
+				t.Fatal("scheduler with ConflictKeyer and workers >= 2 must be parallel")
+			}
+			got := s.ExecuteBatch(kvOps(t, specs...))
+			for i := range want.Results {
+				if !bytes.Equal(got.Results[i], want.Results[i]) {
+					t.Errorf("op %d: reply %q, want %q", i, got.Results[i], want.Results[i])
+				}
+			}
+			gs, ws := kv.Snapshot(), ref.Snapshot()
+			if len(gs) != len(ws) {
+				t.Fatalf("state size %d, want %d", len(gs), len(ws))
+			}
+			for k, v := range ws {
+				if gs[k] != v {
+					t.Errorf("state[%q] = %q, want %q", k, gs[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestCounterDegeneratesToSerial: the Counter declares a single global write
+// key, so every batch must collapse to one op per wave and the fingerprint
+// must match serial execution exactly.
+func TestCounterDegeneratesToSerial(t *testing.T) {
+	ops := make([]Op, 32)
+	for i := range ops {
+		ops[i] = Op{Client: types.ClientID(i % 4), ID: types.RequestID(i)}
+	}
+	ref := app.NewCounter()
+	for _, op := range ops {
+		ref.Execute(op.Client, op.ID, op.Body)
+	}
+	c := app.NewCounter()
+	s := New(c, 8)
+	res := s.ExecuteBatch(ops)
+	for w, n := range res.Waves {
+		if n != 1 {
+			t.Fatalf("wave %d has %d ops; Counter batches must be fully serial", w, n)
+		}
+	}
+	if res.Parallel != 0 {
+		t.Fatalf("Parallel = %d, want 0", res.Parallel)
+	}
+	if c.Fingerprint() != ref.Fingerprint() {
+		t.Fatalf("fingerprint %#x, want %#x", c.Fingerprint(), ref.Fingerprint())
+	}
+}
+
+// TestSerialFallback: without a ConflictKeyer (app.Null) or with fewer than
+// two workers, the scheduler must not report Parallel.
+func TestSerialFallback(t *testing.T) {
+	if New(app.Null{}, 8).Parallel() {
+		t.Error("app.Null has no ConflictKeyer; scheduler must stay serial")
+	}
+	if New(app.NewKV(), 1).Parallel() {
+		t.Error("workers=1 must stay serial")
+	}
+	if New(app.NewKV(), 0).Parallel() {
+		t.Error("workers=0 must stay serial")
+	}
+	var nilSched *Scheduler
+	if nilSched.Parallel() {
+		t.Error("nil scheduler must stay serial")
+	}
+	res := New(app.Null{}, 8).ExecuteBatch([]Op{{Client: 1, ID: 1}, {Client: 1, ID: 2}})
+	if len(res.Results) != 2 || string(res.Results[0]) != "ok" {
+		t.Fatalf("serial fallback results = %q", res.Results)
+	}
+}
+
+// TestWavePlanIndependentOfWorkers: the wave plan is part of the replicated
+// state machine (the sim charges it, metrics count it), so it must not
+// depend on the worker count.
+func TestWavePlanIndependentOfWorkers(t *testing.T) {
+	specs := []string{"P a 1", "P a 2", "P b 1", "G a", "G b", "D a"}
+	kv := app.NewKV()
+	wave, waves, conflicts := PlanWaves(kv, kvOps(t, specs...))
+	for _, workers := range []int{2, 7, 16} {
+		s := New(app.NewKV(), workers)
+		res := s.ExecuteBatch(kvOps(t, specs...))
+		if fmt.Sprint(res.Wave) != fmt.Sprint(wave) ||
+			fmt.Sprint(res.Waves) != fmt.Sprint(waves) ||
+			res.Conflicts != conflicts {
+			t.Errorf("workers=%d: plan (%v, %v, %d) differs from (%v, %v, %d)",
+				workers, res.Wave, res.Waves, res.Conflicts, wave, waves, conflicts)
+		}
+	}
+}

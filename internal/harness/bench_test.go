@@ -38,7 +38,7 @@ func TestBenchScenariosIncludePipeline(t *testing.T) {
 	for _, sc := range BenchScenarios(Options{Quick: true}) {
 		names[sc.Name] = true
 	}
-	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel", "wal-serial-fsync", "wal-group-commit", "egress-per-message", "egress-coalesced", "ordering-master-only", "ordering-multi-primary"} {
+	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel", "wal-serial-fsync", "wal-group-commit", "egress-per-message", "egress-coalesced", "ordering-master-only", "ordering-multi-primary", "exec-serial", "exec-parallel"} {
 		if !names[want] {
 			t.Errorf("bench suite is missing scenario %q", want)
 		}
@@ -95,6 +95,35 @@ func TestBenchMultiPrimarySpeedup(t *testing.T) {
 	}
 	if multi.InstanceChanges != 0 {
 		t.Fatalf("multi-primary run triggered %d instance changes on a fault-free cluster", multi.InstanceChanges)
+	}
+}
+
+// TestBenchExecSpeedup pins the headline claim of the parallel execution
+// engine: on an execution-bound configuration (per-request execution cost
+// dominating, verification pipelined off the instance cores) with a
+// conflict-light Zipfian KV workload, wave-scheduled parallel execution must
+// buy at least 1.5x throughput over serial apply, and must do so without
+// tripping the per-lane Δ test. Deterministic simulation makes this a stable
+// bound.
+func TestBenchExecSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	o := Options{Quick: true}
+	serial := RunBench(execScenario("exec-serial", 0, o))
+	parallel := RunBench(execScenario("exec-parallel", execBenchWorkers, o))
+	if serial.Throughput <= 0 {
+		t.Fatalf("serial scenario completed no requests: %+v", serial)
+	}
+	ratio := parallel.Throughput / serial.Throughput
+	t.Logf("exec-serial %.0f req/s, exec-parallel %.0f req/s, speedup %.2fx",
+		serial.Throughput, parallel.Throughput, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("exec-parallel/%d-worker speedup %.2fx, want >= 1.5x (serial %.0f, parallel %.0f req/s)",
+			execBenchWorkers, ratio, serial.Throughput, parallel.Throughput)
+	}
+	if parallel.InstanceChanges != 0 {
+		t.Fatalf("exec-parallel run triggered %d instance changes on a fault-free cluster", parallel.InstanceChanges)
 	}
 }
 

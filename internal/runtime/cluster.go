@@ -44,6 +44,11 @@ type ClusterOptions struct {
 	// (default master-only; see docs/ORDERING.md). Applies to every node:
 	// the mode is a cluster-wide protocol parameter.
 	OrderingMode types.OrderingMode
+	// ExecWorkers sets each node's parallel execution worker count
+	// (core.Config.ExecWorkers, docs/EXECUTION.md). Parallel apply engages
+	// only when >= 2 AND the application implements app.ConflictKeyer;
+	// otherwise nodes keep the serial execution path.
+	ExecWorkers int
 	// Tune adjusts each node's configuration before start.
 	Tune func(c *core.Config)
 	// Secret seeds the cluster key store.
@@ -152,6 +157,7 @@ func (lc *LocalCluster) startNode(id types.NodeID, tr transport.Transport) error
 		},
 		BatchTimeout: 2 * time.Millisecond,
 		OrderingMode: lc.opts.OrderingMode,
+		ExecWorkers:  lc.opts.ExecWorkers,
 		Durable:      lc.opts.DataDir != "",
 	}
 	if lc.opts.NewApp != nil {

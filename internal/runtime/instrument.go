@@ -12,12 +12,18 @@ import (
 // as an execute-stage span on t, stamped with node. Spans without a digest
 // in hand carry Trace 0 and join the rest of the request's lifecycle on
 // (Client, Req), per the span schema in docs/OBSERVABILITY.md. When the
-// tracer opted out of spans, a is returned unwrapped.
+// tracer opted out of spans, a is returned unwrapped. The wrapper preserves
+// an app.ConflictKeyer implementation: instrumentation must not silently
+// demote a keyed application to the serial execution path.
 func InstrumentApp(a app.Application, t obs.Tracer, node types.NodeID) app.Application {
 	if !obs.WantSpans(t) {
 		return a
 	}
-	return &instrumentedApp{app: a, tr: obs.WithNode(t, node)}
+	ia := &instrumentedApp{app: a, tr: obs.WithNode(t, node)}
+	if k, ok := a.(app.ConflictKeyer); ok {
+		return &instrumentedKeyedApp{instrumentedApp: ia, keyer: k}
+	}
+	return ia
 }
 
 type instrumentedApp struct {
@@ -34,4 +40,15 @@ func (ia *instrumentedApp) Execute(client types.ClientID, id types.RequestID, op
 		Client: client, Req: id, Dur: t1.Sub(t0),
 	})
 	return res
+}
+
+// instrumentedKeyedApp forwards the wrapped application's conflict keys so
+// the exec scheduler still sees them through the instrumentation layer.
+type instrumentedKeyedApp struct {
+	*instrumentedApp
+	keyer app.ConflictKeyer
+}
+
+func (ia *instrumentedKeyedApp) Keys(op []byte) (reads, writes []string) {
+	return ia.keyer.Keys(op)
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"rbft/internal/app"
 	"rbft/internal/core"
 	"rbft/internal/crypto"
 	"rbft/internal/message"
@@ -68,6 +69,17 @@ type Config struct {
 	// like the runtime's greedy flush policy. Either model is deterministic
 	// for a fixed seed.
 	EgressCoalesce int
+	// ExecWorkers selects the execution charging model. 0 or 1 (the default)
+	// is serial: each executed request is charged execCost on the executing
+	// core. k >= 2 models the parallel wave scheduler of the live node
+	// (internal/exec, docs/EXECUTION.md): when an output carries a wave plan,
+	// each wave of n non-conflicting requests is charged ceil(n/k) execution
+	// quanta — the span of n requests spread over k worker cores. The wave
+	// plan is computed by the real scheduler inside core.Node, so the model
+	// charges exactly the parallelism the application's conflict keys allow.
+	// Outputs without a wave plan (serial path) are charged per request as
+	// before. Either model is deterministic for a fixed seed.
+	ExecWorkers int
 
 	// BatchSize and BatchTimeout configure the ordering instances.
 	BatchSize    int
@@ -262,6 +274,8 @@ type Sim struct {
 
 	nodes   []*simNode
 	clients []*simClient
+	// kvOps generates KV operations when Workload.KV is configured.
+	kvOps *kvOpGen
 
 	floodCache map[int]*message.Invalid
 
@@ -314,6 +328,7 @@ func (s *Sim) newCoreNode(id types.NodeID) *core.Node {
 		Node:               id,
 		BatchSize:          s.cfg.BatchSize,
 		BatchTimeout:       s.cfg.BatchTimeout,
+		ExecWorkers:        s.cfg.ExecWorkers,
 		OrderingMode:       s.cfg.OrderingMode,
 		CheckpointInterval: s.cfg.CheckpointInterval,
 		WatermarkWindow:    s.cfg.WatermarkWindow,
@@ -322,6 +337,13 @@ func (s *Sim) newCoreNode(id types.NodeID) *core.Node {
 		FloodWindow:        s.cfg.FloodWindow,
 		NICClosePeriod:     s.cfg.NICClosePeriod,
 		Durable:            s.cfg.Durability != DurabilityNone,
+	}
+	if s.cfg.Workload.KV != nil {
+		// The KV workload replicates the keyed store application — the app
+		// whose conflict declarations the parallel scheduler consumes. A
+		// fresh store per (re)build; recovery replay refills it after a
+		// crash.
+		nodeCfg.App = app.NewKV()
 	}
 	node := core.New(nodeCfg, s.ks.NodeRing(id))
 	node.SetTracer(s.sink)
@@ -574,8 +596,16 @@ func (s *Sim) emitExecuteSpans(sn *simNode, out core.Output) {
 	if !s.spans || len(out.Executions) == 0 {
 		return
 	}
-	d := s.cfg.Cost.execCost(s.cfg.Workload.RequestSize)
+	quantum := s.cfg.Cost.execCost(s.cfg.Workload.RequestSize)
+	k := s.cfg.ExecWorkers
+	waved := k >= 2 && len(out.ExecWaves) > 0
 	for _, ex := range out.Executions {
+		// Under the parallel model a request's execute span is its wave's
+		// span: the wave's requests spread over k worker cores.
+		d := quantum
+		if waved && ex.Wave < len(out.ExecWaves) {
+			d = time.Duration((out.ExecWaves[ex.Wave]+k-1)/k) * quantum
+		}
 		sn.trace.Trace(obs.Event{
 			At: s.now, Type: obs.EvSpan, Stage: obs.StageExecute,
 			Client: ex.Ref.Client, Req: ex.Ref.ID,
@@ -612,11 +642,31 @@ func (s *Sim) outputCost(out core.Output) time.Duration {
 	for _, cm := range out.ClientMsgs {
 		cost += s.cfg.Cost.outCost(cm.Msg, 1)
 	}
-	for _, ex := range out.Executions {
-		_ = ex
-		cost += s.cfg.Cost.execCost(s.cfg.Workload.RequestSize)
-	}
+	cost += s.execChargeFor(out)
 	return cost
+}
+
+// execChargeFor charges an output's executions. With the parallel model on
+// (ExecWorkers >= 2) and a wave plan present, each wave of n requests costs
+// ceil(n/k) execution quanta — its span over k worker cores; the serial model
+// (and any output the node executed serially) charges one quantum per
+// request. Both models charge the same total CPU-seconds of execution work;
+// the parallel model only compresses the critical path, exactly like the
+// verify-core pipeline.
+func (s *Sim) execChargeFor(out core.Output) time.Duration {
+	if len(out.Executions) == 0 {
+		return 0
+	}
+	quantum := s.cfg.Cost.execCost(s.cfg.Workload.RequestSize)
+	k := s.cfg.ExecWorkers
+	if k >= 2 && len(out.ExecWaves) > 0 {
+		var cost time.Duration
+		for _, n := range out.ExecWaves {
+			cost += time.Duration((n+k-1)/k) * quantum
+		}
+		return cost
+	}
+	return time.Duration(len(out.Executions)) * quantum
 }
 
 // emitOutputs transmits a node output over the modelled network. Metric

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"math/rand"
 	"time"
 
 	"rbft/internal/client"
@@ -26,6 +28,65 @@ type Workload struct {
 	Phases []Phase
 	// RetransmitTimeout configures client retransmission (0 = a 2s default).
 	RetransmitTimeout time.Duration
+	// KV, when set, switches the clients from opaque fixed payloads to KV
+	// operations over a Zipfian key population, and every node runs the
+	// keyed store application (app.KV) instead of the default. This is the
+	// workload the parallel execution model (Config.ExecWorkers) is
+	// exercised with: conflict density is controlled by Keys and ZipfS.
+	KV *KVWorkload
+}
+
+// KVWorkload parameterises the Zipfian key-value workload.
+type KVWorkload struct {
+	// Keys is the key-population size (minimum 2).
+	Keys int
+	// ZipfS is the Zipf skew exponent (must be > 1; 0 means the 1.1 default).
+	// Larger values concentrate traffic on fewer keys — more conflicts.
+	ZipfS float64
+	// ReadFraction is the probability a request is a GET (0 = all writes).
+	ReadFraction float64
+}
+
+// kvOpGen draws KV operations for the clients. PUT values are padded so
+// every operation is RequestSize bytes — the size the cost model charges.
+type kvOpGen struct {
+	zipf         *rand.Zipf
+	readFraction float64
+	size         int
+}
+
+func newKVOpGen(cfg *KVWorkload, size int, rng *rand.Rand) *kvOpGen {
+	keys := cfg.Keys
+	if keys < 2 {
+		keys = 2
+	}
+	skew := cfg.ZipfS
+	if skew <= 1 {
+		skew = 1.1
+	}
+	return &kvOpGen{
+		zipf:         rand.NewZipf(rng, skew, 1, uint64(keys-1)),
+		readFraction: cfg.ReadFraction,
+		size:         size,
+	}
+}
+
+// next draws one operation. Each call allocates a fresh slice: the client
+// retains the op inside its pending request for retransmission.
+func (g *kvOpGen) next(rng *rand.Rand) []byte {
+	key := g.zipf.Uint64()
+	if rng.Float64() < g.readFraction {
+		return []byte(fmt.Sprintf("GET k%d", key))
+	}
+	op := []byte(fmt.Sprintf("PUT k%d ", key))
+	pad := g.size - len(op)
+	if pad < 1 {
+		pad = 1
+	}
+	for i := 0; i < pad; i++ {
+		op = append(op, 'a'+byte(i%26))
+	}
+	return op
 }
 
 func (w Workload) maxClients() int {
@@ -82,6 +143,9 @@ func (s *Sim) setupClients() {
 	for i := range op {
 		op[i] = byte(i * 31)
 	}
+	if s.cfg.Workload.KV != nil {
+		s.kvOps = newKVOpGen(s.cfg.Workload.KV, s.cfg.Workload.RequestSize, s.rng)
+	}
 	for i := 0; i < n; i++ {
 		id := types.ClientID(i)
 		s.clients = append(s.clients, &simClient{
@@ -127,7 +191,11 @@ func (s *Sim) clientSend(sc *simClient) {
 	if !sc.active || sc.rate <= 0 {
 		return
 	}
-	req := sc.cl.NewRequest(sc.op, s.now)
+	op := sc.op
+	if s.kvOps != nil {
+		op = s.kvOps.next(s.rng)
+	}
+	req := sc.cl.NewRequest(op, s.now)
 	s.broadcastRequest(sc, req)
 	s.armClientTimer(sc)
 

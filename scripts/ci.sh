@@ -21,14 +21,15 @@ echo "== go test ./... =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/runtime/... ./internal/transport/... ./internal/client/... ./internal/obs/... ./internal/wal/...
+go test -race ./internal/runtime/... ./internal/transport/... ./internal/client/... ./internal/obs/... ./internal/wal/... ./internal/exec/...
 
-echo "== fuzz smoke (internal/message, internal/wal, internal/transport, internal/core) =="
+echo "== fuzz smoke (internal/message, internal/wal, internal/transport, internal/core, internal/exec) =="
 go test ./internal/message -run '^$' -fuzz '^FuzzDecode$' -fuzztime 5s
 go test ./internal/message -run '^$' -fuzz '^FuzzPreverify$' -fuzztime 5s
 go test ./internal/wal -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s
 go test ./internal/transport -run '^$' -fuzz '^FuzzFrameBatch$' -fuzztime 5s
 go test ./internal/core -run '^$' -fuzz '^FuzzMergeSchedule$' -fuzztime 5s
+go test ./internal/exec -run '^$' -fuzz '^FuzzWaveSchedule$' -fuzztime 5s
 
 echo "== allocation gate (zero-alloc steady-state encode, docs/EGRESS.md) =="
 go test ./internal/message -run '^TestEncodeZeroAlloc$' -count=1 -v

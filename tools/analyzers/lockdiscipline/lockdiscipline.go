@@ -36,6 +36,16 @@
 // peer's stall straight back to the apply loop, undoing the isolation the
 // per-peer queues exist to provide.
 //
+// Functions annotated `//rbft:exec` (the worker shards of the parallel
+// execution scheduler, docs/EXECUTION.md) are held to the same lock-free
+// rule: no mutex acquisition or release and no guarded-field access. A wave
+// shard runs concurrently with its siblings between two barriers owned by
+// the coordinator; a shard that reaches for a mutex or node state either
+// serializes the wave it exists to parallelize or races the single-threaded
+// node it must stay invisible to. Application-internal locking (the KV
+// store's shard mutexes) lives behind the cross-package Execute call and is
+// the application's own contract, not the shard's.
+//
 // The copy check flags value parameters, value results, value receivers,
 // plain-assignment copies and range-value copies of any type that
 // transitively contains a sync.Mutex, sync.RWMutex, sync.WaitGroup,
@@ -58,13 +68,14 @@ var Analyzer = &framework.Analyzer{
 	Doc:         "check `// guarded by mu` field annotations and forbid copying locks by value",
 	Scope:       inScope,
 	Run:         run,
-	Annotations: []string{"verifier", "wal", "egress"},
+	Annotations: []string{"verifier", "wal", "egress", "exec"},
 }
 
 var concurrentPackages = []string{
 	"rbft/internal/runtime",
 	"rbft/internal/transport",
 	"rbft/internal/wal",
+	"rbft/internal/exec",
 }
 
 func inScope(pkgPath string) bool {
@@ -105,6 +116,10 @@ func run(pass *framework.Pass) error {
 			}
 			if isEgressFunc(fd) {
 				checkLockFreeBody(pass, guards, fd, "egress", "a send worker that takes a mutex hands a wedged peer's stall back to the apply loop", "egress workers must not touch guarded protocol state")
+				continue
+			}
+			if isExecFunc(fd) {
+				checkLockFreeBody(pass, guards, fd, "exec shard", "a wave shard that takes a mutex serializes the wave it exists to parallelize", "exec shards must not touch guarded state; the coordinator owns all synchronisation")
 				continue
 			}
 			checkFuncBody(pass, guards, fd.Name.Name, fd.Body)
@@ -262,6 +277,10 @@ func isWALFunc(fd *ast.FuncDecl) bool { return hasDirective(fd, "rbft:wal") }
 // workers of the egress pipeline.
 func isEgressFunc(fd *ast.FuncDecl) bool { return hasDirective(fd, "rbft:egress") }
 
+// isExecFunc matches the //rbft:exec annotation: the worker shards of the
+// parallel execution scheduler.
+func isExecFunc(fd *ast.FuncDecl) bool { return hasDirective(fd, "rbft:exec") }
+
 // checkLockFreeBody enforces the lock-free contract shared by the verifier,
 // WAL-I/O and egress-worker stages: no access to any guarded field (locked
 // or not) and no mutex acquisition or release anywhere in the function.
@@ -274,8 +293,8 @@ func checkLockFreeBody(pass *framework.Pass, guards map[*types.Named]map[string]
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if base, mu, kind := mutexCall(n); kind != "" {
-				pass.Reportf(n.Pos(), "%s function %s calls %s.%s.%s; %s", role, name, base, mu, kind, lockMsg)
+			if recv, kind := mutexCall(n); kind != "" {
+				pass.Reportf(n.Pos(), "%s function %s calls %s.%s; %s", role, name, recv, kind, lockMsg)
 			}
 		case *ast.SelectorExpr:
 			if a, ok := guardedAccess(pass, guards, n); ok {
@@ -286,22 +305,24 @@ func checkLockFreeBody(pass *framework.Pass, guards map[*types.Named]map[string]
 	})
 }
 
-// mutexCall matches base.mu.{Lock,RLock,Unlock,RUnlock} calls.
-func mutexCall(call *ast.CallExpr) (base, mu, kind string) {
+// mutexCall matches {Lock,RLock,Unlock,RUnlock} calls on a field selector
+// (base.mu.Lock) or a bare identifier (mu.Lock — a mutex parameter or
+// local), returning the receiver expression text and the lock kind.
+func mutexCall(call *ast.CallExpr) (recv, kind string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return "", "", ""
+		return "", ""
 	}
 	switch sel.Sel.Name {
 	case "Lock", "RLock", "Unlock", "RUnlock":
 	default:
-		return "", "", ""
+		return "", ""
 	}
-	inner, ok := sel.X.(*ast.SelectorExpr)
-	if !ok {
-		return "", "", ""
+	switch sel.X.(type) {
+	case *ast.SelectorExpr, *ast.Ident:
+		return types.ExprString(sel.X), sel.Sel.Name
 	}
-	return types.ExprString(inner.X), inner.Sel.Name, sel.Sel.Name
+	return "", ""
 }
 
 // guardedAccess reports whether sel is base.field where field is guarded in

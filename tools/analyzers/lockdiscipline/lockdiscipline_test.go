@@ -18,6 +18,7 @@ func TestScope(t *testing.T) {
 		"rbft/internal/transport/tcpnet": true,
 		"rbft/internal/transport/memnet": true,
 		"rbft/internal/wal":              true,
+		"rbft/internal/exec":             true,
 		"rbft/internal/core":             false,
 		"rbft/internal/sim":              false,
 	} {

@@ -142,3 +142,37 @@ func (r *Registry) egressDirty(k string) int {
 func (r *Registry) egressSneaky() bool {
 	return r.done // want `egress function egressSneaky accesses r\.done \(guarded by r\.mu\); egress workers must not touch guarded protocol state`
 }
+
+// good: a wave shard that only writes its own result slots.
+//
+//rbft:exec
+func execClean(idx []int, shard, stride int, results []int) {
+	for p := shard; p < len(idx); p += stride {
+		results[idx[p]] = p
+	}
+}
+
+// bad: a wave shard taking a mutex and reaching into guarded state.
+//
+//rbft:exec
+func (r *Registry) execDirty(k string) int {
+	r.mu.Lock()         // want `exec shard function execDirty calls r\.mu\.Lock; a wave shard that takes a mutex serializes the wave it exists to parallelize`
+	defer r.mu.Unlock() // want `exec shard function execDirty calls r\.mu\.Unlock; a wave shard that takes a mutex serializes the wave it exists to parallelize`
+	return r.entries[k] // want `exec shard function execDirty accesses r\.entries \(guarded by r\.mu\); exec shards must not touch guarded state; the coordinator owns all synchronisation`
+}
+
+// bad: holding no lock does not excuse a shard touching guarded state.
+//
+//rbft:exec
+func (r *Registry) execSneaky() bool {
+	return r.done // want `exec shard function execSneaky accesses r\.done \(guarded by r\.mu\); exec shards must not touch guarded state; the coordinator owns all synchronisation`
+}
+
+// bad: a mutex passed in as a parameter is still a mutex — the bare-ident
+// receiver shape must be caught too.
+//
+//rbft:exec
+func execParamLock(mu *sync.Mutex) {
+	mu.Lock()   // want `exec shard function execParamLock calls mu\.Lock; a wave shard that takes a mutex serializes the wave it exists to parallelize`
+	mu.Unlock() // want `exec shard function execParamLock calls mu\.Unlock; a wave shard that takes a mutex serializes the wave it exists to parallelize`
+}

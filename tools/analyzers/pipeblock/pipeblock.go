@@ -1,8 +1,10 @@
 // Package pipeblock checks that the pipeline's hot-path functions — those
 // annotated //rbft:verifier (the concurrent preverify stage,
-// docs/PIPELINE.md), //rbft:egress (per-peer send workers, docs/EGRESS.md)
-// and //rbft:wal (the fsync/segment-I/O path, docs/DURABILITY.md) — cannot
-// stall on anything but the work they exist to do. lockdiscipline already
+// docs/PIPELINE.md), //rbft:egress (per-peer send workers, docs/EGRESS.md),
+// //rbft:wal (the fsync/segment-I/O path, docs/DURABILITY.md) and
+// //rbft:exec (the wave shards of the parallel execution scheduler,
+// docs/EXECUTION.md) — cannot stall on anything but the work they exist to
+// do. lockdiscipline already
 // keeps these functions away from mutexes and guarded state; pipeblock
 // covers the other ways a stage wedges:
 //
@@ -43,10 +45,10 @@ import (
 // Analyzer is the pipeblock pass.
 var Analyzer = &framework.Analyzer{
 	Name:        "pipeblock",
-	Doc:         "forbid potentially-blocking operations (unbuffered sends, default-less send selects, sleeps, lock-taking calls) in //rbft:verifier, //rbft:egress and //rbft:wal functions",
+	Doc:         "forbid potentially-blocking operations (unbuffered sends, default-less send selects, sleeps, lock-taking calls) in //rbft:verifier, //rbft:egress, //rbft:wal and //rbft:exec functions",
 	Scope:       inScope,
 	Run:         run,
-	Annotations: []string{"verifier", "egress", "wal"},
+	Annotations: []string{"verifier", "egress", "wal", "exec"},
 }
 
 // scopedPackages are the packages that host annotated pipeline stages.
@@ -55,6 +57,7 @@ var scopedPackages = []string{
 	"rbft/internal/wal",
 	"rbft/internal/transport",
 	"rbft/internal/sim",
+	"rbft/internal/exec",
 }
 
 func inScope(pkgPath string) bool {
@@ -67,7 +70,7 @@ func inScope(pkgPath string) bool {
 }
 
 // directives are the hot-path annotations this analyzer patrols.
-var directives = []string{"rbft:verifier", "rbft:egress", "rbft:wal"}
+var directives = []string{"rbft:verifier", "rbft:egress", "rbft:wal", "rbft:exec"}
 
 // stageOf returns the annotation fd carries, or "" when unannotated.
 func stageOf(fd *ast.FuncDecl) string {

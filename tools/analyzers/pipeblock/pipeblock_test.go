@@ -17,6 +17,7 @@ func TestScope(t *testing.T) {
 		"rbft/internal/wal":       true,
 		"rbft/internal/transport": true,
 		"rbft/internal/sim":       true,
+		"rbft/internal/exec":      true,
 		// No annotated stages live in the protocol core or the CLIs.
 		"rbft/internal/core": false,
 		"rbft/cmd/rbft-node": false,

@@ -1,6 +1,7 @@
 // Package a exercises the pipeblock analyzer: blocking operations inside
-// //rbft:verifier, //rbft:egress and //rbft:wal annotated functions, and
-// the non-blocking idioms (and unannotated functions) that stay silent.
+// //rbft:verifier, //rbft:egress, //rbft:wal and //rbft:exec annotated
+// functions, and the non-blocking idioms (and unannotated functions) that
+// stay silent.
 package a
 
 import (
@@ -112,6 +113,33 @@ func plainCalls(s *server, wg *sync.WaitGroup) {
 	s.locked()
 	wg.Wait()
 	time.Sleep(time.Millisecond)
+}
+
+// ---- exec shards ----
+
+// execShardClean is the intended shard shape: a strided loop writing result
+// slots, all synchronisation left to the coordinator. Silent.
+//
+//rbft:exec
+func execShardClean(idx []int, shard, stride int, results []int) {
+	for p := shard; p < len(idx); p += stride {
+		results[idx[p]] = p
+	}
+}
+
+//rbft:exec
+func execShardWaits(wg *sync.WaitGroup) {
+	wg.Wait() // want `wg\.Wait in rbft:exec function`
+}
+
+//rbft:exec
+func execShardSends(ch chan int) {
+	ch <- 1 // want `bare channel send in rbft:exec function`
+}
+
+//rbft:exec
+func execShardCallsLockTaker(s *server) {
+	s.locked() // want `call to locked in rbft:exec function`
 }
 
 // ---- suppression ----
