@@ -32,6 +32,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"rbft/internal/obs"
@@ -129,12 +130,45 @@ func runSummary(args []string) error {
 	for _, tc := range s.ByType {
 		fmt.Printf("  %-24s %d\n", tc.Type, tc.Count)
 	}
+	printFrontDoor(events)
 	if len(events) > 0 {
 		first, last := events[0].At, events[len(events)-1].At
 		fmt.Printf("span: %s .. %s (%s)\n",
 			stamp(first), stamp(last), last.Sub(first))
 	}
 	return nil
+}
+
+// printFrontDoor summarises client-table evictions per node. Printed only
+// when the trace carries eviction events, so traces from unbounded tables
+// (every legacy trace) keep their summary output unchanged.
+func printFrontDoor(events []obs.Event) {
+	evictions := make(map[types.NodeID]int)
+	lastSize := make(map[types.NodeID]int)
+	var nodes []types.NodeID
+	for _, ev := range events {
+		if ev.Type != obs.EvClientEvicted {
+			continue
+		}
+		if _, seen := evictions[ev.Node]; !seen {
+			nodes = append(nodes, ev.Node)
+		}
+		evictions[ev.Node]++
+		lastSize[ev.Node] = ev.Count
+	}
+	if len(nodes) == 0 {
+		return
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	total := 0
+	for _, n := range nodes {
+		total += evictions[n]
+	}
+	fmt.Printf("front door: %d client evictions (bounded client table)\n", total)
+	for _, n := range nodes {
+		fmt.Printf("  node %-3d evictions=%-8d last-shard-size=%d\n",
+			n, evictions[n], lastSize[n])
+	}
 }
 
 func runTimeline(args []string) error {
@@ -312,6 +346,8 @@ func formatEvent(ev obs.Event) string {
 		s += fmt.Sprintf(" cpi=%d reason=%s", ev.CPI, ev.Reason)
 	case obs.EvNICClose, obs.EvMsgDrop:
 		s += fmt.Sprintf(" peer=%d", ev.Peer)
+	case obs.EvClientEvicted:
+		s += fmt.Sprintf(" client=%d shard-size=%d", ev.Client, ev.Count)
 	case obs.EvSpan:
 		s += fmt.Sprintf(" stage=%s dur=%s", ev.Stage, ev.Dur)
 		if ev.Stage.PerInstance() {

@@ -34,6 +34,18 @@ type ConflictKeyer interface {
 	Keys(op []byte) (reads, writes []string)
 }
 
+// ReadExecutor is the optional interface an Application implements to serve
+// the speculative read-only fast path (docs/CLIENTS.md). ExecuteRead answers
+// op against the current local state without going through ordering; it must
+// be side-effect free. ok=false marks an op that is not a pure read — the
+// node drops such a request and the client falls back to normal ordering.
+// Because replicas answer at possibly different points in the execution
+// stream, a result is only surfaced to callers once a read quorum (2f+1) of
+// replicas returns identical bytes.
+type ReadExecutor interface {
+	ExecuteRead(op []byte) (result []byte, ok bool)
+}
+
 // Null is an application that does nothing and replies with a fixed
 // acknowledgement. It is the workload used by the throughput benchmarks,
 // where execution cost is modelled separately. It deliberately does NOT
@@ -133,6 +145,7 @@ type kvShard struct {
 
 var _ Application = (*KV)(nil)
 var _ ConflictKeyer = (*KV)(nil)
+var _ ReadExecutor = (*KV)(nil)
 
 // NewKV creates an empty key-value store.
 func NewKV() *KV {
@@ -235,6 +248,25 @@ func (kv *KV) Execute(_ types.ClientID, _ types.RequestID, op []byte) []byte {
 	default:
 		return []byte(fmt.Sprintf("ERR unknown op %q", rawVerb))
 	}
+}
+
+// ExecuteRead implements ReadExecutor: a GET is answered from the key's
+// shard under its lock — the same bytes Execute would produce for the same
+// store state. Anything that is not a well-formed GET is not a read
+// (ok=false) and must travel through ordering.
+func (kv *KV) ExecuteRead(op []byte) ([]byte, bool) {
+	verb, key, _, _ := parseOp(op)
+	if verb != kvGet {
+		return nil, false
+	}
+	sh := kv.shardOf(key)
+	sh.mu.Lock()
+	v, ok := sh.data[key]
+	sh.mu.Unlock()
+	if !ok {
+		return []byte("NOT_FOUND"), true
+	}
+	return []byte(v), true
 }
 
 // Keys implements ConflictKeyer: GET reads its key; PUT and DEL write theirs.

@@ -5,6 +5,7 @@
 package client
 
 import (
+	"sort"
 	"time"
 
 	"rbft/internal/crypto"
@@ -32,8 +33,12 @@ type Completed struct {
 
 // pending tracks one in-flight request.
 type pending struct {
-	req      *message.Request
-	sentAt   time.Time
+	req    *message.Request
+	sentAt time.Time
+	// readOnly marks a speculative read: it needs a read quorum (2f+1) of
+	// matching replies and falls back to normal ordering on refutation or
+	// timeout (read.go).
+	readOnly bool
 	deadline time.Time
 	// replies counts nodes per result fingerprint.
 	replies map[string]map[types.NodeID]bool
@@ -69,15 +74,31 @@ func (c *Client) Pending() int { return len(c.pending) }
 // NewRequest builds, signs and registers a request for operation op. The
 // caller transmits the returned message to every node.
 func (c *Client) NewRequest(op []byte, now time.Time) *message.Request {
-	req := &message.Request{Client: c.cfg.ID, ID: c.nextID, Op: op}
+	return c.issue(op, false, now, now)
+}
+
+// NewReadRequest builds, signs and registers a speculative read-only request
+// for operation op: nodes answer it from local state without ordering, and
+// the client accepts only once a read quorum (2f+1) of replies matches. On
+// refutation or timeout the request falls back to normal ordering (read.go).
+// The caller transmits the returned message to every node.
+func (c *Client) NewReadRequest(op []byte, now time.Time) *message.Request {
+	return c.issue(op, true, now, now)
+}
+
+// issue signs and registers one request. sentAt anchors the latency
+// measurement: a read falling back to ordering keeps its original send time.
+func (c *Client) issue(op []byte, readOnly bool, now, sentAt time.Time) *message.Request {
+	req := &message.Request{Client: c.cfg.ID, ID: c.nextID, Op: op, ReadOnly: readOnly}
 	c.nextID++
 	req.Sig = c.keys.Sign(req.SignedBody())
 	req.Auth = c.authForNodes(req)
 	p := &pending{
-		req:     req,
-		sentAt:  now,
-		replies: make(map[string]map[types.NodeID]bool),
-		result:  make(map[string][]byte),
+		req:      req,
+		readOnly: readOnly,
+		sentAt:   sentAt,
+		replies:  make(map[string]map[types.NodeID]bool),
+		result:   make(map[string][]byte),
 	}
 	if c.cfg.RetransmitTimeout > 0 {
 		p.deadline = now.Add(c.cfg.RetransmitTimeout)
@@ -118,7 +139,24 @@ func (c *Client) OnReply(rep *message.Reply, from types.NodeID, now time.Time) (
 		p.result[key] = rep.Result
 	}
 	nodes[from] = true
-	if len(nodes) < c.cfg.Cluster.WeakQuorum() {
+	threshold := c.cfg.Cluster.WeakQuorum()
+	if p.readOnly {
+		// Speculative replies are not execution commitments: any replica may
+		// answer from a stale snapshot, so acceptance needs a full read
+		// quorum — 2f+1 matching replies guarantee f+1 correct replicas
+		// agree on the value at a consistent point.
+		threshold = c.cfg.Cluster.Quorum()
+	}
+	if len(nodes) < threshold {
+		if p.readOnly {
+			best, distinct := p.tally()
+			if _, impossible := readVerdict(best, distinct, c.cfg.Cluster.N, threshold); impossible {
+				// No group can reach the read quorum any more (replica
+				// states diverged mid-read): make the request due now so the
+				// next Tick falls back to normal ordering.
+				p.deadline = now
+			}
+		}
 		return Completed{}, false
 	}
 	delete(c.pending, rep.ID)
@@ -143,17 +181,37 @@ func (c *Client) NextWake() time.Time {
 	return wake
 }
 
-// Tick returns the requests due for retransmission to all nodes.
+// Tick returns the requests due for (re)transmission to all nodes: ordinary
+// requests are resent as-is; a due speculative read (timed out, or refuted —
+// OnReply pulls its deadline forward when no read quorum can form) is
+// replaced by a fresh ordered request for the same operation. Due requests
+// are processed in request-ID order so drivers see a deterministic sequence.
 func (c *Client) Tick(now time.Time) []*message.Request {
 	if c.cfg.RetransmitTimeout == 0 {
 		return nil
 	}
-	var resend []*message.Request
+	var due []*pending
 	for _, p := range c.pending {
 		if !p.deadline.IsZero() && !now.Before(p.deadline) {
-			p.deadline = now.Add(c.cfg.RetransmitTimeout)
-			resend = append(resend, p.req)
+			due = append(due, p)
 		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].req.ID < due[j].req.ID })
+	var resend []*message.Request
+	for _, p := range due {
+		if p.readOnly {
+			// Fall back to normal ordering under a fresh ID. A fresh ID
+			// (rather than re-flagging the old one) keeps straggling
+			// speculative replies from ever being counted toward the ordered
+			// request's f+1 acceptance — they belong to a different, deleted
+			// pending entry. The original send time is kept so the measured
+			// latency covers the whole read, speculation included.
+			delete(c.pending, p.req.ID)
+			resend = append(resend, c.issue(p.req.Op, false, now, p.sentAt))
+			continue
+		}
+		p.deadline = now.Add(c.cfg.RetransmitTimeout)
+		resend = append(resend, p.req)
 	}
 	return resend
 }

@@ -1,0 +1,141 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"rbft/internal/types"
+)
+
+func TestReadAcceptsOnReadQuorum(t *testing.T) {
+	cl, ks, cfg := newTestClient(t)
+	now := time.Unix(0, 0)
+	req := cl.NewReadRequest([]byte("GET k"), now)
+	if !req.ReadOnly {
+		t.Fatal("NewReadRequest did not flag the request read-only")
+	}
+
+	// f+1 matching replies are NOT enough for a speculative read.
+	for i := 0; i < cfg.WeakQuorum(); i++ {
+		if _, ok := cl.OnReply(reply(ks, types.NodeID(i), 2, req.ID, "v"), types.NodeID(i), now); ok {
+			t.Fatalf("read accepted on %d replies, need the 2f+1 read quorum", i+1)
+		}
+	}
+	done, ok := cl.OnReply(reply(ks, types.NodeID(cfg.WeakQuorum()), 2, req.ID, "v"), types.NodeID(cfg.WeakQuorum()), now.Add(time.Millisecond))
+	if !ok {
+		t.Fatal("read not accepted on a 2f+1 quorum of matching replies")
+	}
+	if string(done.Result) != "v" {
+		t.Fatalf("completed = %+v", done)
+	}
+	if cl.Pending() != 0 {
+		t.Fatalf("pending = %d after read completion", cl.Pending())
+	}
+}
+
+func TestReadRefutationFallsBackToOrdering(t *testing.T) {
+	cl, ks, cfg := newTestClient(t)
+	now := time.Unix(0, 0)
+	req := cl.NewReadRequest([]byte("GET k"), now)
+
+	// Split the cluster 2/2 (f=1, N=4): no group can ever reach 2f+1=3,
+	// so the last reply must refute the read and pull its deadline to now.
+	cl.OnReply(reply(ks, 0, 2, req.ID, "old"), 0, now)
+	cl.OnReply(reply(ks, 1, 2, req.ID, "old"), 1, now)
+	cl.OnReply(reply(ks, 2, 2, req.ID, "new"), 2, now)
+	if _, ok := cl.OnReply(reply(ks, 3, 2, req.ID, "new"), 3, now); ok {
+		t.Fatal("accepted a read without a read quorum")
+	}
+	if wake := cl.NextWake(); !wake.Equal(now) {
+		t.Fatalf("refuted read's deadline = %v, want immediate fallback", wake)
+	}
+
+	// The next tick re-issues the operation as an ordered request under a
+	// fresh ID; the refuted speculative pending is gone.
+	resend := cl.Tick(now)
+	if len(resend) != 1 {
+		t.Fatalf("Tick returned %d requests, want the ordered re-issue", len(resend))
+	}
+	ordered := resend[0]
+	if ordered.ReadOnly {
+		t.Fatal("fallback request still flagged read-only")
+	}
+	if ordered.ID == req.ID {
+		t.Fatal("fallback reused the speculative request's ID")
+	}
+	if string(ordered.Op) != "GET k" {
+		t.Fatalf("fallback op = %q", ordered.Op)
+	}
+	if cl.Pending() != 1 {
+		t.Fatalf("pending = %d after fallback, want 1", cl.Pending())
+	}
+
+	// Straggling speculative replies for the old ID no longer count.
+	if _, ok := cl.OnReply(reply(ks, 0, 2, req.ID, "new"), 0, now); ok {
+		t.Fatal("stale speculative reply completed a request")
+	}
+
+	// The ordered re-issue completes on the ordinary f+1 threshold, and its
+	// latency covers the whole read, speculation included.
+	cl.OnReply(reply(ks, 0, 2, ordered.ID, "new"), 0, now.Add(time.Millisecond))
+	done, ok := cl.OnReply(reply(ks, 1, 2, ordered.ID, "new"), 1, now.Add(2*time.Millisecond))
+	if !ok {
+		t.Fatal("ordered fallback not accepted on f+1 matching replies")
+	}
+	if done.Latency != 2*time.Millisecond {
+		t.Fatalf("latency = %v, want measured from the original read", done.Latency)
+	}
+	_ = cfg
+}
+
+func TestReadTimeoutFallsBackToOrdering(t *testing.T) {
+	cl, _, _ := newTestClient(t)
+	now := time.Unix(0, 0)
+	req := cl.NewReadRequest([]byte("GET k"), now)
+
+	resend := cl.Tick(now.Add(time.Second))
+	if len(resend) != 1 {
+		t.Fatalf("Tick returned %d requests, want 1", len(resend))
+	}
+	if resend[0].ReadOnly || resend[0].ID == req.ID {
+		t.Fatalf("timed-out read must re-issue ordered under a fresh ID, got %+v", resend[0])
+	}
+	// The ordered fallback retransmits normally from then on.
+	again := cl.Tick(now.Add(2 * time.Second))
+	if len(again) != 1 || again[0].ID != resend[0].ID {
+		t.Fatalf("fallback did not retransmit: %v", again)
+	}
+}
+
+// FuzzReadQuorum cross-checks readVerdict against its defining properties
+// for arbitrary tallies: accepted iff the best group holds a full read
+// quorum, and impossible only when no completion of the tally could ever
+// reach it — the two outcomes mutually exclusive.
+func FuzzReadQuorum(f *testing.F) {
+	f.Add(3, 3, 4, 3)  // unanimous enough: accepted
+	f.Add(2, 4, 4, 3)  // 2/2 split, all heard: impossible
+	f.Add(2, 2, 4, 3)  // two matching, two outstanding: still open
+	f.Add(0, 0, 4, 3)  // nothing heard yet
+	f.Add(1, 3, 4, 3)  // three-way split: impossible
+	f.Add(6, 9, 10, 7) // larger cluster (f=3), still open
+	f.Fuzz(func(t *testing.T, best, distinct, n, quorum int) {
+		if best < 0 || distinct < best || n < distinct || quorum < 1 || quorum > n {
+			t.Skip()
+		}
+		accepted, impossible := readVerdict(best, distinct, n, quorum)
+		if accepted != (best >= quorum) {
+			t.Fatalf("readVerdict(%d,%d,%d,%d) accepted=%v", best, distinct, n, quorum, accepted)
+		}
+		if accepted && impossible {
+			t.Fatalf("readVerdict(%d,%d,%d,%d) both accepted and impossible", best, distinct, n, quorum)
+		}
+		// The best group can still grow by at most the nodes not heard from.
+		reachable := best + (n - distinct)
+		if impossible && reachable >= quorum {
+			t.Fatalf("readVerdict(%d,%d,%d,%d) declared impossible with %d reachable", best, distinct, n, quorum, reachable)
+		}
+		if !accepted && !impossible && reachable < quorum {
+			t.Fatalf("readVerdict(%d,%d,%d,%d) missed an impossible tally", best, distinct, n, quorum)
+		}
+	})
+}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
 	"time"
 
@@ -62,6 +63,19 @@ type Config struct {
 
 	// ReplyCacheSize bounds the per-client reply cache.
 	ReplyCacheSize int
+
+	// ClientShards is the lock-stripe count of the client table (0 means
+	// defaultClientShards). Sharding lets admission control run concurrently
+	// with the apply stage and bounds per-shard metric cardinality.
+	ClientShards int
+	// MaxClients bounds the resident client-table entries across all shards;
+	// beyond it the least-recently-used quiescent client is evicted
+	// (docs/CLIENTS.md). 0 means unbounded (the historical behaviour).
+	MaxClients int
+	// IngressBudget is the per-shard admission budget: client frames beyond
+	// this many in flight (admitted at ingress, not yet applied) are shed
+	// before the crypto stage. 0 disables admission control.
+	IngressBudget int
 
 	// VerifyCacheSize bounds the request-signature verification cache of the
 	// preverify stage (0 means message.DefaultVerifyCacheSize).
@@ -207,13 +221,66 @@ type cachedReply struct {
 	result []byte
 }
 
-// clientState tracks per-client verification and reply state.
+// clientState tracks per-client verification, reply and execution state. It
+// lives in one clientTable shard (clients.go); id and lruElem are the
+// shard's bookkeeping handles.
 type clientState struct {
+	id          types.ClientID
+	lruElem     *list.Element
 	blacklisted bool
 	replies     []cachedReply // most recent last
 	// pendingBodies bounds the per-client stored request bodies, limiting
 	// the memory an equivocating client can pin.
 	pendingBodies int
+	// execThrough and execRecent together record which of the client's
+	// request IDs have executed: every ID <= execThrough has, plus the
+	// above-watermark IDs in execRecent (out-of-order executions whose
+	// predecessors are still in flight; drained into the watermark as the
+	// gap closes). Unlike the reply cache this knowledge is never evicted —
+	// the watermark survives table eviction — so a stale retransmission can
+	// be dropped but never re-executed.
+	execThrough types.RequestID
+	execRecent  map[types.RequestID]bool
+}
+
+// markExecuted records that request id executed, advancing the contiguous
+// watermark when possible. Gaps (an out-of-order execution across ordering
+// lanes while an earlier ID is still in flight) park in execRecent and drain
+// as soon as the missing IDs execute; clients issue IDs sequentially, so the
+// set stays bounded by the client's in-flight window.
+func (cs *clientState) markExecuted(id types.RequestID) {
+	if id <= cs.execThrough {
+		return
+	}
+	if id == cs.execThrough+1 {
+		cs.execThrough = id
+		for len(cs.execRecent) > 0 && cs.execRecent[cs.execThrough+1] {
+			delete(cs.execRecent, cs.execThrough+1)
+			cs.execThrough++
+		}
+		return
+	}
+	if cs.execRecent == nil {
+		cs.execRecent = make(map[types.RequestID]bool)
+	}
+	cs.execRecent[id] = true
+}
+
+// isExecuted reports whether request id has executed on this node.
+func (cs *clientState) isExecuted(id types.RequestID) bool {
+	return id <= cs.execThrough || cs.execRecent[id]
+}
+
+// cacheReply appends a reply to the bounded per-client cache, dropping the
+// oldest entry beyond bound. Dropping a cached reply never forgets that the
+// request executed — that lives in the executed watermark — so every
+// eviction path shares this one method and the bound cannot silently
+// diverge from the executed bookkeeping.
+func (cs *clientState) cacheReply(id types.RequestID, result []byte, bound int) {
+	cs.replies = append(cs.replies, cachedReply{id: id, result: result})
+	if len(cs.replies) > bound {
+		cs.replies = cs.replies[1:]
+	}
 }
 
 // Node is one RBFT node: the deterministic apply stage of the ingress
@@ -254,9 +321,11 @@ type Node struct {
 	propagates map[types.RequestRef]map[types.NodeID]bool
 	dispatched map[types.RequestRef]bool
 
-	// Execution module state.
-	executed map[types.RequestKey]bool
-	clients  map[types.ClientID]*clientState
+	// Execution module state. The sharded client table (clients.go) holds
+	// per-client reply caches and executed watermarks; reader is the app's
+	// read fast path (nil when the app is not a ReadExecutor).
+	table  *clientTable
+	reader app.ReadExecutor
 
 	// Instance-change state.
 	icVotes     map[uint64]map[types.NodeID]bool
@@ -303,8 +372,7 @@ func New(cfg Config, keys *crypto.KeyRing) *Node {
 		byKey:        make(map[types.RequestKey][]types.RequestRef),
 		propagates:   make(map[types.RequestRef]map[types.NodeID]bool),
 		dispatched:   make(map[types.RequestRef]bool),
-		executed:     make(map[types.RequestKey]bool),
-		clients:      make(map[types.ClientID]*clientState),
+		table:        newClientTable(c.ClientShards, c.MaxClients, c.IngressBudget),
 		icVotes:      make(map[uint64]map[types.NodeID]bool),
 		floodCounts:  make(map[types.NodeID]int),
 		closedUntil:  make(map[types.NodeID]time.Time),
@@ -313,6 +381,9 @@ func New(cfg Config, keys *crypto.KeyRing) *Node {
 	}
 	n.pre = message.NewPreverifier(keys, c.Node, c.Cluster, message.NewVerifyCache(c.VerifyCacheSize))
 	n.sched = exec.New(c.App, c.ExecWorkers)
+	if re, ok := c.App.(app.ReadExecutor); ok {
+		n.reader = re
+	}
 	if c.OrderingMode == types.OrderingMultiPrimary {
 		n.merge = newLaneMerge(c.Cluster.Instances())
 		n.fillerDelay = c.BatchTimeout
@@ -379,6 +450,13 @@ func (n *Node) SetRegistry(reg *obs.Registry) {
 	n.execWaves = reg.Counter("rbft_exec_waves_total")
 	n.execConflicts = reg.Counter("rbft_exec_conflicts_total")
 	n.execParallel = reg.Counter("rbft_exec_parallel_total")
+	for i := range n.table.shards {
+		sh := &n.table.shards[i]
+		sh.size = reg.Gauge(obs.LabeledName("rbft_client_table_size", "shard", fmt.Sprintf("%d", i)))
+		sh.evictions = reg.Counter(obs.LabeledName("rbft_client_evictions_total", "shard", fmt.Sprintf("%d", i)))
+	}
+	n.table.admitted = reg.Counter("rbft_ingress_admitted_total")
+	n.table.rejected = reg.Counter("rbft_ingress_rejected_total")
 	n.pre.Cache().SetCounters(
 		reg.Counter("rbft_sigcache_hits_total"),
 		reg.Counter("rbft_sigcache_misses_total"),
@@ -389,7 +467,7 @@ func (n *Node) SetRegistry(reg *obs.Registry) {
 // countedMsgTypes enumerates every wire message type for the per-type
 // counters. All values fit the msgsIn/msgsOut arrays (max is 33).
 var countedMsgTypes = []message.Type{
-	message.TypeRequest, message.TypePropagate, message.TypePrePrepare,
+	message.TypeRequest, message.TypeReadRequest, message.TypePropagate, message.TypePrePrepare,
 	message.TypePrepare, message.TypeCommit, message.TypeReply,
 	message.TypeInstanceChange, message.TypeViewChange, message.TypeNewView,
 	message.TypeCheckpoint, message.TypeInvalid, message.TypeFetch,
@@ -574,7 +652,7 @@ func (n *Node) OnIngressFailure(f IngressFailure, now time.Time) Output {
 		// and malformed frames are dropped without reaction — they carry no
 		// proof of origin.
 		if f.Kind == message.FailBadSig {
-			n.client(f.Client).blacklisted = true
+			n.client(f.Client, now).blacklisted = true
 		}
 		n.observeIO(f.Msg, &out)
 		return out
@@ -593,7 +671,7 @@ func (n *Node) applyClientRequest(req *message.Request, now time.Time) Output {
 	if n.behavior.Silent {
 		return out
 	}
-	cs := n.client(req.Client)
+	cs := n.client(req.Client, now)
 	if cs.blacklisted {
 		return out
 	}
@@ -602,9 +680,32 @@ func (n *Node) applyClientRequest(req *message.Request, now time.Time) Output {
 			At: now, Type: obs.EvRequestReceived, Client: req.Client, Req: req.ID,
 		})
 	}
+	// Speculative read-only fast path: answer from local state, no ordering,
+	// no reply-cache or propagation bookkeeping. The client accepts only on
+	// a read quorum (2f+1) of matching replies and re-issues through normal
+	// ordering otherwise, so a request the app cannot serve as a read (or an
+	// app with no read path at all) is simply dropped here.
+	if req.ReadOnly {
+		if n.reader == nil {
+			return out
+		}
+		result, ok := n.reader.ExecuteRead(req.Op)
+		if !ok {
+			return out
+		}
+		out.ClientMsgs = append(out.ClientMsgs, n.replyTo(req.Client, req.ID, result))
+		return out
+	}
 	// Retransmission of an executed request: resend the cached reply.
 	if result, ok := n.cachedReply(cs, req.ID); ok {
 		out.ClientMsgs = append(out.ClientMsgs, n.replyTo(req.Client, req.ID, result))
+		return out
+	}
+	// Executed but the cached reply has been evicted: drop. Re-propagating
+	// would re-execute on nodes that no longer remember the reply, so the
+	// executed watermark wins over helpfulness (the client library re-issues
+	// under a fresh ID if it truly never saw the reply).
+	if cs.isExecuted(req.ID) {
 		return out
 	}
 	out.merge(n.propagateOwn(req, now))
@@ -615,7 +716,7 @@ func (n *Node) applyClientRequest(req *message.Request, now time.Time) Output {
 func (n *Node) propagateOwn(req *message.Request, now time.Time) Output {
 	var out Output
 	ref := req.Ref()
-	if !n.storeBody(ref, req) {
+	if !n.storeBody(ref, req, now) {
 		return out
 	}
 	senders := n.senderSet(ref)
@@ -633,11 +734,11 @@ func (n *Node) propagateOwn(req *message.Request, now time.Time) Output {
 
 // storeBody records a verified request body for its exact ref, bounding the
 // per-client pending-body count. It reports whether the body is available.
-func (n *Node) storeBody(ref types.RequestRef, req *message.Request) bool {
+func (n *Node) storeBody(ref types.RequestRef, req *message.Request, now time.Time) bool {
 	if _, seen := n.bodies[ref]; seen {
 		return true
 	}
-	cs := n.client(ref.Client)
+	cs := n.client(ref.Client, now)
 	if cs.pendingBodies >= maxPendingBodiesPerClient {
 		return false
 	}
@@ -695,12 +796,17 @@ func (n *Node) applyNodeMessage(msg message.Message, from types.NodeID, now time
 func (n *Node) applyPropagate(p *message.Propagate, from types.NodeID, now time.Time) Output {
 	var out Output
 	ref := p.Req.Ref()
-	cs := n.client(p.Req.Client)
+	cs := n.client(p.Req.Client, now)
 	if cs.blacklisted {
 		return out
 	}
+	// The request already executed here: it is decided, so further
+	// PROPAGATEs for its key must not pin fresh bodies or re-enter dispatch.
+	if cs.isExecuted(p.Req.ID) {
+		return out
+	}
 	if _, seen := n.bodies[ref]; !seen {
-		if !n.storeBody(ref, &p.Req) {
+		if !n.storeBody(ref, &p.Req, now) {
 			return out
 		}
 	}
@@ -865,7 +971,8 @@ func (n *Node) absorb(inst types.InstanceID, res pbft.Output, now time.Time) Out
 func (n *Node) execute(ref types.RequestRef, lane types.InstanceID, now time.Time) Output {
 	var out Output
 	key := ref.Key()
-	if n.executed[key] {
+	cs := n.client(ref.Client, now)
+	if cs.isExecuted(ref.ID) {
 		return out
 	}
 	body := n.bodies[ref]
@@ -874,7 +981,7 @@ func (n *Node) execute(ref types.RequestRef, lane types.InstanceID, now time.Tim
 		// requires the body); guards against divergent state.
 		return out
 	}
-	n.executed[key] = true
+	cs.markExecuted(ref.ID)
 	n.journal(&out, wal.Record{
 		Kind: wal.KindExecuted, Client: ref.Client, Req: ref.ID,
 		Digest: ref.Digest, Op: body.Op, Instance: lane,
@@ -888,13 +995,7 @@ func (n *Node) execute(ref types.RequestRef, lane types.InstanceID, now time.Tim
 			At: now, Type: obs.EvExecuted, Client: ref.Client, Req: ref.ID,
 		})
 	}
-	cs := n.client(ref.Client)
-	cs.replies = append(cs.replies, cachedReply{id: ref.ID, result: result})
-	if len(cs.replies) > n.cfg.ReplyCacheSize {
-		drop := cs.replies[0]
-		cs.replies = cs.replies[1:]
-		delete(n.executed, types.RequestKey{Client: ref.Client, ID: drop.id})
-	}
+	cs.cacheReply(ref.ID, result, n.cfg.ReplyCacheSize)
 	out.Executions = append(out.Executions, Execution{Ref: ref, Result: result})
 	out.ClientMsgs = append(out.ClientMsgs, n.replyTo(ref.Client, ref.ID, result))
 
@@ -928,8 +1029,8 @@ func (n *Node) executeWaves(refs []types.RequestRef, lane types.InstanceID, now 
 	}
 	var batch []pendingExec
 	for _, ref := range refs {
-		key := ref.Key()
-		if n.executed[key] {
+		cs := n.client(ref.Client, now)
+		if cs.isExecuted(ref.ID) {
 			continue
 		}
 		body := n.bodies[ref]
@@ -938,7 +1039,7 @@ func (n *Node) executeWaves(refs []types.RequestRef, lane types.InstanceID, now 
 			// requires the body); guards against divergent state.
 			continue
 		}
-		n.executed[key] = true
+		cs.markExecuted(ref.ID)
 		n.journal(&out, wal.Record{
 			Kind: wal.KindExecuted, Client: ref.Client, Req: ref.ID,
 			Digest: ref.Digest, Op: body.Op, Instance: lane,
@@ -969,13 +1070,8 @@ func (n *Node) executeWaves(refs []types.RequestRef, lane types.InstanceID, now 
 				At: now, Type: obs.EvExecuted, Client: ref.Client, Req: ref.ID,
 			})
 		}
-		cs := n.client(ref.Client)
-		cs.replies = append(cs.replies, cachedReply{id: ref.ID, result: result})
-		if len(cs.replies) > n.cfg.ReplyCacheSize {
-			drop := cs.replies[0]
-			cs.replies = cs.replies[1:]
-			delete(n.executed, types.RequestKey{Client: ref.Client, ID: drop.id})
-		}
+		cs := n.client(ref.Client, now)
+		cs.cacheReply(ref.ID, result, n.cfg.ReplyCacheSize)
 		out.Executions = append(out.Executions, Execution{Ref: ref, Result: result, Wave: res.Wave[i]})
 		out.ClientMsgs = append(out.ClientMsgs, n.replyTo(ref.Client, ref.ID, result))
 
@@ -1009,14 +1105,34 @@ func (n *Node) cachedReply(cs *clientState, id types.RequestID) ([]byte, bool) {
 	return nil, false
 }
 
-func (n *Node) client(c types.ClientID) *clientState {
-	cs := n.clients[c]
-	if cs == nil {
-		cs = &clientState{}
-		n.clients[c] = cs
+// client returns c's table entry, creating it (and possibly evicting the
+// LRU quiescent client of c's shard) on first sight. now timestamps the
+// eviction trace event.
+func (n *Node) client(c types.ClientID, now time.Time) *clientState {
+	cs, ev, evicted := n.table.get(c)
+	if evicted && n.tr.Enabled() {
+		n.tr.Trace(obs.Event{
+			At: now, Type: obs.EvClientEvicted, Client: ev.client, Count: ev.size,
+		})
 	}
 	return cs
 }
+
+// ClientCount returns the number of resident client-table entries (tests
+// and the bounded-memory gate).
+func (n *Node) ClientCount() int { return n.table.count() }
+
+// AdmitIngress is the admission-control gate drivers call for every client
+// frame BEFORE spending crypto on it: false means the client's shard has
+// exhausted its pending budget and the frame should be shed (reject-with-
+// busy). Unlike every other Node method this one is safe for concurrent use
+// with the apply stage — it touches only shard-local admission state — which
+// is what lets the runtime's reader shed floods ahead of the verifier pool.
+func (n *Node) AdmitIngress(c types.ClientID) bool { return n.table.admit(c) }
+
+// ReleaseIngress returns an AdmitIngress slot once the admitted frame has
+// left the apply stage. Concurrency-safe like AdmitIngress.
+func (n *Node) ReleaseIngress(c types.ClientID) { n.table.release(c) }
 
 // countInvalid records an invalid message from a peer and closes its NIC if
 // it exceeds the flood threshold within the window.

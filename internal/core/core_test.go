@@ -113,16 +113,17 @@ func TestReplyCacheEviction(t *testing.T) {
 	}
 	nc.runFor(100 * time.Millisecond)
 	n := nc.nodes[0]
-	cs := n.clients[1]
+	cs := n.client(1, nc.now)
 	if len(cs.replies) != 2 {
 		t.Fatalf("reply cache holds %d entries, want 2", len(cs.replies))
 	}
 	if cs.replies[0].id != 2 || cs.replies[1].id != 3 {
 		t.Fatalf("cache kept ids %d,%d, want 2,3", cs.replies[0].id, cs.replies[1].id)
 	}
-	// The evicted request is no longer deduplicated by the executed set.
-	if n.executed[types.RequestKey{Client: 1, ID: 1}] {
-		t.Fatal("evicted request still pinned in the executed set")
+	// Evicting the cached reply must NOT forget that the request executed:
+	// the watermark is what stops a stale retransmission from re-executing.
+	if !cs.isExecuted(1) {
+		t.Fatal("executed watermark forgot the request whose reply was evicted")
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"rbft/internal/message"
 	"rbft/internal/types"
@@ -104,18 +105,14 @@ func (n *Node) restoreExecution(rec wal.Record) (bool, error) {
 		return false, fmt.Errorf("%w: executed record digest mismatch for client %d req %d",
 			wal.ErrCorrupt, rec.Client, rec.Req)
 	}
-	key := types.RequestKey{Client: rec.Client, ID: rec.Req}
-	if n.executed[key] {
+	// Replay runs before any live input, so the zero time stamps any
+	// (traceless) eviction the table performs while rebuilding.
+	cs := n.client(rec.Client, time.Time{})
+	if cs.isExecuted(rec.Req) {
 		return false, nil
 	}
-	n.executed[key] = true
+	cs.markExecuted(rec.Req)
 	result := n.cfg.App.Execute(rec.Client, rec.Req, rec.Op)
-	cs := n.client(rec.Client)
-	cs.replies = append(cs.replies, cachedReply{id: rec.Req, result: result})
-	if len(cs.replies) > n.cfg.ReplyCacheSize {
-		drop := cs.replies[0]
-		cs.replies = cs.replies[1:]
-		delete(n.executed, types.RequestKey{Client: rec.Client, ID: drop.id})
-	}
+	cs.cacheReply(rec.Req, result, n.cfg.ReplyCacheSize)
 	return true, nil
 }

@@ -128,15 +128,15 @@ func TestMultiPrimaryBackupLaneReplyCacheEviction(t *testing.T) {
 	if got := len(nc.executed[0]); got != 3 {
 		t.Fatalf("node 0 executed %d requests, want 3", got)
 	}
-	cs := n.clients[1]
+	cs := n.client(1, nc.now)
 	if len(cs.replies) != 2 {
 		t.Fatalf("reply cache holds %d entries, want 2", len(cs.replies))
 	}
 	if cs.replies[0].id != 2 || cs.replies[1].id != 3 {
 		t.Fatalf("cache kept ids %d,%d, want 2,3", cs.replies[0].id, cs.replies[1].id)
 	}
-	if n.executed[types.RequestKey{Client: 1, ID: 1}] {
-		t.Fatal("evicted request still pinned in the executed set")
+	if !cs.isExecuted(1) {
+		t.Fatal("executed watermark forgot the request whose reply was evicted")
 	}
 	// All three executions were released by the backup lane owning the
 	// client's partition.

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"rbft/internal/types"
 )
@@ -55,7 +56,7 @@ func clientPrincipal(c types.ClientID) principal { return principal(1<<32) + pri
 type KeyRing struct {
 	self    principal
 	signKey ed25519.PrivateKey
-	pubKeys map[principal]ed25519.PublicKey
+	store   *KeyStore
 	secret  []byte
 	fast    bool
 	// cache memoises derived pair keys (see batch.go); verifier goroutines
@@ -65,10 +66,47 @@ type KeyRing struct {
 
 // KeyStore derives key rings for a cluster from a master secret. It is the
 // test/simulation stand-in for a key distribution infrastructure.
+//
+// Public keys are derived lazily: a million-client front door must not pay a
+// million Ed25519 key derivations at startup for clients that may never
+// appear. Whether a principal is known at all is a pure range check against
+// the configured cluster size; the actual public key is derived (and cached)
+// only when a slow-path signature verification needs it. All rings of one
+// store share the cache, which carries its own lock because verifier worker
+// goroutines verify concurrently.
 type KeyStore struct {
-	secret []byte
-	pubs   map[principal]ed25519.PublicKey
-	fast   bool
+	secret  []byte
+	nodes   int
+	clients int
+	fast    bool
+
+	mu   sync.Mutex
+	pubs map[principal]ed25519.PublicKey
+}
+
+// known reports whether a principal is inside the cluster's configured node
+// and client ranges — the lazy equivalent of the old eager map's membership.
+func (ks *KeyStore) known(p principal) bool {
+	if p >= clientPrincipal(0) {
+		return p < clientPrincipal(0)+principal(ks.clients)
+	}
+	return p >= 0 && p < principal(ks.nodes)
+}
+
+// pub returns the public key for a known principal, deriving and caching it
+// on first use.
+func (ks *KeyStore) pub(p principal) ed25519.PublicKey {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if k, ok := ks.pubs[p]; ok {
+		return k
+	}
+	k := deriveSignKey(ks.secret, p).Public().(ed25519.PublicKey)
+	if ks.pubs == nil {
+		ks.pubs = make(map[principal]ed25519.PublicKey)
+	}
+	ks.pubs[p] = k
+	return k
 }
 
 // NewInsecureFastKeyStore creates a key store whose MAC and signature
@@ -86,19 +124,11 @@ func NewInsecureFastKeyStore(secret []byte, n, maxClients int) *KeyStore {
 // NewKeyStore creates a key store for a cluster of n nodes and up to
 // maxClients clients, deriving all keys from secret.
 func NewKeyStore(secret []byte, n, maxClients int) *KeyStore {
-	ks := &KeyStore{
-		secret: append([]byte(nil), secret...),
-		pubs:   make(map[principal]ed25519.PublicKey, n+maxClients),
+	return &KeyStore{
+		secret:  append([]byte(nil), secret...),
+		nodes:   n,
+		clients: maxClients,
 	}
-	for i := 0; i < n; i++ {
-		p := nodePrincipal(types.NodeID(i))
-		ks.pubs[p] = deriveSignKey(secret, p).Public().(ed25519.PublicKey)
-	}
-	for i := 0; i < maxClients; i++ {
-		p := clientPrincipal(types.ClientID(i))
-		ks.pubs[p] = deriveSignKey(secret, p).Public().(ed25519.PublicKey)
-	}
-	return ks
 }
 
 // NodeRing returns the key ring for node n.
@@ -112,13 +142,19 @@ func (ks *KeyStore) ClientRing(c types.ClientID) *KeyRing {
 }
 
 func (ks *KeyStore) ring(self principal) *KeyRing {
-	return &KeyRing{
-		self:    self,
-		signKey: deriveSignKey(ks.secret, self),
-		pubKeys: ks.pubs,
-		secret:  ks.secret,
-		fast:    ks.fast,
+	r := &KeyRing{
+		self:   self,
+		store:  ks,
+		secret: ks.secret,
+		fast:   ks.fast,
 	}
+	// Fast (simulation) mode never touches the Ed25519 key: skipping the
+	// derivation keeps ring creation cheap enough to mint rings lazily for
+	// millions of simulated clients.
+	if !ks.fast {
+		r.signKey = deriveSignKey(ks.secret, self)
+	}
+	return r
 }
 
 func deriveSignKey(secret []byte, p principal) ed25519.PrivateKey {
@@ -294,8 +330,7 @@ func (r *KeyRing) VerifyClientSignature(from types.ClientID, data, sig []byte) e
 }
 
 func (r *KeyRing) verifySig(from principal, data, sig []byte) error {
-	pub, ok := r.pubKeys[from]
-	if !ok {
+	if !r.store.known(from) {
 		return fmt.Errorf("%w: principal %d", ErrUnknownPeer, from)
 	}
 	if r.fast {
@@ -305,6 +340,7 @@ func (r *KeyRing) verifySig(from principal, data, sig []byte) error {
 		}
 		return nil
 	}
+	pub := r.store.pub(from)
 	if len(sig) != ed25519.SignatureSize || !ed25519.Verify(pub, data, sig) {
 		return ErrBadSignature
 	}

@@ -54,7 +54,38 @@ func BenchScenarios(o Options) []BenchScenario {
 		orderingScenario("ordering-multi-primary", types.OrderingMultiPrimary, o),
 		execScenario("exec-serial", 0, o),
 		execScenario("exec-parallel", execBenchWorkers, o),
+		frontdoorScenario("frontdoor-ordered", false, o),
+		frontdoorScenario("frontdoor-speculative", true, o),
 	}
+}
+
+// frontdoorOfferedLoad oversubscribes the master ordering lane (~35 kreq/s
+// at orderingPerRefProcess per ref) by ~2x, so the frontdoor pair measures
+// ordering capacity: whatever the speculative path lifts off that lane is
+// throughput won back.
+const frontdoorOfferedLoad = 64_000
+
+// frontdoorKVWorkload is the read-heavy Zipfian KV workload of the frontdoor
+// bench pair: overwhelmingly GETs, as a lookup-serving front door sees. The
+// mild skew keeps a hot head so speculative reads race writes on popular
+// keys and the refutation fallback is actually exercised.
+var frontdoorKVWorkload = sim.KVWorkload{Keys: 4096, ZipfS: 1.1, ReadFraction: 0.95}
+
+// frontdoorScenario builds an ordering-bound read-heavy scenario: the
+// per-reference ordering cost raised until the master lane is the
+// bottleneck, verification pipelined onto parallel cores, and a 95%-GET KV
+// workload. The pair (ordered vs speculative) quantifies what the read-only
+// fast path buys: reads answered from local state on a 2f+1 read quorum
+// never touch the saturated ordering lane at all.
+func frontdoorScenario(name string, speculative bool, o Options) BenchScenario {
+	o = o.withDefaults()
+	cfg := rbftConfig(1, 8, frontdoorOfferedLoad, o)
+	cfg.Cost.PerRefProcess = orderingPerRefProcess
+	cfg.VerifyCores = pipelineParallelCores
+	kv := frontdoorKVWorkload
+	cfg.Workload.KV = &kv
+	cfg.SpeculativeReads = speculative
+	return BenchScenario{Name: name, Config: cfg, RunTime: o.RunTime}
 }
 
 // execPerRequest is the per-request application execution cost of the exec

@@ -38,7 +38,7 @@ func TestBenchScenariosIncludePipeline(t *testing.T) {
 	for _, sc := range BenchScenarios(Options{Quick: true}) {
 		names[sc.Name] = true
 	}
-	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel", "wal-serial-fsync", "wal-group-commit", "egress-per-message", "egress-coalesced", "ordering-master-only", "ordering-multi-primary", "exec-serial", "exec-parallel"} {
+	for _, want := range []string{"fault-free", "worst-attack-1", "worst-attack-2", "pipeline-serial", "pipeline-parallel", "wal-serial-fsync", "wal-group-commit", "egress-per-message", "egress-coalesced", "ordering-master-only", "ordering-multi-primary", "exec-serial", "exec-parallel", "frontdoor-ordered", "frontdoor-speculative"} {
 		if !names[want] {
 			t.Errorf("bench suite is missing scenario %q", want)
 		}
@@ -124,6 +124,35 @@ func TestBenchExecSpeedup(t *testing.T) {
 	}
 	if parallel.InstanceChanges != 0 {
 		t.Fatalf("exec-parallel run triggered %d instance changes on a fault-free cluster", parallel.InstanceChanges)
+	}
+}
+
+// TestBenchFrontdoorSpeedup pins the headline claim of the speculative
+// read-only fast path: on an ordering-bound configuration with a 95%-GET
+// workload, answering reads from local state on a 2f+1 read quorum must buy
+// at least 1.5x throughput over ordering every GET through the master lane,
+// without tripping the per-lane Δ test in either mode. Deterministic
+// simulation makes this a stable bound.
+func TestBenchFrontdoorSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	o := Options{Quick: true}
+	ordered := RunBench(frontdoorScenario("frontdoor-ordered", false, o))
+	speculative := RunBench(frontdoorScenario("frontdoor-speculative", true, o))
+	if ordered.Throughput <= 0 {
+		t.Fatalf("ordered scenario completed no requests: %+v", ordered)
+	}
+	ratio := speculative.Throughput / ordered.Throughput
+	t.Logf("frontdoor-ordered %.0f req/s, frontdoor-speculative %.0f req/s, speedup %.2fx",
+		ordered.Throughput, speculative.Throughput, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("speculative/ordered speedup %.2fx, want >= 1.5x (ordered %.0f, speculative %.0f req/s)",
+			ratio, ordered.Throughput, speculative.Throughput)
+	}
+	if ordered.InstanceChanges != 0 || speculative.InstanceChanges != 0 {
+		t.Fatalf("instance changes: ordered %d, speculative %d; want 0/0",
+			ordered.InstanceChanges, speculative.InstanceChanges)
 	}
 }
 

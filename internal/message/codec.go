@@ -208,7 +208,9 @@ func Decode(data []byte) (Message, error) {
 	//rbft:dispatch
 	switch t {
 	case TypeRequest:
-		m = decodeRequest(r)
+		m = decodeRequest(r, false)
+	case TypeReadRequest:
+		m = decodeRequest(r, true)
 	case TypePropagate:
 		m = decodePropagate(r)
 	case TypePrePrepare:
@@ -258,13 +260,14 @@ func Decode(data []byte) (Message, error) {
 	return m, nil
 }
 
-func decodeRequest(r *reader) *Request {
+func decodeRequest(r *reader, readOnly bool) *Request {
 	return &Request{
-		Client: types.ClientID(r.u64()),
-		ID:     types.RequestID(r.u64()),
-		Op:     r.bytes(),
-		Sig:    r.bytes(),
-		Auth:   r.auth(),
+		Client:   types.ClientID(r.u64()),
+		ID:       types.RequestID(r.u64()),
+		Op:       r.bytes(),
+		ReadOnly: readOnly,
+		Sig:      r.bytes(),
+		Auth:     r.auth(),
 	}
 }
 
@@ -273,6 +276,9 @@ func decodePropagate(r *reader) *Propagate {
 	inner := r.bytes()
 	if r.err == nil {
 		ir := &reader{b: inner}
+		// Only ordinary requests may be propagated: read-only requests
+		// (TypeReadRequest) never enter ordering, so an inner read tag is
+		// rejected as malformed.
 		if t := Type(ir.u8()); t != TypeRequest {
 			r.fail(fmt.Errorf("%w: propagate inner type %d", ErrUnknownType, t))
 			return p

@@ -36,8 +36,16 @@ const (
 	TypeInvalid // deliberately malformed traffic used by flooding attackers
 )
 
+// TypeReadRequest is the wire tag of a read-only request (docs/CLIENTS.md):
+// the same Request structure, flagged for the speculative read fast path.
+// The tag is part of the signed body, so a read-only flag cannot be added or
+// stripped without invalidating the client signature — and ordinary requests
+// keep their historical byte encoding exactly.
+const TypeReadRequest Type = 12
+
 var typeNames = map[Type]string{
 	TypeRequest:        "REQUEST",
+	TypeReadRequest:    "READ-REQUEST",
 	TypePropagate:      "PROPAGATE",
 	TypePrePrepare:     "PRE-PREPARE",
 	TypePrepare:        "PREPARE",
@@ -82,6 +90,11 @@ type Request struct {
 	Client types.ClientID
 	ID     types.RequestID
 	Op     []byte
+	// ReadOnly flags the request for the speculative read fast path: nodes
+	// answer it from local state without ordering, and the client accepts
+	// only on a 2f+1 read quorum of matching replies (docs/CLIENTS.md). The
+	// flag is carried in the wire tag, inside the signed body.
+	ReadOnly bool
 
 	Sig  []byte
 	Auth crypto.Authenticator
@@ -89,8 +102,16 @@ type Request struct {
 
 var _ Message = (*Request)(nil)
 
+// tag returns the wire tag encoding the read-only flag.
+func (m *Request) tag() Type {
+	if m.ReadOnly {
+		return TypeReadRequest
+	}
+	return TypeRequest
+}
+
 // MsgType implements Message.
-func (m *Request) MsgType() Type { return TypeRequest }
+func (m *Request) MsgType() Type { return m.tag() }
 
 // Ref returns the ordering identifier of the request.
 func (m *Request) Ref() types.RequestRef {
@@ -112,7 +133,7 @@ func (m *Request) OpDigest() types.Digest {
 func (m *Request) signedBodySize() int { return 1 + 8 + 8 + 4 + len(m.Op) }
 
 func (m *Request) appendSignedBody(b []byte) []byte {
-	b = appendU8(b, uint8(TypeRequest))
+	b = appendU8(b, uint8(m.tag()))
 	b = appendU64(b, uint64(m.Client))
 	b = appendU64(b, uint64(m.ID))
 	return appendBytes(b, m.Op)

@@ -198,7 +198,7 @@ func Summarize(events []Event) Summary {
 		counts[ev.Type]++
 	}
 	s := Summary{Total: len(events)}
-	for t := EvRequestReceived; t <= EvSpan; t++ {
+	for t := EvRequestReceived; t <= EvClientEvicted; t++ {
 		if c := counts[t]; c > 0 {
 			s.ByType = append(s.ByType, TypeCount{Type: t, Count: c})
 		}

@@ -69,6 +69,10 @@ const (
 	// order span carries both, joining a request to the batch that ordered
 	// it on each instance lane.
 	EvSpan // span
+	// EvClientEvicted: the bounded client table evicted a client's state
+	// (LRU). Client is the evicted client; Count is the owning shard's size
+	// after the eviction.
+	EvClientEvicted // client-evicted
 )
 
 // String returns the stable wire name used in JSONL traces.
@@ -106,6 +110,8 @@ func (t EventType) String() string {
 		return "node-restart"
 	case EvSpan:
 		return "span"
+	case EvClientEvicted:
+		return "client-evicted"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -113,7 +119,7 @@ func (t EventType) String() string {
 
 // ParseEventType maps a wire name back to its EventType.
 func ParseEventType(s string) (EventType, bool) {
-	for t := EvRequestReceived; t <= EvSpan; t++ {
+	for t := EvRequestReceived; t <= EvClientEvicted; t++ {
 		if t.String() == s {
 			return t, true
 		}

@@ -96,6 +96,7 @@ type ingressItem struct {
 	fromClient bool
 	client     types.ClientID
 	from       types.NodeID
+	admitted   bool      // client frame holds an ingress-budget slot until applied
 	at         time.Time // arrival stamp, set only when spans are on
 
 	ready chan struct{}
@@ -207,6 +208,17 @@ func (nr *NodeRuntime) readLoop() {
 		it := nr.classify(p)
 		if it == nil {
 			continue
+		}
+		if it.fromClient {
+			// Admission control (core.Config.IngressBudget): a client frame
+			// claims a per-shard budget slot before it reaches the verifier
+			// pool, so an overload burst is shed here — ahead of the crypto
+			// stage, where the cost would be paid.
+			//rbft:ignore lockdiscipline -- AdmitIngress touches only the lock-striped client table, never node state guarded by mu
+			if !nr.node.AdmitIngress(it.client) {
+				continue
+			}
+			it.admitted = true
 		}
 		select {
 		case nr.work <- it:
@@ -343,6 +355,9 @@ func (nr *NodeRuntime) apply(it *ingressItem) {
 		out = nr.node.OnVerified(it.v, now)
 	}
 	nr.mu.Unlock()
+	if it.admitted {
+		nr.node.ReleaseIngress(it.client)
+	}
 	nr.emit(tickOut)
 	nr.emit(out)
 }

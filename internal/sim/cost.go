@@ -188,9 +188,15 @@ func (c CostModel) preverifyCost(msg message.Message, firstSight bool) time.Dura
 // instance core the message routes to.
 func (c CostModel) applyCost(msg message.Message) time.Duration {
 	cost := c.BaseProcess
-	// Only batch-carrying messages have per-reference apply work.
-	//rbft:dispatch ignore=Request,Propagate,Prepare,Commit,Checkpoint,InstanceChange,Fetch,ViewChange,NewView,Invalid,Reply
+	// Only batch-carrying messages have per-reference apply work — plus
+	// read-only requests, which the speculative fast path executes against
+	// local state right at apply time.
+	//rbft:dispatch ignore=Propagate,Prepare,Commit,Checkpoint,InstanceChange,Fetch,ViewChange,NewView,Invalid,Reply
 	switch m := msg.(type) {
+	case *message.Request:
+		if m.ReadOnly {
+			cost += c.execCost(len(m.Op))
+		}
 	case *message.PrePrepare:
 		cost += time.Duration(len(m.Batch)) * c.PerRefProcess
 	case *message.FetchResp:

@@ -115,6 +115,24 @@ type Config struct {
 
 	// Workload drives the clients.
 	Workload Workload
+	// SpeculativeReads routes the KV workload's GET operations through the
+	// client's speculative read-only fast path (docs/CLIENTS.md): reads skip
+	// ordering, nodes answer them from local state at apply time, and the
+	// client accepts on a read quorum (2f+1) of matching replies, falling
+	// back to normal ordering on refutation or timeout. Off (the default)
+	// keeps every trace byte-identical to the legacy behaviour.
+	SpeculativeReads bool
+	// MaxClients bounds each node's client table (core.Config.MaxClients):
+	// beyond it the least-recently-active quiescent clients are evicted, and
+	// an evicted client that retransmits is re-verified from scratch. 0 (the
+	// default) keeps the table unbounded, as before.
+	MaxClients int
+	// ClientShards sets each node's client-table shard count
+	// (core.Config.ClientShards); 0 uses the core default. Sharding only
+	// matters for lock striping in the live runtime — the simulator is
+	// single-threaded — but the shard count changes eviction (per-shard LRU),
+	// so it is a modelled parameter too.
+	ClientShards int
 
 	// NodeBehavior installs Byzantine node behaviour for attacks.
 	NodeBehavior map[types.NodeID]core.Behavior
@@ -272,10 +290,19 @@ type Sim struct {
 	now    time.Time
 	endAt  time.Time
 
-	nodes   []*simNode
-	clients []*simClient
+	nodes []*simNode
+	// clients is indexed by client id; entries are instantiated lazily on
+	// first use (clientAt), so a million-addressable-client population only
+	// ever materialises the clients that actually send.
+	clients  []*simClient
+	clientRT time.Duration // per-client retransmission timeout
+	clientOp []byte        // shared fixed payload of the opaque workload
 	// kvOps generates KV operations when Workload.KV is configured.
 	kvOps *kvOpGen
+	// olEpoch invalidates a superseded open-loop arrival process on phase
+	// transitions; olNext cycles arrivals through the phase's population.
+	olEpoch int
+	olNext  int
 
 	floodCache map[int]*message.Invalid
 
@@ -332,6 +359,8 @@ func (s *Sim) newCoreNode(id types.NodeID) *core.Node {
 		OrderingMode:       s.cfg.OrderingMode,
 		CheckpointInterval: s.cfg.CheckpointInterval,
 		WatermarkWindow:    s.cfg.WatermarkWindow,
+		MaxClients:         s.cfg.MaxClients,
+		ClientShards:       s.cfg.ClientShards,
 		Monitoring:         s.cfg.Monitoring,
 		FloodThreshold:     s.cfg.FloodThreshold,
 		FloodWindow:        s.cfg.FloodWindow,
@@ -796,8 +825,8 @@ func (s *Sim) deliverToNode(sn *simNode, msg message.Message, from types.NodeID,
 
 // sendNodeToClient transmits a reply over the node's client NIC.
 func (s *Sim) sendNodeToClient(from *simNode, to types.ClientID, msg message.Message) {
-	if int(to) >= len(s.clients) {
-		return
+	if int(to) >= len(s.clients) || s.clients[to] == nil {
+		return // unknown or never-instantiated client: nothing awaits this reply
 	}
 	size := len(msg.Marshal(nil))
 	l := &from.clientTx

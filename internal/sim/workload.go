@@ -17,6 +17,14 @@ type Phase struct {
 	Duration      time.Duration
 	Clients       int
 	RatePerClient float64 // requests per second per client
+	// OpenLoop switches the phase from per-client generators to one
+	// aggregate arrival process: Clients is the addressable population and
+	// requests arrive at Clients x RatePerClient per second, each arrival
+	// cycling through the population. Clients are instantiated lazily — a
+	// million-client front door only ever materialises the clients that
+	// actually send — which is the regime the sharded client table and
+	// admission control are sized for.
+	OpenLoop bool
 }
 
 // Workload drives the simulated clients.
@@ -71,14 +79,16 @@ func newKVOpGen(cfg *KVWorkload, size int, rng *rand.Rand) *kvOpGen {
 	}
 }
 
-// next draws one operation. Each call allocates a fresh slice: the client
-// retains the op inside its pending request for retransmission.
-func (g *kvOpGen) next(rng *rand.Rand) []byte {
+// next draws one operation, reporting whether it is a read (a GET — the
+// operations Config.SpeculativeReads routes through the read-only fast
+// path). Each call allocates a fresh slice: the client retains the op inside
+// its pending request for retransmission.
+func (g *kvOpGen) next(rng *rand.Rand) (op []byte, isRead bool) {
 	key := g.zipf.Uint64()
 	if rng.Float64() < g.readFraction {
-		return []byte(fmt.Sprintf("GET k%d", key))
+		return []byte(fmt.Sprintf("GET k%d", key)), true
 	}
-	op := []byte(fmt.Sprintf("PUT k%d ", key))
+	op = []byte(fmt.Sprintf("PUT k%d ", key))
 	pad := g.size - len(op)
 	if pad < 1 {
 		pad = 1
@@ -86,7 +96,7 @@ func (g *kvOpGen) next(rng *rand.Rand) []byte {
 	for i := 0; i < pad; i++ {
 		op = append(op, 'a'+byte(i%26))
 	}
-	return op
+	return op, false
 }
 
 func (w Workload) maxClients() int {
@@ -133,31 +143,43 @@ type simClient struct {
 	timerAt time.Time
 }
 
+// setupClients prepares the client population without materialising it:
+// clients are instantiated lazily by clientAt the first time they send, so a
+// huge addressable population costs one pointer slot per client until used.
 func (s *Sim) setupClients() {
-	n := s.cfg.Workload.maxClients()
-	rt := s.cfg.Workload.RetransmitTimeout
-	if rt == 0 {
-		rt = 2 * time.Second
+	s.clientRT = s.cfg.Workload.RetransmitTimeout
+	if s.clientRT == 0 {
+		s.clientRT = 2 * time.Second
 	}
 	op := make([]byte, s.cfg.Workload.RequestSize)
 	for i := range op {
 		op[i] = byte(i * 31)
 	}
+	s.clientOp = op
 	if s.cfg.Workload.KV != nil {
 		s.kvOps = newKVOpGen(s.cfg.Workload.KV, s.cfg.Workload.RequestSize, s.rng)
 	}
-	for i := 0; i < n; i++ {
-		id := types.ClientID(i)
-		s.clients = append(s.clients, &simClient{
-			cl: client.New(client.Config{
-				Cluster:           s.cluster,
-				ID:                id,
-				RetransmitTimeout: rt,
-			}, s.ks.ClientRing(id)),
-			id: id,
-			op: op,
-		})
+	s.clients = make([]*simClient, s.cfg.Workload.maxClients())
+}
+
+// clientAt returns client i, instantiating it on first use. Instantiation
+// draws no randomness, so lazy creation leaves same-seed traces unchanged.
+func (s *Sim) clientAt(i int) *simClient {
+	if sc := s.clients[i]; sc != nil {
+		return sc
 	}
+	id := types.ClientID(i)
+	sc := &simClient{
+		cl: client.New(client.Config{
+			Cluster:           s.cluster,
+			ID:                id,
+			RetransmitTimeout: s.clientRT,
+		}, s.ks.ClientRing(id)),
+		id: id,
+		op: s.clientOp,
+	}
+	s.clients[i] = sc
+	return sc
 }
 
 // startWorkload schedules the phase transitions.
@@ -173,11 +195,37 @@ func (s *Sim) startWorkload() {
 }
 
 func (s *Sim) applyPhase(p Phase) {
-	for i, sc := range s.clients {
+	// Each transition supersedes any running open-loop arrival process.
+	s.olEpoch++
+	if p.OpenLoop {
+		for _, sc := range s.clients {
+			if sc != nil {
+				sc.active = false
+			}
+		}
+		if p.Clients <= 0 || p.RatePerClient <= 0 {
+			return
+		}
+		ep := s.olEpoch
+		s.schedule(s.now, func() { s.openLoopArrival(p, ep) })
+		return
+	}
+	// Closed-loop phase: clients 0..Clients-1 each run their own generator.
+	// Instantiation is in ascending id order and activation draws happen only
+	// for newly-active clients, exactly as when the population was eager —
+	// same-seed traces are unchanged.
+	for i := range s.clients {
+		if i >= p.Clients {
+			if sc := s.clients[i]; sc != nil {
+				sc.active = false
+			}
+			continue
+		}
+		sc := s.clientAt(i)
 		wasActive := sc.active
-		sc.active = i < p.Clients
+		sc.active = true
 		sc.rate = p.RatePerClient
-		if sc.active && !wasActive {
+		if !wasActive {
 			// Stagger activations slightly to avoid phase-locked bursts.
 			delay := time.Duration(s.rng.Int63n(int64(time.Millisecond) + 1))
 			client := sc
@@ -186,23 +234,53 @@ func (s *Sim) applyPhase(p Phase) {
 	}
 }
 
+// openLoopArrival issues one request from the aggregate arrival process and
+// schedules the next. Arrivals cycle through the population, so a population
+// larger than the run's arrival count touches each client at most once.
+func (s *Sim) openLoopArrival(p Phase, ep int) {
+	if ep != s.olEpoch {
+		return // a later phase superseded this arrival process
+	}
+	sc := s.clientAt(s.olNext % p.Clients)
+	s.olNext++
+	s.issueRequest(sc)
+
+	// Next arrival at the aggregate rate with ±20% jitter.
+	interval := time.Duration(float64(time.Second) / (float64(p.Clients) * p.RatePerClient))
+	jitter := time.Duration((s.rng.Float64() - 0.5) * 0.4 * float64(interval))
+	s.schedule(s.now.Add(interval+jitter), func() { s.openLoopArrival(p, ep) })
+}
+
 // clientSend emits one request and schedules the next per the open-loop rate.
 func (s *Sim) clientSend(sc *simClient) {
 	if !sc.active || sc.rate <= 0 {
 		return
 	}
-	op := sc.op
-	if s.kvOps != nil {
-		op = s.kvOps.next(s.rng)
-	}
-	req := sc.cl.NewRequest(op, s.now)
-	s.broadcastRequest(sc, req)
-	s.armClientTimer(sc)
+	s.issueRequest(sc)
 
 	// Next send: deterministic interval with ±20% jitter.
 	interval := time.Duration(float64(time.Second) / sc.rate)
 	jitter := time.Duration((s.rng.Float64() - 0.5) * 0.4 * float64(interval))
 	s.schedule(s.now.Add(interval+jitter), func() { s.clientSend(sc) })
+}
+
+// issueRequest draws one operation for sc, signs and broadcasts it. KV GETs
+// go through the speculative read-only path when Config.SpeculativeReads is
+// on; everything else (and every request when it is off) is ordered normally.
+func (s *Sim) issueRequest(sc *simClient) {
+	op := sc.op
+	isRead := false
+	if s.kvOps != nil {
+		op, isRead = s.kvOps.next(s.rng)
+	}
+	var req *message.Request
+	if isRead && s.cfg.SpeculativeReads {
+		req = sc.cl.NewReadRequest(op, s.now)
+	} else {
+		req = sc.cl.NewRequest(op, s.now)
+	}
+	s.broadcastRequest(sc, req)
+	s.armClientTimer(sc)
 }
 
 // broadcastRequest transmits a request to every node through each node's
@@ -252,6 +330,14 @@ func (s *Sim) clientReceive(sc *simClient, msg message.Message, from types.NodeI
 	}
 	done, ok := sc.cl.OnReply(rep, from, s.now)
 	if !ok {
+		if s.cfg.SpeculativeReads {
+			// A refuted read pulls its deadline to now (client.OnReply); re-arm
+			// so the fallback to ordering fires immediately rather than at the
+			// stale retransmission wake-up. Gated: without speculative reads a
+			// reply never moves a deadline, and the extra schedule calls would
+			// perturb legacy traces.
+			s.armClientTimer(sc)
+		}
 		return
 	}
 	s.metrics.recordCompletion(sc.id, done, s.now, s.cfg.TrackClientLatency)

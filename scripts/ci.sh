@@ -23,13 +23,14 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/runtime/... ./internal/transport/... ./internal/client/... ./internal/obs/... ./internal/wal/... ./internal/exec/...
 
-echo "== fuzz smoke (internal/message, internal/wal, internal/transport, internal/core, internal/exec) =="
+echo "== fuzz smoke (internal/message, internal/wal, internal/transport, internal/core, internal/exec, internal/client) =="
 go test ./internal/message -run '^$' -fuzz '^FuzzDecode$' -fuzztime 5s
 go test ./internal/message -run '^$' -fuzz '^FuzzPreverify$' -fuzztime 5s
 go test ./internal/wal -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s
 go test ./internal/transport -run '^$' -fuzz '^FuzzFrameBatch$' -fuzztime 5s
 go test ./internal/core -run '^$' -fuzz '^FuzzMergeSchedule$' -fuzztime 5s
 go test ./internal/exec -run '^$' -fuzz '^FuzzWaveSchedule$' -fuzztime 5s
+go test ./internal/client -run '^$' -fuzz '^FuzzReadQuorum$' -fuzztime 5s
 
 echo "== allocation gate (zero-alloc steady-state encode, docs/EGRESS.md) =="
 go test ./internal/message -run '^TestEncodeZeroAlloc$' -count=1 -v
@@ -41,6 +42,11 @@ go test ./internal/obs -run '^$' -bench '^BenchmarkSpanRecord$' -benchtime 100x 
 
 echo "== bench smoke (BENCH_sim.json) =="
 go run ./cmd/rbft-bench -exp bench -quick -json BENCH_sim.json
+# The frontdoor pair must be part of the gated suite: TestBenchFrontdoorSpeedup
+# (go test above) pins speculative >= 1.5x ordered, and the JSON must carry
+# both scenarios so regressions show up in the tracked artifact.
+grep -q '"frontdoor-ordered"' BENCH_sim.json
+grep -q '"frontdoor-speculative"' BENCH_sim.json
 
 echo "== rbft-trace smoke (summary / critical-path / attribute) =="
 go run ./cmd/rbft-bench -exp bench -quick -trace TRACE_smoke.jsonl >/dev/null

@@ -94,6 +94,22 @@ func partitions(client uint64, instances int, cfg types.Config) {
 	_ = types.PartitionOf(client, cfg.Instances()) // approved spelling: silent
 }
 
+// readQuorum exercises the speculative read fast path's matcher shape: a
+// client accepts a read once matching replies reach the full 2f+1 quorum.
+// The threshold must come from types.Quorum — a raw spelling here is exactly
+// the audit hole the fast path must not open — and the acceptance comparison
+// is `matching >= quorum`, never strict.
+func readQuorum(matching, f int, cfg types.Config) bool {
+	if matching >= 2*f+1 { // want `raw quorum arithmetic 2\*f\+1; use types\.Quorum`
+		return true
+	}
+	readQuorum := cfg.Quorum()
+	if matching > readQuorum { // want `suspicious > comparison against a quorum-derived value`
+		return true
+	}
+	return matching >= readQuorum // approved spelling: silent
+}
+
 // unrelatedModulo must stay silent: the divisor is not the lane count.
 func unrelatedModulo(seq, cap int) int {
 	next := (seq + 1) % cap
